@@ -1,0 +1,88 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures and
+records the series both to stdout and to ``benchmarks/results/*.txt``
+so the data survives pytest's output capture.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_NODES`` — Mbone map size (default 400; the paper's
+  mcollect map had 1864 — set 1864 to reproduce at full scale).
+* ``REPRO_BENCH_TRIALS`` — trials per stochastic data point (default 3).
+* ``REPRO_BENCH_MAX_SPACE`` — largest address space swept (default 400;
+  the paper sweeps to 1000+ in fig. 5 and 1600 in figs. 12/13).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.routing.scoping import ScopeMap
+from repro.topology.doar import DoarParams, generate_doar
+from repro.topology.mbone import MboneParams, generate_mbone
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_nodes() -> int:
+    return _env_int("REPRO_BENCH_NODES", 400)
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 3)
+
+
+@pytest.fixture(scope="session")
+def bench_max_space() -> int:
+    return _env_int("REPRO_BENCH_MAX_SPACE", 400)
+
+
+@pytest.fixture(scope="session")
+def space_sizes(bench_max_space):
+    sizes = [100, 200, 400, 800, 1600]
+    return [s for s in sizes if s <= bench_max_space]
+
+
+@pytest.fixture(scope="session")
+def mbone(bench_nodes):
+    return generate_mbone(MboneParams(total_nodes=bench_nodes, seed=1998))
+
+
+@pytest.fixture(scope="session")
+def mbone_scope_map(mbone):
+    return ScopeMap.from_topology(mbone)
+
+
+@pytest.fixture(scope="session")
+def doar_topologies(bench_nodes):
+    """Doar maps for the §3 simulations, keyed by size."""
+    sizes = [200, 400, 800]
+    if bench_nodes >= 1600:
+        sizes.append(1600)
+    return {size: generate_doar(DoarParams(num_nodes=size, seed=1998))
+            for size in sizes}
+
+
+@pytest.fixture(scope="session")
+def record_series():
+    """Print a titled series and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def record(name: str, title: str, headers, rows) -> str:
+        table = format_table(headers, rows)
+        text = f"== {title} ==\n{table}\n"
+        print(f"\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        return text
+
+    return record

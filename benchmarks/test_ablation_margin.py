@@ -1,0 +1,51 @@
+"""Ablation: margin of safety m in the §2.4.1 partition rule.
+
+m = 1 tracks typical hop counts exactly (fewest partitions, widest
+bands); larger m gives more, narrower partitions — safer against odd
+boundary policies but with each band holding fewer TTL values.
+"""
+
+from repro.core.adaptive import AdaptiveIprmaAllocator
+from repro.core.partitions import margin_partition_map
+from repro.experiments.allocation_run import allocations_before_first_clash
+from repro.experiments.ttl_distributions import DS4
+
+import numpy as np
+
+MARGINS = (1, 2, 3)
+
+
+def test_ablation_margin(benchmark, record_series, mbone_scope_map,
+                         space_sizes, bench_trials):
+    space = space_sizes[-1]
+
+    def run():
+        out = {}
+        for margin in MARGINS:
+            pm = margin_partition_map(margin)
+            factory = (lambda edges: lambda n, rng:
+                       AdaptiveIprmaAllocator(n, gap_fraction=0.2,
+                                              edges=edges, rng=rng)
+                       )(pm.edges)
+            counts = [
+                allocations_before_first_clash(
+                    mbone_scope_map, factory, space, DS4,
+                    np.random.default_rng((22, margin, t)),
+                    max_allocations=space * 8,
+                )
+                for t in range(max(3, bench_trials))
+            ]
+            out[margin] = (pm.num_bands, float(np.mean(counts)))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "ablation_margin",
+        f"Ablation — partition-rule margin of safety (space {space})",
+        ["margin", "partitions", "mean allocations before clash"],
+        [(m, out[m][0], round(out[m][1], 1)) for m in MARGINS],
+    )
+    # More margin => more partitions.
+    assert out[1][0] < out[2][0] < out[3][0]
+    # Every margin still allocates a meaningful number of sessions.
+    assert all(mean > 10 for __, mean in out.values())

@@ -1,0 +1,47 @@
+"""Closed-loop check of eq. 1 against direct simulation.
+
+The paper presents eq. 1 analytically; here we run the process it
+models — m sessions churned through a band with a fraction of
+announcements invisible — and compare the measured no-clash
+probability to the formula.
+"""
+
+from repro.analysis.clash_model import no_clash_probability
+from repro.experiments.lossy_visibility import (
+    simulated_no_clash_probability,
+)
+
+CASES = [
+    # (band size n, sessions m, invisibility fraction f)
+    (500, 100, 0.010),
+    (500, 250, 0.005),
+    (1000, 300, 0.002),
+    (1000, 500, 0.001),
+]
+
+
+def test_eq1_validation(benchmark, record_series, bench_trials):
+    rounds = max(100, 40 * bench_trials)
+
+    def run():
+        rows = []
+        for n, m, f in CASES:
+            simulated, stderr = simulated_no_clash_probability(
+                n, m, f, rounds=rounds, seed=7
+            )
+            predicted = no_clash_probability(n, m, f * m)
+            rows.append((n, m, f, round(predicted, 3),
+                         round(simulated, 3), round(stderr, 3)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "eq1_validation",
+        "Eq. 1 vs simulation — P(no clash over one session lifetime)",
+        ["band n", "sessions m", "invisible f", "eq. 1", "simulated",
+         "stderr"],
+        rows,
+    )
+
+    for __, __, __, predicted, simulated, stderr in rows:
+        assert abs(predicted - simulated) < 4 * stderr + 0.06

@@ -1,0 +1,68 @@
+"""Extension: robustness of the results to mcollect's incompleteness.
+
+The paper's map "is not a complete mapping of all of the Mbone because
+some mrouters do not have unicast routes to the mwatch daemon".  Does
+that matter?  We run the fig. 5 headline comparison on the ground
+truth and on partial maps collected with increasing fractions of
+silent mrouters: the qualitative result (IPR-7 >> R) must survive.
+"""
+
+import numpy as np
+
+from repro.core.iprma import StaticIprmaAllocator
+from repro.core.random_alloc import RandomAllocator
+from repro.experiments.allocation_run import fig5_run
+from repro.experiments.ttl_distributions import DS4
+from repro.routing.scoping import ScopeMap
+from repro.topology.mcollect import McollectProbe
+
+FRACTIONS = (0.0, 0.1, 0.25)
+SPACE = 200
+
+ALGORITHMS = {
+    "R": lambda n, rng: RandomAllocator(n, rng),
+    "IPR 7-band": lambda n, rng: StaticIprmaAllocator.seven_band(n, rng),
+}
+
+
+def test_ext_mcollect_robustness(benchmark, record_series, mbone,
+                                 bench_trials):
+    trials = max(3, bench_trials)
+
+    def run():
+        rows = []
+        for fraction in FRACTIONS:
+            probe = McollectProbe(mbone, unreachable_fraction=fraction,
+                                  rng=np.random.default_rng(50))
+            partial = probe.collect(monitor=0)
+            scope_map = ScopeMap.from_topology(partial)
+            # Decorrelate seeds across fractions: with a shared seed
+            # the TTL draw sequence is identical and the binding event
+            # (the globally-visible band filling) is topology
+            # independent, which makes the rows artificially equal.
+            results = fig5_run(scope_map, ALGORITHMS, [SPACE], [DS4],
+                               trials=trials,
+                               seed=51 + int(fraction * 100))
+            means = {r.algorithm: r.mean_allocations for r in results}
+            rows.append((
+                fraction, partial.num_nodes,
+                round(means["R"], 1), round(means["IPR 7-band"], 1),
+                round(means["IPR 7-band"] / max(1.0, means["R"]), 1),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "ext_mcollect_robustness",
+        f"Extension — fig. 5 headline on partial mcollect maps "
+        f"(space {SPACE}, DS4)",
+        ["silent fraction", "mapped nodes", "R", "IPR 7-band",
+         "advantage"],
+        rows,
+    )
+
+    for fraction, nodes, r_mean, ipr_mean, advantage in rows:
+        # The paper's qualitative conclusion survives map holes.
+        assert advantage > 2.0
+    # Coverage really does shrink.
+    assert rows[-1][1] < rows[0][1]

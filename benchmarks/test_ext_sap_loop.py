@@ -1,0 +1,63 @@
+"""Extension: allocation through the full SAP stack, closed loop.
+
+A flash crowd of sessions is created faster than announcements can
+propagate, so allocation races happen for real; the three-phase clash
+protocol (§3) must detect and repair them.  This validates the whole
+pipeline — allocation assumptions, SAP propagation, clash detection —
+in one experiment the paper only argues piecewise.
+"""
+
+from repro.experiments.sap_in_the_loop import (
+    SapLoopConfig,
+    run_sap_in_the_loop,
+)
+from repro.experiments.ttl_distributions import DS1
+from repro.routing.scoping import ScopeMap
+from repro.topology.mbone import MboneParams, generate_mbone
+
+SEEDS = (2, 3, 4)
+
+
+def test_ext_sap_in_the_loop(benchmark, record_series):
+    topology = generate_mbone(MboneParams(total_nodes=200, seed=5))
+    scope_map = ScopeMap.from_topology(topology)
+
+    def run_variant(enable_protocol: bool):
+        residual = changes = 0
+        for seed in SEEDS:
+            config = SapLoopConfig(
+                num_directories=25, sessions_per_directory=8,
+                space_size=700, strategy="fixed", loss=0.02,
+                inter_arrival=0.005, distribution=DS1, seed=seed,
+                settle_time=600.0,
+                enable_clash_protocol=enable_protocol,
+            )
+            result = run_sap_in_the_loop(topology, scope_map, config)
+            residual += result.residual_clashing_pairs
+            changes += result.address_changes
+        return residual, changes
+
+    def run():
+        return run_variant(True), run_variant(False)
+
+    (with_residual, with_changes), (without_residual, __) = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record_series(
+        "ext_sap_loop",
+        "Extension — flash-crowd allocation over real SAP "
+        f"({len(SEEDS)} runs of 200 sessions, 2% loss)",
+        ["configuration", "residual clashing pairs",
+         "protocol address changes"],
+        [
+            ("three-phase clash protocol ON", with_residual,
+             with_changes),
+            ("clash protocol OFF", without_residual, 0),
+        ],
+    )
+
+    # Races really happen without the protocol...
+    assert without_residual >= 1
+    # ...and the protocol repairs every one of them.
+    assert with_residual == 0
+    assert with_changes >= 1

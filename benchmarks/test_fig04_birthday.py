@@ -1,0 +1,25 @@
+"""Fig. 4: probability of an address clash, random allocation, n=10,000."""
+
+import numpy as np
+
+from repro.analysis.birthday import clash_probability
+
+
+def test_fig04_birthday_curve(benchmark, record_series):
+    ks = np.arange(0, 401, 25)
+
+    def run():
+        return clash_probability(10_000, ks)
+
+    probs = benchmark(run)
+    rows = [(int(k), float(p)) for k, p in zip(ks, probs)]
+    record_series(
+        "fig04_birthday",
+        "Fig. 4 — clash probability, random allocation from 10,000",
+        ["allocations", "clash probability"],
+        rows,
+    )
+    # Shape: ~0 at the origin, ~0.5 near 118, saturating by 400.
+    assert probs[0] == 0.0
+    assert 0.4 < clash_probability(10_000, 118) < 0.6
+    assert probs[-1] > 0.99

@@ -1,0 +1,58 @@
+"""Fig. 5: allocations before the first clash (R, IR, IPR-3, IPR-7).
+
+Paper shape criteria: R and IR scale ~O(sqrt n) and are close to each
+other; IPR 3-band does better but still sub-linear at large n; IPR
+7-band (perfect partitioning) scales ~O(n) and benefits most from
+locally-scoped TTL distributions (ds4 > ds1).
+"""
+
+import numpy as np
+
+from repro.core.informed import InformedRandomAllocator
+from repro.core.iprma import StaticIprmaAllocator
+from repro.core.random_alloc import RandomAllocator
+from repro.experiments.allocation_run import fig5_run
+from repro.experiments.ttl_distributions import ALL_DISTRIBUTIONS
+
+ALGORITHMS = {
+    "R": lambda n, rng: RandomAllocator(n, rng),
+    "IR": lambda n, rng: InformedRandomAllocator(n, rng),
+    "IPR 3-band": lambda n, rng: StaticIprmaAllocator.three_band(n, rng),
+    "IPR 7-band": lambda n, rng: StaticIprmaAllocator.seven_band(n, rng),
+}
+
+
+def test_fig05_allocation_sweep(benchmark, record_series, mbone_scope_map,
+                                space_sizes, bench_trials):
+    def run():
+        return fig5_run(
+            mbone_scope_map, ALGORITHMS, space_sizes,
+            ALL_DISTRIBUTIONS, trials=bench_trials, seed=1998,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "fig05_allocation",
+        "Fig. 5 — mean allocations before first clash "
+        "(log/log in the paper)",
+        ["algorithm", "dist", "space", "allocations"],
+        [(r.algorithm, r.distribution, r.space_size,
+          round(r.mean_allocations, 1)) for r in rows],
+    )
+
+    means = {(r.algorithm, r.distribution, r.space_size):
+             r.mean_allocations for r in rows}
+    lo, hi = space_sizes[0], space_sizes[-1]
+    for dist in ("ds1", "ds4"):
+        # IPR-7 dominates R by a large factor at the top size.
+        assert means[("IPR 7-band", dist, hi)] > \
+            3 * means[("R", dist, hi)]
+        # IR is not a great improvement on R (within ~4x).
+        assert means[("IR", dist, hi)] < 6 * means[("R", dist, hi)]
+    # IPR-7 scales ~linearly: quadrupling space gives ~4x (allow 2.2+).
+    growth = means[("IPR 7-band", "ds4", hi)] / \
+        means[("IPR 7-band", "ds4", lo)]
+    assert growth > 0.55 * (hi / lo)
+    # Local scoping helps: ds4 packs more sessions than ds1 on IPR-7.
+    assert means[("IPR 7-band", "ds4", hi)] > \
+        means[("IPR 7-band", "ds1", hi)]

@@ -1,0 +1,47 @@
+"""Fig. 6: allocations per partition at clash-prob 0.5 vs partition size.
+
+Curves for i = 0.01m, 0.001m, 0.0001m, 0.00001m between the y=x and
+y=sqrt(x) bounds; packing degrades as partitions grow; smaller i is
+markedly better.
+"""
+
+import math
+
+from repro.analysis.clash_model import fig6_series
+
+SIZES = [100, 1000, 10_000, 100_000, 1_000_000]
+FRACTIONS = (0.01, 0.001, 0.0001, 0.00001)
+
+
+def test_fig06_clash_model(benchmark, record_series):
+    curves = benchmark(lambda: fig6_series(SIZES, FRACTIONS))
+
+    rows = []
+    for i, size in enumerate(SIZES):
+        rows.append((
+            size,
+            int(math.isqrt(size)),
+            curves[0.01][i],
+            curves[0.001][i],
+            curves[0.0001][i],
+            curves[0.00001][i],
+            size,
+        ))
+    record_series(
+        "fig06_clash_model",
+        "Fig. 6 — allocations in a partition at clash-prob 0.5",
+        ["space", "sqrt(x) bound", "i=0.01m", "i=0.001m", "i=0.0001m",
+         "i=0.00001m", "y=x bound"],
+        rows,
+    )
+
+    for i, size in enumerate(SIZES):
+        ordered = [curves[f][i] for f in FRACTIONS]
+        # Smaller i packs strictly better, and everything respects y=x.
+        assert ordered == sorted(ordered)
+        assert ordered[-1] <= size
+        assert ordered[0] >= 0.3 * math.sqrt(size)
+    # Packing fraction degrades with partition size (for fixed i).
+    frac_small = curves[0.001][0] / SIZES[0]
+    frac_large = curves[0.001][-1] / SIZES[-1]
+    assert frac_small > frac_large

@@ -1,0 +1,56 @@
+"""Fig. 10 and the §2.4.1 table: Mbone hop counts per TTL scope.
+
+Paper reference values (real 1998 Mbone):
+
+    TTL   typical hops   max hops   usage
+    127   10.6           26         Intercontinental
+    63    7.7            18         International
+    47    7.0            18         National
+    16    3.1            10         Local
+"""
+
+from repro.topology.hopcount import hop_count_distribution, usage_table
+
+
+def test_fig10_hopcount(benchmark, record_series, mbone, mbone_scope_map):
+    stats = benchmark.pedantic(
+        lambda: hop_count_distribution(mbone, scope_map=mbone_scope_map),
+        rounds=1, iterations=1,
+    )
+
+    # Fig. 10: normalised histogram rows (hop -> share) per TTL.
+    hist_rows = []
+    max_len = max(len(s.normalized) for s in stats.values())
+    for hop in range(max_len):
+        row = [hop]
+        for ttl in sorted(stats):
+            norm = stats[ttl].normalized
+            row.append(round(float(norm[hop]), 4) if hop < len(norm)
+                       else 0.0)
+        hist_rows.append(tuple(row))
+    record_series(
+        "fig10_hopcount_hist",
+        "Fig. 10 — normalised mrouter count vs hop distance",
+        ["hops"] + [f"TTL={t}" for t in sorted(stats)],
+        hist_rows,
+    )
+
+    table = usage_table(stats)
+    record_series(
+        "sec241_ttl_table",
+        "§2.4.1 table — typical/maximum hop count per TTL "
+        "(paper: 10.6/26, 7.7/18, 7.0/18, 3.1/10)",
+        ["ttl", "typical hops", "max hops", "usage"],
+        [(r["ttl"], r["typical_hop_count"], r["max_hop_count"],
+          r["example_usage"]) for r in table],
+    )
+
+    # Shape: scopes grow with TTL, all under DVMRP's 32-hop ceiling.
+    assert stats[15].mean_hops < stats[47].mean_hops
+    assert stats[47].mean_hops <= stats[63].mean_hops
+    assert stats[63].mean_hops <= stats[127].mean_hops
+    assert stats[127].max_hops < 32
+    # Rough magnitudes match the paper's table.
+    assert 1.0 < stats[15].mean_hops < 5.0
+    assert 4.0 < stats[63].mean_hops < 11.0
+    assert 6.0 < stats[127].mean_hops < 14.0

@@ -1,0 +1,33 @@
+"""Fig. 11: mapping of TTL values to IPRMA partitions (margin 2).
+
+The paper's rule yields one partition per TTL at the bottom of the
+range, widening towards TTL 255, with ~55 partitions at margin 2 (our
+ceil-based reading gives 54).
+"""
+
+from repro.core.partitions import margin_partition_map
+
+
+def test_fig11_partition_map(benchmark, record_series):
+    pm = benchmark(lambda: margin_partition_map(2))
+
+    rows = []
+    for band in range(pm.num_bands):
+        lo, hi = pm.ttl_range(band)
+        rows.append((band, lo, hi, hi - lo + 1))
+    record_series(
+        "fig11_partitions",
+        f"Fig. 11 — TTL -> partition map, margin 2 "
+        f"({pm.num_bands} partitions; paper: 55)",
+        ["partition", "ttl lo", "ttl hi", "width"],
+        rows,
+    )
+
+    assert 50 <= pm.num_bands <= 58
+    # One TTL per partition at the bottom of the range.
+    assert pm.ttl_range(0) == (1, 1)
+    assert pm.ttl_range(1) == (2, 2)
+    # Highest band narrower than the DVMRP infinity of 32.
+    top_lo, top_hi = pm.ttl_range(pm.num_bands - 1)
+    assert top_hi - top_lo + 1 < 32
+    assert top_hi == 255

@@ -1,0 +1,66 @@
+"""Fig. 13: upper bound on steady-state behaviour (same-site churn).
+
+A removed session is replaced from the same site with the same TTL —
+this "doesn't test the adaptation mechanism itself, but merely the
+limits to how far the mechanism can adapt".  Paper shape: AIPR-1 (20%
+gap) now beats AIPR-2 (50% gap) — gaps are pure overhead when nothing
+moves — and static IPR-7 remains strong.
+
+Known deviation (see EXPERIMENTS.md): at this reduced scale our
+substrate's hop-limited partial scope visibility misaligns band
+geometry across sites, so inter-band gaps still pay for themselves and
+AIPR-2 can edge out AIPR-1; the paper's ordering relies on saturation
+dominating, which needs its full 1864-node map and larger spaces.  The
+bench therefore asserts the robust parts of the shape (scaling with
+space, IPR-7 strength) and records the AIPR-1/AIPR-2 ordering for the
+report rather than asserting it.
+"""
+
+from repro.core.adaptive import AdaptiveIprmaAllocator
+from repro.core.iprma import StaticIprmaAllocator
+from repro.experiments.steady_state import steady_state_sweep
+from repro.experiments.ttl_distributions import DS4
+
+ALGORITHMS = {
+    "AIPR-1 (20% gap)": lambda n, rng: AdaptiveIprmaAllocator.aipr1(
+        n, rng=rng),
+    "AIPR-2 (50% gap)": lambda n, rng: AdaptiveIprmaAllocator.aipr2(
+        n, rng=rng),
+    "IPR 3-band": lambda n, rng: StaticIprmaAllocator.three_band(n, rng),
+    "IPR 7-band": lambda n, rng: StaticIprmaAllocator.seven_band(n, rng),
+}
+
+
+def test_fig13_upper_bound(benchmark, record_series, mbone_scope_map,
+                           space_sizes, bench_trials):
+    trials = max(4, bench_trials)
+
+    def run():
+        return steady_state_sweep(
+            mbone_scope_map, ALGORITHMS, space_sizes, DS4,
+            trials=trials, seed=13, same_site_replacement=True,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "fig13_upper_bound",
+        "Fig. 13 — upper bound (same-site replacement)",
+        ["algorithm", "space", "allocations@0.5"],
+        [(r.algorithm, r.space_size, r.allocations_at_half)
+         for r in rows],
+    )
+
+    values = {(r.algorithm, r.space_size): r.allocations_at_half
+              for r in rows}
+    hi = space_sizes[-1]
+    # Static IPR-7 still performs well.
+    assert values[("IPR 7-band", hi)] >= values[("AIPR-2 (50% gap)", hi)]
+    assert values[("IPR 7-band", hi)] >= values[("AIPR-1 (20% gap)", hi)]
+    # The adaptive schemes scale with space under same-site churn.
+    lo = space_sizes[0]
+    for algo in ("AIPR-1 (20% gap)", "AIPR-2 (50% gap)"):
+        assert values[(algo, hi)] > values[(algo, lo)]
+    # AIPR-1 vs AIPR-2 ordering is substrate-sensitive at reduced
+    # scale (see module docstring); both must be non-trivial.
+    assert values[("AIPR-1 (20% gap)", hi)] > 10
+    assert values[("AIPR-2 (50% gap)", hi)] > 10

@@ -1,0 +1,48 @@
+"""Fig. 14: upper bound on responders, uniform delay interval (eq. 2).
+
+Grid over the number of sites (200..51,200) and D2 (800 ms..204.8 s)
+with R = 200 ms buckets.  Shape: the bound falls with D2 but for large
+site counts only very large D2 approaches one response.
+"""
+
+from repro.analysis.response_bounds import uniform_expected_responses
+
+SITES = [200, 800, 3200, 12_800, 51_200]
+D2_MS = [800, 3200, 12_800, 51_200, 204_800]
+RTT_MS = 200
+
+
+def test_fig14_uniform_bound(benchmark, record_series):
+    def run():
+        table = {}
+        for n in SITES:
+            for d2 in D2_MS:
+                table[(n, d2)] = uniform_expected_responses(
+                    n, max(1, d2 // RTT_MS)
+                )
+        return table
+
+    table = benchmark(run)
+    rows = [
+        tuple([n] + [round(table[(n, d2)], 2) for d2 in D2_MS])
+        for n in SITES
+    ]
+    record_series(
+        "fig14_uniform_bound",
+        "Fig. 14 — expected responders, uniform delay (R = 200 ms)",
+        ["sites"] + [f"D2={d2}ms" for d2 in D2_MS],
+        rows,
+    )
+
+    # Monotone: more buckets, fewer responses; more sites, more.
+    for n in SITES:
+        values = [table[(n, d2)] for d2 in D2_MS]
+        assert values == sorted(values, reverse=True)
+    for d2 in D2_MS:
+        values = [table[(n, d2)] for n in SITES]
+        assert values == sorted(values)
+    # Large groups need enormous D2: at 51,200 sites and D2=51.2 s the
+    # bound is still far above one response...
+    assert table[(51_200, 51_200)] > 100
+    # ...while a small group with the same D2 is fine.
+    assert table[(200, 51_200)] < 2.0

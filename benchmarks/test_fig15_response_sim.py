@@ -1,0 +1,71 @@
+"""Fig. 15: simulated multicast request-response (uniform delay).
+
+Four configurations, as in the paper: A/B shortest-path vs shared tree
+with delay ~ distance, C/D the same with per-packet random jitter.
+Shape: responses fall with D2, grow with the number of sites, and the
+routing choice makes only a small difference.
+"""
+
+import numpy as np
+
+from repro.experiments.request_response import (
+    RequestResponseConfig,
+    simulate_request_response,
+)
+
+D2_VALUES = [0.2, 0.8, 3.2, 12.8, 51.2]
+
+CONFIGS = {
+    "A: spt, delay~dist": dict(routing="spt", jitter=0.0),
+    "B: shared, delay~dist": dict(routing="shared", jitter=0.0),
+    "C: spt, dist+random": dict(routing="spt", jitter=0.02),
+    "D: shared, dist+random": dict(routing="shared", jitter=0.02),
+}
+
+
+def test_fig15_response_simulation(benchmark, record_series,
+                                   doar_topologies, bench_trials):
+    trials = max(5, bench_trials)
+
+    def run():
+        results = {}
+        for label, overrides in CONFIGS.items():
+            for size, doar in doar_topologies.items():
+                for d2 in D2_VALUES:
+                    config = RequestResponseConfig(
+                        d2=d2, timer="uniform", trials=trials, seed=15,
+                        **overrides,
+                    )
+                    results[(label, size, d2)] = \
+                        simulate_request_response(doar, config)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (label, size, d2, round(r.mean_responses, 2))
+        for (label, size, d2), r in sorted(results.items())
+    ]
+    record_series(
+        "fig15_response_sim",
+        "Fig. 15 — simulated responders, uniform delay",
+        ["config", "sites", "D2 (s)", "mean responses"],
+        rows,
+    )
+
+    sizes = sorted(doar_topologies)
+    big = sizes[-1]
+    for label in CONFIGS:
+        # Responses fall monotonically (within noise) with D2.
+        series = [results[(label, big, d2)].mean_responses
+                  for d2 in D2_VALUES]
+        assert series[-1] < series[0]
+        assert series[-1] < 6.0
+        # And grow with the number of sites at small D2.
+        assert results[(label, big, 0.2)].mean_responses >= \
+            results[(label, sizes[0], 0.2)].mean_responses * 0.8
+    # SPT vs shared tree: small difference (within ~3x either way).
+    for d2 in (0.8, 12.8):
+        spt = results[("A: spt, delay~dist", big, d2)].mean_responses
+        shared = results[("B: shared, delay~dist", big,
+                          d2)].mean_responses
+        assert spt / shared < 3.0 and shared / spt < 3.0

@@ -1,0 +1,55 @@
+"""Fig. 16: delay before the first response (uniform delay, SPT).
+
+Shape: the first response arrives after O(D2) for small groups (one
+responder somewhere in the interval) but much sooner for large groups
+(the minimum of many uniform draws), with the maximum delay tracking
+D2.
+"""
+
+from repro.experiments.request_response import (
+    RequestResponseConfig,
+    simulate_request_response,
+)
+
+D2_VALUES = [0.8, 3.2, 12.8, 51.2, 204.8]
+
+
+def test_fig16_first_response_delay(benchmark, record_series,
+                                    doar_topologies, bench_trials):
+    trials = max(5, bench_trials)
+
+    def run():
+        results = {}
+        for size, doar in doar_topologies.items():
+            for d2 in D2_VALUES:
+                config = RequestResponseConfig(
+                    d2=d2, timer="uniform", routing="spt",
+                    trials=trials, seed=16,
+                )
+                results[(size, d2)] = simulate_request_response(doar,
+                                                                config)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "fig16_first_response",
+        "Fig. 16 — time of first response, uniform delay",
+        ["sites", "D2 (s)", "mean delay (s)", "max delay (s)"],
+        [(size, d2, round(r.mean_first_delay, 3),
+          round(r.max_first_delay, 3))
+         for (size, d2), r in sorted(results.items())],
+    )
+
+    sizes = sorted(doar_topologies)
+    small, big = sizes[0], sizes[-1]
+    for size in sizes:
+        # Mean first-response delay grows with D2...
+        series = [results[(size, d2)].mean_first_delay
+                  for d2 in D2_VALUES]
+        assert series[-1] > series[0]
+        # ...and stays below D2 plus propagation.
+        for d2, value in zip(D2_VALUES, series):
+            assert value < d2 + 1.0
+    # Larger groups hear a first response sooner (min of more draws).
+    assert results[(big, 51.2)].mean_first_delay < \
+        results[(small, 51.2)].mean_first_delay

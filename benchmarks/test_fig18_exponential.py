@@ -1,0 +1,69 @@
+"""Fig. 18: responders with an exponential delay interval.
+
+Two series, as in the paper's figure: the analytic expectation from
+eq. 4 and the simulated behaviour of the continuous exponential delay
+on generated topologies.  Shape: a sharp knee — beyond a modest D2 the
+response count sits near the 1/ln 2 ~ 1.44 limit and grows only slowly
+with group size.
+"""
+
+from repro.analysis.response_bounds import (
+    EXPONENTIAL_LIMIT,
+    exponential_expected_responses,
+)
+from repro.experiments.request_response import (
+    RequestResponseConfig,
+    simulate_request_response,
+)
+
+D2_VALUES = [0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6]
+RTT = 0.2
+
+
+def test_fig18_exponential(benchmark, record_series, doar_topologies,
+                           bench_trials):
+    trials = max(5, bench_trials)
+    sizes = sorted(doar_topologies)
+
+    def run():
+        analytic = {}
+        simulated = {}
+        for d2 in D2_VALUES:
+            d = max(1, int(d2 / RTT))
+            for n in sizes:
+                analytic[(n, d2)] = exponential_expected_responses(n, d)
+            for n in sizes:
+                config = RequestResponseConfig(
+                    d2=d2, timer="exponential", routing="spt",
+                    trials=trials, seed=18, rtt_estimate=RTT,
+                )
+                simulated[(n, d2)] = simulate_request_response(
+                    doar_topologies[n], config
+                ).mean_responses
+        return analytic, simulated
+
+    analytic, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n in sizes:
+        for d2 in D2_VALUES:
+            rows.append((n, d2, round(analytic[(n, d2)], 2),
+                         round(simulated[(n, d2)], 2)))
+    record_series(
+        "fig18_exponential",
+        "Fig. 18 — expected vs simulated responders, exponential delay "
+        f"(limit 1/ln2 = {EXPONENTIAL_LIMIT:.3f})",
+        ["sites", "D2 (s)", "eq. 4 bound", "simulated"],
+        rows,
+    )
+
+    big = sizes[-1]
+    # The analytic bound has its sharp knee: large at tiny D2, near the
+    # 1.44 limit by D2 in the seconds.
+    assert analytic[(big, 0.4)] > 10
+    assert analytic[(big, 25.6)] < 2.0
+    # The cut-off moves only slowly with group size.
+    assert analytic[(big, 6.4)] < analytic[(sizes[0], 6.4)] * 3 + 1
+    # Simulation respects the bound's regime (suppression can only
+    # reduce responses further, modulo sampling noise).
+    for n in sizes:
+        assert simulated[(n, 25.6)] < 3.0

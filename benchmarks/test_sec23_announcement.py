@@ -1,0 +1,58 @@
+"""§2.3: announcement delay/loss arithmetic and the 16,496 headline.
+
+Paper values: mean effective delay ~12 s (2% loss, 200 ms e2e, 10-min
+re-announcement); ~0.1% of sessions invisible; ~16,496 concurrent
+sessions for a 65,536-address space in 8 IPRMA partitions at i=0.001m;
+an exponential back-off start (5 s retry) cuts the delay to ~0.3 s.
+"""
+
+from repro.analysis.announcement import (
+    ExponentialBackoffSchedule,
+    invisible_fraction,
+    mean_announcement_delay,
+    paper_two_term_delay,
+)
+from repro.analysis.clash_model import iprma_concurrent_sessions
+
+
+def test_sec23_announcement_numbers(benchmark, record_series):
+    def run():
+        schedule = ExponentialBackoffSchedule()
+        two_term = paper_two_term_delay()
+        geometric = mean_announcement_delay()
+        backoff = schedule.mean_discovery_delay()
+        return {
+            "two_term_delay_s": two_term,
+            "geometric_delay_s": geometric,
+            "invisible_fraction": invisible_fraction(two_term),
+            "backoff_delay_s": backoff,
+            "backoff_i_fraction": schedule.i_fraction(),
+            "iprma_concurrent_sessions": iprma_concurrent_sessions(),
+        }
+
+    values = benchmark(run)
+    record_series(
+        "sec23_announcement",
+        "§2.3 — announcement model (paper values: 12 s, ~0.1%, "
+        "16,496 sessions, ~0.3 s with back-off)",
+        ["quantity", "measured", "paper"],
+        [
+            ("mean delay (10-min fixed interval)",
+             round(values["two_term_delay_s"], 3), "~12 s"),
+            ("mean delay (geometric retransmit)",
+             round(values["geometric_delay_s"], 3), "-"),
+            ("invisible session fraction",
+             round(values["invisible_fraction"], 6), "~0.001"),
+            ("concurrent sessions, 65,536/8 @ i=0.001m",
+             values["iprma_concurrent_sessions"], "16,496"),
+            ("mean delay (5 s exponential back-off)",
+             round(values["backoff_delay_s"], 3), "~0.3 s"),
+            ("back-off i fraction",
+             round(values["backoff_i_fraction"], 7), "~0.00005"),
+        ],
+    )
+
+    assert 11.9 < values["two_term_delay_s"] < 12.5
+    assert 0.0005 < values["invisible_fraction"] < 0.0015
+    assert abs(values["iprma_concurrent_sessions"] - 16_496) < 100
+    assert 0.25 < values["backoff_delay_s"] < 0.35

@@ -1,0 +1,51 @@
+"""§4.1: capacity arithmetic for flat vs hierarchical allocation.
+
+The conclusion's claims, evaluated: flat allocation cannot use the
+2^28 space; with ~10,000-address prefixes allocated on reliable long
+timescales and regional announcements at the address layer, the
+hierarchy makes most of the space usable.
+"""
+
+from repro.analysis.scaling import (
+    FLAT_BAND_BOUND,
+    IPV4_MULTICAST,
+    flat_capacity,
+    hierarchical_capacity,
+    improvement_factor,
+)
+
+SPACES = [65_536, 2 ** 20, 2 ** 24, IPV4_MULTICAST]
+
+
+def test_sec41_capacity(benchmark, record_series):
+    def run():
+        rows = []
+        for space in SPACES:
+            flat = flat_capacity(space, 0.001)
+            hierarchy = hierarchical_capacity(
+                total_space=space,
+                prefix_size=min(FLAT_BAND_BOUND, space),
+            )
+            rows.append((
+                space, flat, round(flat / space, 4),
+                hierarchy.total_sessions,
+                round(hierarchy.total_sessions / space, 4),
+            ))
+        return rows
+
+    rows = benchmark(run)
+    record_series(
+        "sec41_capacity",
+        "§4.1 — concurrent sessions at p(clash)=0.5: flat vs "
+        "hierarchical",
+        ["space", "flat", "flat frac", "hierarchical", "hier frac"],
+        rows,
+    )
+
+    # Flat utilisation collapses with space; hierarchical stays high.
+    flat_fracs = [row[2] for row in rows]
+    hier_fracs = [row[4] for row in rows]
+    assert flat_fracs == sorted(flat_fracs, reverse=True)
+    assert flat_fracs[-1] < 0.01
+    assert hier_fracs[-1] > 0.3
+    assert improvement_factor() > 100

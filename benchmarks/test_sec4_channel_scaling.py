@@ -1,0 +1,54 @@
+"""§4: the announcement-channel scaling argument, quantified.
+
+"As the MBone scales and distinct user groups emerge... the amount of
+bandwidth dedicated to announcements would have to increase
+significantly or the inter-announcement interval would become too long
+to give any kind of assurance of reliability."
+
+This bench sweeps the session population of one SAP channel (classic
+4000 bps budget) and reports the resulting re-announcement interval,
+the eq.-1 invisibility it implies, and the packing a 10,000-address
+partition can then sustain — the end-to-end chain behind the paper's
+conclusion that flat allocation cannot scale.
+"""
+
+from repro.analysis.clash_model import allocations_before_half
+from repro.sap.channel import AnnouncementChannel
+
+POPULATIONS = [10, 100, 1000, 10_000, 100_000]
+PARTITION = 10_000
+
+
+def test_sec4_channel_scaling(benchmark, record_series):
+    def run():
+        rows = []
+        for sessions in POPULATIONS:
+            channel = AnnouncementChannel()
+            for key in range(sessions):
+                channel.register(key)
+            stats = channel.stats()
+            packing = allocations_before_half(
+                PARTITION, stats.invisible_fraction
+            )
+            rows.append((sessions, round(stats.interval, 1),
+                         round(stats.invisible_fraction, 6), packing))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "sec4_channel_scaling",
+        "§4 — SAP channel (4000 bps) interval / invisibility / packing "
+        "vs session population",
+        ["sessions", "interval (s)", "invisible fraction",
+         f"packing in {PARTITION}"],
+        rows,
+    )
+
+    intervals = [row[1] for row in rows]
+    packings = [row[3] for row in rows]
+    # Interval explodes linearly past the floor...
+    assert intervals[0] == 300.0
+    assert intervals[-1] > 100_000
+    # ...and the achievable packing collapses.
+    assert packings[-1] < packings[0] / 3
+    assert all(b <= a for a, b in zip(packings, packings[1:]))

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Allocator shoot-out: a miniature of the paper's fig. 5.
+
+Compares pure random (R), informed random (IR), static IPRMA (3- and
+7-band) and Deterministic Adaptive IPRMA on the same synthetic Mbone:
+how many sessions can each allocate before the first address clash?
+
+Run:  python examples/allocator_shootout.py
+"""
+
+from repro.core.adaptive import AdaptiveIprmaAllocator
+from repro.core.informed import InformedRandomAllocator
+from repro.core.iprma import StaticIprmaAllocator
+from repro.core.random_alloc import RandomAllocator
+from repro.experiments.allocation_run import fig5_run
+from repro.experiments.reporting import print_series
+from repro.experiments.ttl_distributions import DS1, DS4
+from repro.routing.scoping import ScopeMap
+from repro.topology.mbone import MboneParams, generate_mbone
+
+ALGORITHMS = {
+    "R": lambda n, rng: RandomAllocator(n, rng),
+    "IR": lambda n, rng: InformedRandomAllocator(n, rng),
+    "IPR 3-band": lambda n, rng: StaticIprmaAllocator.three_band(n, rng),
+    "IPR 7-band": lambda n, rng: StaticIprmaAllocator.seven_band(n, rng),
+    "AIPR-1": lambda n, rng: AdaptiveIprmaAllocator.aipr1(n, rng=rng),
+}
+
+
+def main() -> None:
+    topology = generate_mbone(MboneParams(total_nodes=300, seed=5))
+    scope_map = ScopeMap.from_topology(topology)
+    print(f"running on {topology} ...")
+
+    rows = fig5_run(
+        scope_map, ALGORITHMS,
+        space_sizes=[100, 200, 400],
+        distributions=[DS1, DS4],
+        trials=3, seed=0,
+    )
+    print_series(
+        "allocations before first clash (mean of 3 trials)",
+        ["algorithm", "ttl distribution", "space size", "allocations"],
+        [(r.algorithm, r.distribution, r.space_size,
+          round(r.mean_allocations, 1)) for r in rows],
+    )
+
+    by_algo = {}
+    for row in rows:
+        if row.distribution == "ds4" and row.space_size == 400:
+            by_algo[row.algorithm] = row.mean_allocations
+    print("\nat space 400, ds4 (locally-scoped sessions):")
+    baseline = by_algo["R"]
+    for name, value in sorted(by_algo.items(), key=lambda kv: kv[1]):
+        print(f"  {name:12s} {value:8.1f}  ({value / baseline:4.1f}x R)")
+    print("\npaper shape: R ~ IR ~ O(sqrt n); IPR 7-band ~ O(n) and")
+    print("benefits most from local scoping; 3-band sits in between.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Scoped conferencing: TTL scoping in action (paper §1).
+
+A university department announces three sessions at different scopes —
+a campus-local seminar (TTL 15), a national working group (TTL 47,
+inside Europe) and an intercontinental conference (TTL 127) — and we
+check who can see what from four observation points: same campus, same
+country, elsewhere in Europe, and North America.
+
+Also demonstrates the asymmetry hazard: a remote high-TTL session can
+invade a local session's scope even though the local announcement
+never reaches the remote site.
+
+Run:  python examples/scoped_conference.py
+"""
+
+import numpy as np
+
+from repro.core.address_space import MulticastAddressSpace
+from repro.core.adaptive import AdaptiveIprmaAllocator
+from repro.sap.directory import SessionDirectory
+from repro.sim.adapters import build_network_stack
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel
+from repro.topology.mbone import MboneParams, generate_mbone
+
+
+def find_node(topology, fragment, exclude=()):
+    """First node whose label contains ``fragment`` (skipping some)."""
+    for node in topology.nodes():
+        if node in exclude:
+            continue
+        if fragment in (topology.label(node) or ""):
+            return node
+    raise LookupError(f"no node labelled with {fragment!r}")
+
+
+def find_big_site(topology, country="europe/uk"):
+    """A site in ``country`` with at least 3 routers."""
+    from collections import Counter
+    sites = Counter()
+    for node in topology.nodes():
+        label = topology.label(node) or ""
+        if label.startswith(country + "/site"):
+            sites[label.rsplit("/", 1)[0]] += 1
+    for site, count in sites.most_common():
+        if count >= 3:
+            return site
+    raise LookupError(f"no multi-router site in {country}")
+
+
+def main() -> None:
+    topology = generate_mbone(MboneParams(total_nodes=400, seed=7))
+    scope_map, __, receiver_map = build_network_stack(topology)
+
+    site = find_big_site(topology)
+    announcer_node = find_node(topology, site + "/r0")
+    observers = {
+        "same campus": find_node(topology, site + "/r",
+                                 exclude={announcer_node}),
+        "same country (UK bb)": find_node(topology, "europe/uk/bb"),
+        "elsewhere in Europe": find_node(topology, "europe/germany/bb"),
+        "North America": find_node(topology, "north-america/usa/bb"),
+    }
+
+    scheduler = EventScheduler()
+    network = NetworkModel(scheduler, receiver_map)
+    space = MulticastAddressSpace.abstract(4096)
+
+    def directory(node, name):
+        return SessionDirectory(
+            node=node, scheduler=scheduler, network=network,
+            allocator=AdaptiveIprmaAllocator.aipr1(
+                space.size, rng=np.random.default_rng(node)),
+            address_space=space, username=name,
+        )
+
+    announcer = directory(announcer_node, "dept")
+    watchers = {label: directory(node, label.split()[0])
+                for label, node in observers.items()}
+
+    sessions = [
+        announcer.create_session("campus seminar", ttl=15),
+        announcer.create_session("national working group", ttl=47),
+        announcer.create_session("intercontinental conf", ttl=127),
+    ]
+    scheduler.run(until=30.0)
+
+    print(f"announcing from node {announcer_node} "
+          f"({topology.label(announcer_node)}):")
+    for session in sessions:
+        print(f"  ttl {session.ttl:3d} -> "
+              f"{space.index_to_ip(session.address)} "
+              f"(scope: {scope_map.scope_size(announcer_node, session.ttl)}"
+              f" nodes)")
+    print()
+    header = f"{'observer':28s}" + "".join(
+        f"ttl={s.ttl:<6d}" for s in sessions
+    )
+    print(header)
+    for label, watcher in watchers.items():
+        seen = {d.name for d in watcher.known_sessions()}
+        marks = "".join(
+            f"{'yes' if s.description.name in seen else '-':10s}"
+            for s in sessions
+        )
+        print(f"{label:28s}{marks}")
+
+    # The TTL asymmetry hazard (paper fig. 9 / §1): a US site sending
+    # at TTL 191 floods the UK campus, clashing with any local session
+    # on the same address — yet it can never hear that local session.
+    us_node = observers["North America"]
+    local = sessions[0]
+    print()
+    print("asymmetry check:")
+    print(f"  US node hears the campus seminar announcement: "
+          f"{scope_map.can_hear(us_node, announcer_node, local.ttl)}")
+    print(f"  but a US TTL-191 session would overlap its scope: "
+          f"{scope_map.scopes_overlap(us_node, 191, announcer_node, local.ttl)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""An sdr-like session browser over the simulated Mbone.
+
+A handful of sites announce a schedule of sessions — some live, some
+upcoming, different scopes and media.  A user's directory at another
+site discovers them over SAP (warm-started from a proxy cache server,
+§2.3) and we browse: what's on now, what's coming up, only video, and
+a text search — the queries the sdr tool offered.
+
+Run:  python examples/session_browser.py
+"""
+
+import numpy as np
+
+from repro.core.address_space import MulticastAddressSpace
+from repro.core.iprma import StaticIprmaAllocator
+from repro.sap.browser import SessionBrowser
+from repro.sap.cache_server import ProxyCacheServer
+from repro.sap.directory import SessionDirectory
+from repro.sap.sdp import MediaStream
+from repro.sim.adapters import build_network_stack
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel
+from repro.topology.mbone import MboneParams, generate_mbone
+
+SPACE = MulticastAddressSpace.abstract(2048)
+
+
+def main() -> None:
+    topology = generate_mbone(MboneParams(total_nodes=200, seed=11))
+    __, __, receiver_map = build_network_stack(topology)
+    scheduler = EventScheduler()
+    network = NetworkModel(scheduler, receiver_map, loss_rate=0.02)
+
+    def directory(node, name):
+        rng = np.random.default_rng(node)
+        return SessionDirectory(
+            node, scheduler, network,
+            StaticIprmaAllocator.seven_band(SPACE.size, rng), SPACE,
+            username=name, rng=rng,
+        )
+
+    # A site-local proxy cache server listens from the start (§2.3's
+    # "local caching servers").
+    proxy = ProxyCacheServer(node=100, scheduler=scheduler,
+                             network=network)
+
+    # Content providers around the world.
+    isi = directory(0, "isi")
+    ucl = directory(60, "ucl")
+    kth = directory(90, "kth")
+    now = 1_000_000  # pretend NTP-ish wall-clock seconds
+
+    isi.create_session(
+        "Systems seminar", ttl=127, info="weekly systems talk",
+        media=[MediaStream("audio", 49170),
+               MediaStream("video", 51372)],
+        start=now - 600, stop=now + 3000,
+    )
+    isi.create_session(
+        "Radio Free vat", ttl=127, info="ambient audio",
+        media=[MediaStream("audio", 20000)],
+    )
+    ucl.create_session(
+        "MICE project meeting", ttl=127, info="project partners",
+        media=[MediaStream("audio", 30000),
+               MediaStream("video", 30002)],
+        start=now + 7200, stop=now + 10800,
+    )
+    ucl.create_session(
+        "UCL CS staff meeting", ttl=47, info="UK only",
+        media=[MediaStream("audio", 31000)],
+    )
+    kth.create_session(
+        "Lunch concert", ttl=63,
+        media=[MediaStream("audio", 40000)],
+        start=now - 100, stop=now + 1700,
+    )
+
+    scheduler.run(until=30.0)
+
+    # The proxy heard everything, so the user's freshly started
+    # directory starts complete.
+    user = directory(101, "user")
+    transferred = proxy.sync_directory(user)
+    browser = SessionBrowser(user)
+    print(f"warm start: {transferred} sessions from the proxy cache\n")
+
+    def show(title, rows):
+        print(f"{title}:")
+        if not rows:
+            print("   (none)")
+        for row in rows:
+            media = "+".join(s.media for s in row.description.media)
+            print(f"   {row.name:24s} ttl={row.ttl:<4d} {media}")
+        print()
+
+    show("all known sessions", browser.entries())
+    show("on the air now", browser.active(now=now))
+    show("coming up", browser.upcoming(now=now))
+    show("video sessions", browser.with_media("video"))
+    show("search 'seminar'", browser.search("seminar"))
+    show("European scope or narrower (ttl <= 63)", browser.by_scope(63))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+environments without the ``wheel`` package (where PEP 660 editable
+installs fail with "invalid command 'bdist_wheel'") can still install
+with ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

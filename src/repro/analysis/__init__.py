@@ -1,0 +1,50 @@
+"""Closed-form models from the paper.
+
+* :mod:`repro.analysis.birthday` — the birthday-problem clash curve of
+  fig. 4.
+* :mod:`repro.analysis.clash_model` — eq. 1 and fig. 6: clash
+  probability of a partially-informed allocator with invisibly
+  allocated addresses.
+* :mod:`repro.analysis.announcement` — the §2.3 arithmetic: mean
+  announcement propagation delay under loss, invisible-session
+  fraction, exponential back-off schedules.
+* :mod:`repro.analysis.response_bounds` — eqs. 2 and 4: upper bounds on
+  the number of responders in the multicast request-response protocol
+  for uniform and exponential random delays (figs. 14 and 18).
+"""
+
+from repro.analysis.announcement import (
+    ExponentialBackoffSchedule,
+    invisible_fraction,
+    mean_announcement_delay,
+)
+from repro.analysis.birthday import (
+    allocations_for_clash_probability,
+    clash_probability,
+    expected_allocations_before_clash,
+)
+from repro.analysis.clash_model import (
+    allocations_before_half,
+    no_clash_probability,
+    single_allocation_no_clash,
+)
+from repro.analysis.response_bounds import (
+    exponential_delay_sample,
+    exponential_expected_responses,
+    uniform_expected_responses,
+)
+
+__all__ = [
+    "ExponentialBackoffSchedule",
+    "allocations_before_half",
+    "allocations_for_clash_probability",
+    "clash_probability",
+    "expected_allocations_before_clash",
+    "exponential_delay_sample",
+    "exponential_expected_responses",
+    "invisible_fraction",
+    "mean_announcement_delay",
+    "no_clash_probability",
+    "single_allocation_no_clash",
+    "uniform_expected_responses",
+]

@@ -1,0 +1,111 @@
+"""Equation 1 and figure 6: informed allocation with invisible sessions.
+
+Within one perfectly-partitioned IPRMA band of ``n`` addresses holding
+``m`` allocated sessions, of which ``i`` are *invisibly* allocated (the
+allocator has not yet heard their announcements because of propagation
+delay and loss), the probability that a single new allocation does not
+clash is::
+
+    c_m = (n - m) / (n + i - m)                                (paper)
+
+— the allocator picks uniformly among the ``n - m + i`` addresses it
+*believes* free, of which ``i`` are actually in use... more precisely
+the paper counts ``n - m`` genuinely free addresses out of the
+``n - (m - i)`` the allocator sees as free.  Over the mean lifetime of
+a session (m allocations replaced), assuming m constant::
+
+    p_m = ((n - m) / (n + i - m)) ** m                         (eq. 1)
+
+Fig. 6 plots, against the band size ``n``, the largest ``m`` for which
+``p_m >= 0.5`` for several invisibility fractions ``i = f * m``, along
+with the bounds y = x (perfect information) and y = sqrt(x) (pure
+random / birthday regime).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def single_allocation_no_clash(n: int, m: float, i: float) -> float:
+    """``c_m``: probability one new allocation avoids all clashes."""
+    _validate(n, m, i)
+    if m >= n:
+        return 0.0
+    return (n - m) / (n + i - m)
+
+
+def no_clash_probability(n: int, m: float, i: float) -> float:
+    """``p_m`` of eq. 1: no clash during one mean session lifetime."""
+    _validate(n, m, i)
+    if m <= 0:
+        return 1.0
+    if m >= n:
+        return 0.0
+    # m * log(c) in the log domain for numeric headroom at large m.
+    log_c = math.log(n - m) - math.log(n + i - m)
+    return math.exp(m * log_c)
+
+
+def allocations_before_half(n: int, i_fraction: float,
+                            threshold: float = 0.5) -> int:
+    """Largest ``m`` with ``p_m >= threshold`` when ``i = i_fraction*m``.
+
+    This is one point of a fig. 6 curve.
+
+    Args:
+        n: addresses in the partition.
+        i_fraction: invisible fraction ``f`` so that ``i = f * m``.
+        threshold: clash-probability criterion (paper uses 0.5, i.e.
+            no-clash probability >= 0.5).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive: {n}")
+    if i_fraction < 0:
+        raise ValueError(f"i_fraction must be >= 0: {i_fraction}")
+    lo, hi = 0, n - 1
+    # p_m decreases in m (fewer free addresses, more invisible ones),
+    # so binary search finds the boundary.
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if no_clash_probability(n, mid, i_fraction * mid) >= threshold:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def iprma_concurrent_sessions(space_size: int = 65_536,
+                              partitions: int = 8,
+                              i_fraction: float = 0.001) -> int:
+    """The §2.3 headline number.
+
+    "With an address space of 65536 addresses partitioned into 8 equal
+    regions, and even distribution of sessions ... across the TTL
+    regions, IPRMA gives us a total of approximately 16496 concurrent
+    sessions as seen from each site before the probability of a clash
+    exceeds 0.5."
+    """
+    per_partition = allocations_before_half(space_size // partitions,
+                                            i_fraction)
+    return partitions * per_partition
+
+
+def fig6_series(sizes: Sequence[int],
+                i_fractions: Sequence[float] = (
+                    0.01, 0.001, 0.0001, 0.00001,
+                )) -> Dict[float, List[int]]:
+    """The fig. 6 curves: m at p=0.5 for each size, per i fraction."""
+    return {
+        fraction: [allocations_before_half(size, fraction)
+                   for size in sizes]
+        for fraction in i_fractions
+    }
+
+
+def _validate(n: int, m: float, i: float) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be positive: {n}")
+    if m < 0 or i < 0:
+        raise ValueError(f"m and i must be >= 0: m={m}, i={i}")

@@ -1,0 +1,205 @@
+"""Equations 2 and 4: responder-count bounds (figs. 14 and 18).
+
+Setting (paper §3): a clash report is multicast; each of ``n``
+potential responders delays its response by a random amount and
+cancels if it hears someone else respond first.  With maximum RTT
+``R``, divide the delay interval [D1, D2] into ``d`` buckets of size
+``R``.  A response in bucket ``b`` suppresses all later buckets but
+nothing within its own bucket, so the expected number of responses is
+the expected occupancy of the earliest non-empty bucket — an *upper*
+bound on the real protocol (which also gets within-bucket suppression
+and shorter RTTs).
+
+Uniform delays (eq. 2): bucket probabilities are equal.  The paper's
+double sum collapses (via ``sum_k k*C(n,k)*x^(n-k) = n*(x+1)^(n-1)``)
+to::
+
+    E(n, d) = n / d^n * sum_{m=1}^{d} m^(n-1)
+
+Exponential delays (eq. 4): bucket ``b`` is twice as probable as
+bucket ``b-1`` — equivalently uniform over ``2^d - 1`` sub-buckets,
+bucket ``b`` owning ``2^(b-1)`` of them (fig. 17).  The double sum
+collapses the same way to::
+
+    E(n, d) = n / T^n * sum_{b=1}^{d} w_b * (T - w_b + 1)^(n-1)
+
+with ``w_b = 2^(b-1)`` and ``T = 2^d - 1``.  As n grows this tends to
+1/ln 2 ~= 1.4427 responses — "the small price we pay for using an
+exponential".
+
+Both collapsed forms are validated against the paper's explicit double
+sums in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: n -> infinity limit of the exponential bound (1 / ln 2).
+EXPONENTIAL_LIMIT = 1.0 / math.log(2.0)
+
+
+def uniform_expected_responses(n: int, d: int) -> float:
+    """Eq. 2 (collapsed): expected responders, uniform delay buckets.
+
+    Args:
+        n: number of potential responders.
+        d: number of delay buckets, ``(D2 - D1) / R``.
+    """
+    _validate(n, d)
+    m = np.arange(1, d + 1, dtype=np.float64)
+    # n * sum (m/d)^(n-1) / d, computed in the log domain.
+    log_terms = (n - 1) * np.log(m / d) - math.log(d)
+    return float(n * np.exp(log_terms).sum())
+
+
+def uniform_double_sum(n: int, d: int) -> float:
+    """Eq. 2 exactly as printed (for validating the collapsed form).
+
+    O(n*d) term evaluation — use small n, d.
+    """
+    _validate(n, d)
+    total = 0.0
+    for b in range(1, d + 1):
+        for k in range(1, n + 1):
+            # P(min-occupied bucket is b with k packets):
+            # C(n,k) * (d-b)^(n-k) / d^n
+            if d - b == 0 and n - k > 0:
+                continue
+            log_p = (
+                _log_choose(n, k)
+                + (n - k) * (math.log(d - b) if d - b > 0 else 0.0)
+                - n * math.log(d)
+            )
+            total += k * math.exp(log_p)
+    return total
+
+
+def exponential_expected_responses(n: int, d: int) -> float:
+    """Eq. 4 (collapsed): expected responders, doubling delay buckets.
+
+    Args:
+        n: number of potential responders.
+        d: number of buckets; bucket b has probability 2^(b-1)/(2^d-1).
+    """
+    _validate(n, d)
+    ln2 = math.log(2.0)
+    # ln T = ln(2^d - 1), stable for large d.
+    log_t = d * ln2 + math.log1p(-math.pow(2.0, -d))
+    total = 0.0
+    for b in range(1, d + 1):
+        log_w = (b - 1) * ln2
+        # ln(T - w_b + 1) = ln T + log1p(-(w_b - 1)/T)
+        frac = _pow2_ratio(b - 1, d)  # (2^(b-1) - 1) / (2^d - 1)
+        log_rest = log_t + math.log1p(-frac)
+        log_term = math.log(n) + log_w + (n - 1) * log_rest - n * log_t
+        total += math.exp(log_term)
+    return total
+
+
+def exponential_double_sum(n: int, d: int) -> float:
+    """Eq. 4 exactly as printed (for validating the collapsed form)."""
+    _validate(n, d)
+    if d > 50:
+        raise ValueError("double sum form only for small d")
+    t = 2 ** d - 1
+    total = 0.0
+    for b in range(1, d + 1):
+        w = 2 ** (b - 1)
+        # P(min bucket b, count k) = C(n,k) w^k after^(n-k) / t^n:
+        # k packets in bucket b's w sub-buckets, the rest in buckets
+        # strictly after b, which hold t - (2^b - 1) sub-buckets.
+        after = t - (2 ** b - 1)
+        for k in range(1, n + 1):
+            if after == 0 and n - k > 0:
+                continue
+            log_p = (
+                _log_choose(n, k)
+                + k * math.log(w)
+                + (n - k) * (math.log(after) if after > 0 else 0.0)
+                - n * math.log(t)
+            )
+            total += k * math.exp(log_p)
+    return total
+
+
+def uniform_delay_sample(x: float, d1: float, d2: float) -> float:
+    """Uniform response delay: D = D1 + x*(D2 - D1), x ~ U[0,1]."""
+    _validate_interval(d1, d2)
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1]: {x}")
+    return d1 + x * (d2 - d1)
+
+
+def exponential_delay_sample(x: float, d1: float, d2: float,
+                             rtt: float) -> float:
+    """Exponential response delay (paper's continuous form).
+
+    ``D = D1 + r * log2(x * (2^d - 1) + 1)`` with ``d = (D2 - D1)/r``;
+    early delays are exponentially less likely than late ones, so the
+    earliest non-empty "bucket" is lightly occupied.
+
+    Args:
+        x: uniform random number in [0, 1].
+        d1: minimum delay D1.
+        d2: maximum delay D2.
+        rtt: the bucket width r (maximum round-trip time estimate).
+    """
+    _validate_interval(d1, d2)
+    if rtt <= 0:
+        raise ValueError(f"rtt must be positive: {rtt}")
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1]: {x}")
+    d = (d2 - d1) / rtt
+    # x*(2^d - 1) + 1 in the log domain: for large d, 2^d overflows a
+    # float at ~1024; work with log2 directly.
+    if d < 500:
+        return d1 + rtt * math.log2(x * (2.0 ** d - 1.0) + 1.0)
+    # log2(x * 2^d + (1 - x)) ~= d + log2(x) for x > 0.
+    if x <= 0.0:
+        return d1
+    return d1 + rtt * (d + math.log2(x))
+
+
+def exponential_delay_array(x: np.ndarray, d1: float, d2: float,
+                            rtt: float) -> np.ndarray:
+    """Vectorised :func:`exponential_delay_sample`."""
+    _validate_interval(d1, d2)
+    if rtt <= 0:
+        raise ValueError(f"rtt must be positive: {rtt}")
+    x = np.asarray(x, dtype=np.float64)
+    d = (d2 - d1) / rtt
+    if d < 500:
+        return d1 + rtt * np.log2(x * (2.0 ** d - 1.0) + 1.0)
+    out = np.full_like(x, d1)
+    positive = x > 0
+    out[positive] = d1 + rtt * (d + np.log2(x[positive]))
+    return out
+
+
+def _pow2_ratio(a: int, d: int) -> float:
+    """(2^a - 1) / (2^d - 1) without overflow for large exponents."""
+    if a <= 0:
+        return 0.0
+    if d < 1000:
+        return (2.0 ** a - 1.0) / (2.0 ** d - 1.0)
+    return 2.0 ** (a - d)
+
+
+def _log_choose(n: int, k: int) -> float:
+    return (math.lgamma(n + 1) - math.lgamma(k + 1)
+            - math.lgamma(n - k + 1))
+
+
+def _validate(n: int, d: int) -> None:
+    if n < 1:
+        raise ValueError(f"need at least one responder, got n={n}")
+    if d < 1:
+        raise ValueError(f"need at least one bucket, got d={d}")
+
+
+def _validate_interval(d1: float, d2: float) -> None:
+    if d1 < 0 or d2 < d1:
+        raise ValueError(f"need 0 <= D1 <= D2, got D1={d1}, D2={d2}")

@@ -1,0 +1,102 @@
+"""Capacity arithmetic for the §4.1 hierarchical proposal.
+
+The conclusion's quantitative claims:
+
+* "even a good session announcement mechanism with a perfect version
+  of IPRMA cannot expect to allocate an address space of 270 million
+  addresses effectively.  It could probably allocate an address space
+  of 65,536 addresses";
+* "an address allocation scheme similar to the one described here can
+  be used to allocate addresses from a space of up to 10,000
+  addresses - the work in this paper implies that this is a reasonable
+  bound on flat address space allocation";
+* prefixes are allocated on long timescales, so prefix-level
+  invisibility is tiny and the prefix layer packs nearly perfectly.
+
+This module turns those claims into a calculator: given the flat-band
+bound, an invisibility fraction per layer and the total space, how
+many concurrent sessions can the flat scheme vs the two-level scheme
+sustain at the paper's clash-probability-0.5 criterion?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.clash_model import allocations_before_half
+
+#: The paper's flat-allocation bound (§4.1).
+FLAT_BAND_BOUND = 10_000
+#: Total IPv4 multicast addresses.
+IPV4_MULTICAST = 2 ** 28
+
+
+@dataclass(frozen=True)
+class HierarchyCapacity:
+    """Capacity estimate for one configuration."""
+
+    total_space: int
+    prefixes: int
+    prefix_size: int
+    prefixes_usable: int
+    sessions_per_prefix: int
+    total_sessions: int
+
+
+def flat_capacity(space_size: int, i_fraction: float) -> int:
+    """Concurrent sessions a flat allocator sustains at p(clash)=0.5.
+
+    Applies the fig. 6 model directly to the whole space (one band).
+    """
+    if space_size <= 0:
+        raise ValueError(f"space_size must be positive: {space_size}")
+    return allocations_before_half(space_size, i_fraction)
+
+
+def hierarchical_capacity(total_space: int = IPV4_MULTICAST,
+                          prefix_size: int = FLAT_BAND_BOUND,
+                          address_i_fraction: float = 0.00005,
+                          prefix_i_fraction: float = 0.000001
+                          ) -> HierarchyCapacity:
+    """Capacity of the §4.1 two-level scheme.
+
+    Args:
+        total_space: the space the prefix layer manages.
+        prefix_size: addresses per prefix (the paper's flat bound).
+        address_i_fraction: invisibility at the address layer
+            (regional announcements, back-off: the paper's 0.00005).
+        prefix_i_fraction: invisibility at the prefix layer (long
+            timescales over reliable routing exchanges: near zero).
+
+    Returns:
+        A :class:`HierarchyCapacity`; ``total_sessions`` is the
+        headline number.
+    """
+    if prefix_size <= 0 or total_space < prefix_size:
+        raise ValueError("need 0 < prefix_size <= total_space")
+    prefixes = total_space // prefix_size
+    # The prefix layer is itself an informed allocation problem over
+    # `prefixes` slots; how many can be claimed before prefix clashes?
+    prefixes_usable = allocations_before_half(prefixes,
+                                              prefix_i_fraction)
+    sessions_per_prefix = allocations_before_half(prefix_size,
+                                                  address_i_fraction)
+    return HierarchyCapacity(
+        total_space=total_space,
+        prefixes=prefixes,
+        prefix_size=prefix_size,
+        prefixes_usable=prefixes_usable,
+        sessions_per_prefix=sessions_per_prefix,
+        total_sessions=prefixes_usable * sessions_per_prefix,
+    )
+
+
+def improvement_factor(total_space: int = IPV4_MULTICAST,
+                       flat_i_fraction: float = 0.001,
+                       **hierarchy_kwargs) -> float:
+    """How many times more sessions the hierarchy sustains than flat
+    allocation over the same space."""
+    flat = flat_capacity(total_space, flat_i_fraction)
+    hierarchical = hierarchical_capacity(total_space,
+                                         **hierarchy_kwargs)
+    return hierarchical.total_sessions / max(1, flat)

@@ -1,0 +1,161 @@
+"""Allocator interface and shared helpers.
+
+An allocator runs at one site.  Its entire knowledge of the world is
+the set of sessions *visible* there — those whose SAP announcements
+reach the site (scope-limited, possibly delayed or lost).  Given that
+view and a requested TTL it picks a group address.
+
+All algorithms share this contract, which is what lets the simulation
+harnesses of figs. 5/12/13 swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.session import Session
+
+
+@dataclass
+class VisibleSet:
+    """The (address, ttl) pairs of sessions visible at a site.
+
+    Stored as parallel numpy arrays so that allocators can filter and
+    count in vectorised form.
+    """
+
+    addresses: np.ndarray
+    ttls: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.addresses = np.asarray(self.addresses, dtype=np.int64)
+        self.ttls = np.asarray(self.ttls, dtype=np.int64)
+        if self.addresses.shape != self.ttls.shape:
+            raise ValueError("addresses and ttls must align")
+
+    @classmethod
+    def empty(cls) -> "VisibleSet":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_sessions(cls, sessions: Iterable[Session]) -> "VisibleSet":
+        sessions = list(sessions)
+        return cls(
+            np.array([s.address for s in sessions], dtype=np.int64),
+            np.array([s.ttl for s in sessions], dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return int(self.addresses.shape[0])
+
+    def used_addresses(self) -> np.ndarray:
+        """Sorted unique addresses in use (any TTL)."""
+        return np.unique(self.addresses)
+
+    def in_address_range(self, lo: int, hi: int) -> "VisibleSet":
+        """Subset with ``lo <= address < hi``."""
+        mask = (self.addresses >= lo) & (self.addresses < hi)
+        return VisibleSet(self.addresses[mask], self.ttls[mask])
+
+    def with_ttl_at_least(self, ttl: int) -> "VisibleSet":
+        """Subset with ``ttl >= ttl`` (Deterministic Adaptive IPRMA)."""
+        mask = self.ttls >= ttl
+        return VisibleSet(self.addresses[mask], self.ttls[mask])
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of one allocation.
+
+    Attributes:
+        address: the chosen address (index into the space).
+        band: band index the allocator used, if partitioned.
+        informed: True if known-used addresses were excluded.
+        forced: True if no free address was known and the allocator had
+            to pick among possibly-used ones (a likely clash).
+    """
+
+    address: int
+    band: Optional[int] = None
+    informed: bool = True
+    forced: bool = False
+
+
+class Allocator(abc.ABC):
+    """Base class for all allocation algorithms.
+
+    Args:
+        space_size: number of addresses in the allocation space.
+        rng: numpy Generator; a fresh default one is made if omitted.
+    """
+
+    #: short name used in experiment output ("R", "IR", "IPR 3-band"...)
+    name: str = "base"
+
+    def __init__(self, space_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if space_size <= 0:
+            raise ValueError(f"space_size must be positive: {space_size}")
+        self.space_size = int(space_size)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.forced_allocations = 0
+
+    @abc.abstractmethod
+    def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
+        """Pick an address for a new session with scope ``ttl``."""
+
+    def _check_ttl(self, ttl: int) -> None:
+        if not 1 <= ttl <= 255:
+            raise ValueError(f"ttl {ttl} outside [1, 255]")
+
+    def _informed_pick(self, visible: VisibleSet, lo: int, hi: int,
+                       band: Optional[int] = None) -> AllocationResult:
+        """Informed-random choice within ``[lo, hi)``.
+
+        Avoids every address visible in the range; if the range is
+        fully occupied (as far as this site knows), falls back to a
+        uniform pick — the allocation still has to happen, the paper's
+        simulations then count the resulting clash.
+        """
+        used = np.unique(
+            visible.in_address_range(lo, hi).addresses
+        )
+        free = (hi - lo) - len(used)
+        if free <= 0:
+            self.forced_allocations += 1
+            address = int(self.rng.integers(lo, hi))
+            return AllocationResult(address, band=band, informed=False,
+                                    forced=True)
+        r = int(self.rng.integers(0, free))
+        address = nth_free_address(used, r, lo, hi)
+        return AllocationResult(address, band=band, informed=True,
+                                forced=False)
+
+
+def nth_free_address(used_sorted: np.ndarray, r: int, lo: int,
+                     hi: int) -> int:
+    """The ``r``-th (0-based) address of ``[lo, hi)`` not in use.
+
+    Args:
+        used_sorted: sorted unique used addresses, all within [lo, hi).
+        r: rank among free addresses; must satisfy
+            ``0 <= r < (hi - lo) - len(used_sorted)``.
+
+    Uses fixed-point iteration on ``x = lo + r + #used <= x``; the
+    candidate is non-decreasing, so it terminates in at most
+    ``len(used_sorted)`` steps (typically 2-3).
+    """
+    free_total = (hi - lo) - len(used_sorted)
+    if not 0 <= r < free_total:
+        raise ValueError(f"rank {r} outside free count {free_total}")
+    x = lo + r
+    while True:
+        skipped = int(np.searchsorted(used_sorted, x, side="right"))
+        candidate = lo + r + skipped
+        if candidate == x:
+            return x
+        x = candidate

@@ -1,0 +1,142 @@
+"""CIDR-style multicast address blocks.
+
+The §4.1 hierarchy deals in address *prefixes*.  This module provides
+proper prefix arithmetic over IPv4 multicast space — power-of-two
+aligned blocks with prefix notation, subdivision, supernets and
+containment — so prefix allocation can speak the same language as the
+routing protocols (BGMP carried prefixes) that the paper planned to
+piggyback on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.address_space import (
+    MULTICAST_BASE,
+    MULTICAST_END,
+    int_to_ip,
+    ip_to_int,
+)
+
+
+@dataclass(frozen=True, order=True)
+class AddressBlock:
+    """A power-of-two aligned block ``base/prefix_len``.
+
+    Attributes:
+        base: first address (32-bit int), aligned to the block size.
+        prefix_len: CIDR prefix length, 4..32 (4 = all of multicast).
+    """
+
+    base: int
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.prefix_len <= 32:
+            raise ValueError(
+                f"prefix length {self.prefix_len} outside [4, 32]"
+            )
+        if self.base % self.size != 0:
+            raise ValueError(
+                f"base {int_to_ip(self.base)} not aligned to "
+                f"/{self.prefix_len}"
+            )
+        if not MULTICAST_BASE <= self.base < MULTICAST_END:
+            raise ValueError(
+                f"{int_to_ip(self.base)} is not multicast space"
+            )
+        if self.base + self.size > MULTICAST_END:
+            raise ValueError("block extends past multicast space")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "AddressBlock":
+        """Parse ``"224.2.128.0/17"`` notation."""
+        if "/" not in text:
+            raise ValueError(f"missing prefix length in {text!r}")
+        address, __, length = text.partition("/")
+        return cls(ip_to_int(address), int(length))
+
+    @classmethod
+    def all_multicast(cls) -> "AddressBlock":
+        """224.0.0.0/4 — the whole space."""
+        return cls(MULTICAST_BASE, 4)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.prefix_len)
+
+    @property
+    def last(self) -> int:
+        return self.base + self.size - 1
+
+    def contains_address(self, address: int) -> bool:
+        return self.base <= address <= self.last
+
+    def contains_block(self, other: "AddressBlock") -> bool:
+        return (self.base <= other.base
+                and other.last <= self.last)
+
+    def overlaps(self, other: "AddressBlock") -> bool:
+        return self.base <= other.last and other.base <= self.last
+
+    # ------------------------------------------------------------------
+    # Subdivision
+    # ------------------------------------------------------------------
+    def children(self) -> List["AddressBlock"]:
+        """The two halves, one prefix bit longer.
+
+        Raises:
+            ValueError: for /32 blocks (single addresses).
+        """
+        if self.prefix_len == 32:
+            raise ValueError("cannot split a /32")
+        half = AddressBlock(self.base, self.prefix_len + 1)
+        sibling = AddressBlock(self.base + half.size,
+                               self.prefix_len + 1)
+        return [half, sibling]
+
+    def supernet(self) -> "AddressBlock":
+        """The enclosing block one prefix bit shorter.
+
+        Raises:
+            ValueError: for the /4 root.
+        """
+        if self.prefix_len == 4:
+            raise ValueError("224.0.0.0/4 has no multicast supernet")
+        parent_len = self.prefix_len - 1
+        parent_size = 1 << (32 - parent_len)
+        return AddressBlock(self.base - self.base % parent_size,
+                            parent_len)
+
+    def subblocks(self, prefix_len: int) -> Iterator["AddressBlock"]:
+        """All sub-blocks of this block at ``prefix_len``."""
+        if prefix_len < self.prefix_len:
+            raise ValueError(
+                f"/{prefix_len} is larger than this /{self.prefix_len}"
+            )
+        step = 1 << (32 - prefix_len)
+        for base in range(self.base, self.base + self.size, step):
+            yield AddressBlock(base, prefix_len)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.base)}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"AddressBlock({self})"
+
+
+def block_for(address: int, prefix_len: int) -> AddressBlock:
+    """The /prefix_len block containing ``address``."""
+    size = 1 << (32 - prefix_len)
+    return AddressBlock(address - address % size, prefix_len)

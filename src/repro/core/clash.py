@@ -1,0 +1,99 @@
+"""Address clash detection (paper §3 preliminaries).
+
+Two sessions *clash* when they use the same group address and their
+data scopes intersect somewhere in the network — a receiver inside the
+intersection gets both sessions' traffic on one address.  Note the TTL
+asymmetry (§1): the clash can exist even though neither announcing site
+hears the other's announcement.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.session import Session
+from repro.routing.scoping import ScopeMap
+
+
+def sessions_clash(a: Session, b: Session, scope_map: ScopeMap) -> bool:
+    """True if ``a`` and ``b`` collide on address and overlapping scope."""
+    if a.address != b.address:
+        return False
+    return scope_map.scopes_overlap(a.source, a.ttl, b.source, b.ttl)
+
+
+def clashes_with_any(new: Session, existing: Iterable[Session],
+                     scope_map: ScopeMap) -> bool:
+    """True if ``new`` clashes with any session in ``existing``.
+
+    Only sessions sharing the new session's address are scope-checked,
+    so keep ``existing`` pre-filtered by address where possible.
+    """
+    for other in existing:
+        if sessions_clash(new, other, scope_map):
+            return True
+    return False
+
+
+def find_clashing_pairs(sessions: Sequence[Session],
+                        scope_map: ScopeMap) -> List[Tuple[int, int]]:
+    """All clashing index pairs (i < j) within ``sessions``."""
+    by_address: Dict[int, List[int]] = defaultdict(list)
+    for idx, session in enumerate(sessions):
+        by_address[session.address].append(idx)
+    pairs: List[Tuple[int, int]] = []
+    for indices in by_address.values():
+        for pos, i in enumerate(indices):
+            for j in indices[pos + 1:]:
+                if scope_map.scopes_overlap(
+                    sessions[i].source, sessions[i].ttl,
+                    sessions[j].source, sessions[j].ttl,
+                ):
+                    pairs.append((i, j))
+    return pairs
+
+
+class AddressUsageIndex:
+    """Mutable index of live sessions keyed by address.
+
+    The steady-state experiments add and remove thousands of sessions;
+    this keeps clash checks O(sessions sharing the address) instead of
+    O(all sessions).
+    """
+
+    def __init__(self) -> None:
+        self._by_address: Dict[int, List[Session]] = defaultdict(list)
+        self._count = 0
+
+    def add(self, session: Session) -> None:
+        self._by_address[session.address].append(session)
+        self._count += 1
+
+    def remove(self, session: Session) -> None:
+        """Remove by identity key.
+
+        Raises:
+            KeyError: if the session is not present.
+        """
+        bucket = self._by_address.get(session.address, [])
+        for i, existing in enumerate(bucket):
+            if existing.key() == session.key():
+                bucket.pop(i)
+                self._count -= 1
+                if not bucket:
+                    del self._by_address[session.address]
+                return
+        raise KeyError(f"session {session.key()} not in index")
+
+    def same_address(self, address: int) -> List[Session]:
+        """Live sessions currently using ``address``."""
+        return list(self._by_address.get(address, ()))
+
+    def clash_for(self, new: Session, scope_map: ScopeMap) -> bool:
+        """Would ``new`` clash with any indexed session?"""
+        return clashes_with_any(new, self.same_address(new.address),
+                                scope_map)
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,123 @@
+"""TTL partition maps (paper §2.1, §2.4.1, fig. 11).
+
+A partition map assigns every TTL value 1..255 to a band.  Static
+IPRMA uses a handful of hand-placed bands (3-band: separators at TTL 15
+and 64; 7-band: separators at 2, 16, 32, 48, 64 and 128).  The adaptive
+schemes need a partitioning that works for *any* boundary policy; the
+paper derives one from hop-count structure: the number of TTL values
+``n`` allocated to a partition whose lowest TTL is ``t``, with a margin
+of safety ``m``, is::
+
+    n = ceil( 32 * t / (255 * m) )
+
+(32 being the DVMRP infinite routing metric).  A margin of 2 yields 55
+partitions — one per TTL at the bottom of the range, widening towards
+TTL 255 (fig. 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+#: Separator TTLs for the paper's static 3-band IPRMA.
+IPR3_EDGES: Tuple[int, ...] = (15, 64)
+#: Separator TTLs for the paper's static 7-band IPRMA.
+IPR7_EDGES: Tuple[int, ...] = (2, 16, 32, 48, 64, 128)
+#: DVMRP's infinite routing metric, the hop-count ceiling of §2.4.1.
+DVMRP_INFINITY = 32
+#: Largest TTL value.
+MAX_TTL = 255
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """Maps TTL values to band indices.
+
+    Bands are numbered from 0 (lowest TTLs) upwards.  ``edges`` holds
+    the separator TTLs: a TTL ``t`` belongs to band
+    ``bisect_right(edges, t)``, i.e. band *i* covers TTLs in
+    ``[edges[i-1], edges[i])`` with the conventional open ends.
+    """
+
+    edges: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if list(self.edges) != sorted(set(self.edges)):
+            raise ValueError(f"edges must be strictly increasing: "
+                             f"{self.edges}")
+        if self.edges and not (1 < self.edges[0] and
+                               self.edges[-1] <= MAX_TTL):
+            raise ValueError(f"edges must lie in (1, 255]: {self.edges}")
+
+    @property
+    def num_bands(self) -> int:
+        return len(self.edges) + 1
+
+    def band_of(self, ttl) -> "np.ndarray | int":
+        """Band index for a TTL (scalar or array)."""
+        result = np.searchsorted(np.asarray(self.edges), ttl, side="right")
+        if np.isscalar(ttl):
+            return int(result)
+        return result
+
+    def ttl_range(self, band: int) -> Tuple[int, int]:
+        """Inclusive TTL range ``(lo, hi)`` covered by ``band``."""
+        if not 0 <= band < self.num_bands:
+            raise IndexError(f"band {band} out of {self.num_bands}")
+        lo = 1 if band == 0 else self.edges[band - 1]
+        hi = MAX_TTL if band == len(self.edges) else self.edges[band] - 1
+        return lo, hi
+
+    def band_counts(self, ttls: np.ndarray) -> np.ndarray:
+        """Number of the given TTLs in each band (length num_bands)."""
+        bands = self.band_of(np.asarray(ttls))
+        return np.bincount(bands, minlength=self.num_bands)
+
+
+def margin_partition_map(margin: int = 2) -> PartitionMap:
+    """The §2.4.1 partitioning rule: works for any boundary policy.
+
+    Args:
+        margin: the margin of safety ``m``; 2 gives the paper's 55
+            partitions.
+    """
+    if margin < 1:
+        raise ValueError(f"margin must be >= 1, got {margin}")
+    edges: List[int] = []
+    t = 1
+    while True:
+        width = max(1, math.ceil(DVMRP_INFINITY * t / (MAX_TTL * margin)))
+        nxt = t + width
+        if nxt > MAX_TTL:
+            break
+        edges.append(nxt)
+        t = nxt
+    return PartitionMap(tuple(edges))
+
+
+def equal_band_ranges(space_size: int,
+                      num_bands: int) -> List[Tuple[int, int]]:
+    """Divide an address space into equal half-open ranges.
+
+    Returns ``[(lo, hi), ...]`` with ``hi`` exclusive, one per band,
+    covering the space exactly (earlier bands get the remainder).
+    """
+    if num_bands <= 0:
+        raise ValueError("num_bands must be positive")
+    if space_size < num_bands:
+        raise ValueError(
+            f"space of {space_size} cannot hold {num_bands} bands"
+        )
+    base = space_size // num_bands
+    remainder = space_size % num_bands
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for band in range(num_bands):
+        width = base + (1 if band < remainder else 0)
+        ranges.append((lo, lo + width))
+        lo += width
+    return ranges

@@ -1,0 +1,60 @@
+"""Experiment harnesses, one per paper figure family.
+
+* :mod:`repro.experiments.ttl_distributions` — the ds1..ds4 TTL
+  distributions of fig. 5 (and DS4 of figs. 12/13).
+* :mod:`repro.experiments.allocation_run` — fill-until-first-clash
+  simulation (fig. 5).
+* :mod:`repro.experiments.steady_state` — steady-state churn
+  simulation (figs. 12 and 13).
+* :mod:`repro.experiments.request_response` — the multicast
+  request-response suppression simulation (figs. 15, 16, 18, 19).
+* :mod:`repro.experiments.reporting` — plain-text series/table output.
+"""
+
+from repro.experiments.allocation_run import (
+    allocations_before_first_clash,
+    fig5_run,
+)
+from repro.experiments.lossy_visibility import (
+    simulate_generation,
+    simulated_no_clash_probability,
+)
+from repro.experiments.sap_in_the_loop import (
+    SapLoopConfig,
+    SapLoopResult,
+    run_sap_in_the_loop,
+)
+from repro.experiments.request_response import (
+    RequestResponseConfig,
+    simulate_request_response,
+)
+from repro.experiments.steady_state import (
+    steady_state_clash_probability,
+    allocations_at_half_clash,
+)
+from repro.experiments.ttl_distributions import (
+    DS1,
+    DS2,
+    DS3,
+    DS4,
+    TtlDistribution,
+)
+
+__all__ = [
+    "DS1",
+    "DS2",
+    "DS3",
+    "DS4",
+    "RequestResponseConfig",
+    "SapLoopConfig",
+    "SapLoopResult",
+    "TtlDistribution",
+    "run_sap_in_the_loop",
+    "allocations_at_half_clash",
+    "allocations_before_first_clash",
+    "fig5_run",
+    "simulate_generation",
+    "simulate_request_response",
+    "simulated_no_clash_probability",
+    "steady_state_clash_probability",
+]

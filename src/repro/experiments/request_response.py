@@ -1,0 +1,185 @@
+"""Figs. 15, 16, 18, 19: the multicast request-response simulation.
+
+A clash report ("request") is multicast from a random node.  Every
+other node is a potential responder: it starts a random timer when the
+request arrives and responds when the timer fires — unless it has
+already heard someone else's response, in which case it is suppressed.
+
+Measured per configuration: the mean number of responses actually sent
+and the delay until the requester hears the first response.  Variables:
+
+* routing — source-rooted shortest-path trees vs the shared
+  (construction) tree of the Doar topology;
+* per-packet random jitter (queueing) on top of distance-based delay;
+* the delay distribution — uniform over [D1, D2] vs the exponential
+  distribution of §3.1;
+* D2 and the number of sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.response_bounds import exponential_delay_array
+from repro.routing.spt import ShortestPathForest
+from repro.topology.doar import DoarTopology
+
+
+@dataclass
+class RequestResponseConfig:
+    """One simulated configuration.
+
+    Attributes:
+        d2: maximum response delay D2 in seconds.
+        d1: minimum response delay D1 (0 in the paper's fig. 15 runs).
+        timer: "uniform" or "exponential".
+        routing: "spt" (source shortest-path trees) or "shared".
+        jitter: per-packet random extra delay, uniform [0, jitter]
+            seconds (fig. 15's "delay=distance+random" variants).
+        trials: independent repetitions.
+        seed: base RNG seed.
+        rtt_estimate: bucket width r for the exponential timer; when
+            None, twice the maximum request propagation delay is used.
+        member_fraction: fraction of nodes that are group members and
+            hence potential responders (1.0 = everyone, the paper's
+            setting; §3 suggests "initially only allowing the sites
+            that are actually announcing sessions to respond" — a
+            smaller responder set).  Non-members still forward and
+            hear responses (suppression unaffected).
+    """
+
+    d2: float
+    d1: float = 0.0
+    timer: str = "uniform"
+    routing: str = "spt"
+    jitter: float = 0.0
+    trials: int = 10
+    seed: int = 0
+    rtt_estimate: Optional[float] = None
+    member_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.timer not in ("uniform", "exponential"):
+            raise ValueError(f"unknown timer {self.timer!r}")
+        if self.routing not in ("spt", "shared"):
+            raise ValueError(f"unknown routing {self.routing!r}")
+        if self.d1 < 0 or self.d2 < self.d1:
+            raise ValueError(f"need 0 <= D1 <= D2: {self.d1}, {self.d2}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0: {self.jitter}")
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        if not 0.0 < self.member_fraction <= 1.0:
+            raise ValueError(
+                f"member_fraction outside (0, 1]: {self.member_fraction}"
+            )
+
+
+@dataclass
+class RequestResponseResult:
+    """Aggregated outcome over the trials."""
+
+    config: RequestResponseConfig
+    num_sites: int
+    mean_responses: float
+    mean_first_delay: float
+    max_first_delay: float
+
+
+class _DelayProvider:
+    """Per-node one-way delays under the configured routing."""
+
+    def __init__(self, doar: DoarTopology, routing: str) -> None:
+        self.routing = routing
+        if routing == "shared":
+            self._tree = doar.shared_tree(core=0)
+            self._cache: Dict[int, np.ndarray] = {}
+        else:
+            self._forest = ShortestPathForest(doar.topology,
+                                              weight="delay")
+
+    def delays_from(self, node: int) -> np.ndarray:
+        if self.routing == "shared":
+            cached = self._cache.get(node)
+            if cached is None:
+                cached = self._tree.delays_from(node)
+                self._cache[node] = cached
+            return cached
+        return self._forest.distances_from(node)
+
+
+def simulate_request_response(
+    doar: DoarTopology, config: RequestResponseConfig
+) -> RequestResponseResult:
+    """Run the suppression simulation on a Doar topology."""
+    n = doar.topology.num_nodes
+    provider = _DelayProvider(doar, config.routing)
+    responses: List[int] = []
+    first_delays: List[float] = []
+    for trial in range(config.trials):
+        rng = np.random.default_rng((config.seed, trial, n))
+        count, first = _one_round(provider, n, config, rng)
+        responses.append(count)
+        first_delays.append(first)
+    return RequestResponseResult(
+        config=config,
+        num_sites=n,
+        mean_responses=float(np.mean(responses)),
+        mean_first_delay=float(np.mean(first_delays)),
+        max_first_delay=float(np.max(first_delays)),
+    )
+
+
+def _one_round(provider: _DelayProvider, n: int,
+               config: RequestResponseConfig,
+               rng: np.random.Generator) -> "tuple[int, float]":
+    requester = int(rng.integers(0, n))
+    arrival = provider.delays_from(requester).copy()
+    if config.jitter:
+        arrival += rng.uniform(0.0, config.jitter, size=n)
+    arrival[requester] = 0.0
+
+    timer_delays = _sample_timers(config, arrival, n, rng)
+    fire = arrival + timer_delays
+    fire[requester] = np.inf  # the requester does not respond to itself
+    if config.member_fraction < 1.0:
+        # Only group members respond; others never fire.
+        non_members = rng.random(n) >= config.member_fraction
+        fire[non_members] = np.inf
+
+    order = np.argsort(fire)
+    earliest_heard = np.full(n, np.inf)
+    senders = 0
+    first_delay = np.inf
+    for idx in order:
+        i = int(idx)
+        if not np.isfinite(fire[i]):
+            break
+        if earliest_heard[i] <= fire[i]:
+            continue  # suppressed before the timer fired
+        senders += 1
+        prop = provider.delays_from(i)
+        if config.jitter:
+            prop = prop + rng.uniform(0.0, config.jitter, size=n)
+        heard_at = fire[i] + prop
+        np.minimum(earliest_heard, heard_at, out=earliest_heard)
+        first_delay = min(first_delay, fire[i] + float(prop[requester]))
+    if senders == 0:
+        first_delay = float("nan")
+    return senders, first_delay
+
+
+def _sample_timers(config: RequestResponseConfig, arrival: np.ndarray,
+                   n: int, rng: np.random.Generator) -> np.ndarray:
+    if config.timer == "uniform":
+        return rng.uniform(config.d1, config.d2, size=n)
+    rtt = config.rtt_estimate
+    if rtt is None:
+        finite = arrival[np.isfinite(arrival)]
+        rtt = 2.0 * float(finite.max()) if finite.size else 0.2
+        rtt = max(rtt, 1e-6)
+    xs = rng.random(n)
+    return exponential_delay_array(xs, config.d1, config.d2, rtt)

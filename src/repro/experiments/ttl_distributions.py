@@ -1,0 +1,60 @@
+"""The paper's TTL distributions (fig. 5 caption).
+
+Sessions in the allocation simulations draw their TTL from one of::
+
+    ds1 {1,15,31,47,63,127,191}
+    ds2 {1,1,15,15,31,47,63,127,191}
+    ds3 {1,1,1,1,15,15,15,15,31,47,63,127,191}
+    ds4 {1,1,1,1,1,1,1,1,15,15,15,15,15,15,31,31,47,47,63,63,127,191}
+
+"Although these TTL distributions are not based on realistic data,
+they help illustrate the way that local scoping of sessions helps
+scaling" — ds1 is scope-uniform, ds4 strongly favours local sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TtlDistribution:
+    """A named empirical TTL distribution."""
+
+    name: str
+    values: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("distribution must be non-empty")
+        if any(not 1 <= v <= 255 for v in self.values):
+            raise ValueError(f"TTLs outside [1, 255] in {self.values}")
+
+    def sample(self, rng: np.random.Generator, size=None):
+        """Draw one TTL (or ``size`` TTLs) uniformly from the values."""
+        choice = rng.choice(np.asarray(self.values, dtype=np.int64),
+                            size=size)
+        if size is None:
+            return int(choice)
+        return choice
+
+    def distinct(self) -> Tuple[int, ...]:
+        """The distinct TTL values, ascending."""
+        return tuple(sorted(set(self.values)))
+
+
+DS1 = TtlDistribution("ds1", (1, 15, 31, 47, 63, 127, 191))
+DS2 = TtlDistribution("ds2", (1, 1, 15, 15, 31, 47, 63, 127, 191))
+DS3 = TtlDistribution(
+    "ds3", (1, 1, 1, 1, 15, 15, 15, 15, 31, 47, 63, 127, 191)
+)
+DS4 = TtlDistribution(
+    "ds4",
+    (1, 1, 1, 1, 1, 1, 1, 1, 15, 15, 15, 15, 15, 15,
+     31, 31, 47, 47, 63, 63, 127, 191),
+)
+
+ALL_DISTRIBUTIONS = (DS1, DS2, DS3, DS4)

@@ -1,0 +1,118 @@
+"""DVMRP-flavoured routing state.
+
+The Mbone of the paper ran DVMRP: distance-vector routes over tunnel
+metrics, reverse-path forwarding, and a routing-metric infinity of 32
+(which is why the paper's partition rule in §2.4.1 bounds the highest
+TTL band by "the DVMRP infinite routing metric of 32").
+
+This module materialises the per-node routing state a DVMRP router
+would hold — next hop and metric towards every source — and the
+resulting per-source delivery trees (who forwards to whom), which are
+exactly the trees the scoping and hop-count analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.routing.spt import NO_PREDECESSOR, ShortestPathForest
+from repro.topology.graph import DVMRP_INFINITY, Topology
+
+
+@dataclass
+class DvmrpRoutingTable:
+    """One node's distance-vector state.
+
+    Attributes:
+        node: the owning router.
+        next_hop: ``next_hop[s]`` is the RPF neighbour towards source
+            ``s`` (-1 when unreachable or for the node itself).
+        metric: ``metric[s]`` is the path metric towards ``s``
+            (``DVMRP_INFINITY`` when unreachable).
+    """
+
+    node: int
+    next_hop: np.ndarray
+    metric: np.ndarray
+
+    def rpf_neighbor(self, source: int) -> Optional[int]:
+        """The neighbour from which packets of ``source`` are accepted."""
+        hop = int(self.next_hop[source])
+        return None if hop < 0 else hop
+
+    def reaches(self, source: int) -> bool:
+        return self.metric[source] < DVMRP_INFINITY
+
+
+class DvmrpRouter:
+    """Computes DVMRP routing tables and delivery trees for a topology.
+
+    With symmetric metrics the reverse shortest paths DVMRP uses equal
+    forward shortest paths, so tables are derived from a Dijkstra
+    forest; paths whose total metric reaches ``DVMRP_INFINITY`` (32)
+    are treated as unreachable, exactly as DVMRP's infinity does.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._forest = ShortestPathForest(topology, weight="metric")
+        self._pairs = self._forest.all_trees()
+        self._tables: Dict[int, DvmrpRoutingTable] = {}
+
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    def table(self, node: int) -> DvmrpRoutingTable:
+        """The distance-vector table held by ``node``."""
+        cached = self._tables.get(node)
+        if cached is not None:
+            return cached
+        n = self.num_nodes
+        next_hop = np.full(n, -1, dtype=np.int64)
+        metric = np.full(n, DVMRP_INFINITY, dtype=np.int64)
+        for source in range(n):
+            if source == node:
+                metric[source] = 0
+                continue
+            cost = self._pairs.distance[source, node]
+            if not np.isfinite(cost) or cost >= DVMRP_INFINITY:
+                continue
+            metric[source] = int(cost)
+            # The RPF neighbour is node's parent on source's tree.
+            pred = int(self._pairs.predecessor[source, node])
+            if pred != NO_PREDECESSOR:
+                next_hop[source] = pred
+        cached = DvmrpRoutingTable(node, next_hop, metric)
+        self._tables[node] = cached
+        return cached
+
+    def delivery_children(self, source: int) -> List[List[int]]:
+        """Forwarding children of every node on ``source``'s tree.
+
+        ``result[v]`` lists the neighbours to which ``v`` forwards a
+        packet originated by ``source`` (the nodes whose RPF neighbour
+        is ``v``), with DVMRP-infinity paths pruned.
+        """
+        n = self.num_nodes
+        children: List[List[int]] = [[] for __ in range(n)]
+        pred = self._pairs.predecessor[source]
+        dist = self._pairs.distance[source]
+        for v in range(n):
+            if v == source:
+                continue
+            p = int(pred[v])
+            if p == NO_PREDECESSOR:
+                continue
+            if not np.isfinite(dist[v]) or dist[v] >= DVMRP_INFINITY:
+                continue
+            children[p].append(v)
+        return children
+
+    def reachable_within_infinity(self, source: int) -> np.ndarray:
+        """Mask of nodes whose metric from ``source`` is < 32."""
+        dist = self._pairs.distance[source]
+        return np.isfinite(dist) & (dist < DVMRP_INFINITY)

@@ -1,0 +1,148 @@
+"""DVMRP prune/graft dynamics: membership-driven delivery trees.
+
+DVMRP floods a source's packets down the truncated-broadcast tree;
+routers whose subtree contains no group members send *prunes* upstream,
+cutting themselves off; a new member *grafts* the branch back.  The
+scoping analyses elsewhere treat every router as interested (session
+*announcements* really are delivered everywhere in scope); this module
+adds the membership dimension for data-plane questions — which routers
+actually carry a group's traffic, and how much the tree shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+
+from repro.routing.dvmrp import DvmrpRouter
+from repro.topology.graph import Topology
+
+
+class GroupMembership:
+    """Which nodes have joined which groups."""
+
+    def __init__(self) -> None:
+        self._members: Dict[int, Set[int]] = {}
+
+    def join(self, group: int, node: int) -> None:
+        self._members.setdefault(group, set()).add(node)
+
+    def leave(self, group: int, node: int) -> None:
+        """Remove a member.  Idempotent; empty groups are dropped."""
+        members = self._members.get(group)
+        if members is None:
+            return
+        members.discard(node)
+        if not members:
+            del self._members[group]
+
+    def members(self, group: int) -> Set[int]:
+        return set(self._members.get(group, ()))
+
+    def is_member(self, group: int, node: int) -> bool:
+        return node in self._members.get(group, ())
+
+    def groups(self) -> List[int]:
+        return sorted(self._members)
+
+
+@dataclass
+class PrunedTree:
+    """The delivery tree for one (source, group) after pruning.
+
+    Attributes:
+        source: tree root.
+        group: group address.
+        forwarding: nodes that carry traffic (on a path from the
+            source to some member, member nodes included).
+        pruned: nodes of the full truncated-broadcast tree that were
+            cut because their subtree holds no members.
+    """
+
+    source: int
+    group: int
+    forwarding: Set[int]
+    pruned: Set[int]
+
+    @property
+    def forwarding_count(self) -> int:
+        return len(self.forwarding)
+
+
+class PruningSimulation:
+    """Computes pruned DVMRP delivery trees from membership state.
+
+    Args:
+        topology: the network.
+        membership: group membership table (shared, mutable).
+    """
+
+    def __init__(self, topology: Topology,
+                 membership: Optional[GroupMembership] = None) -> None:
+        self.topology = topology
+        self.membership = membership if membership is not None \
+            else GroupMembership()
+        self._router = DvmrpRouter(topology)
+
+    def pruned_tree(self, source: int, group: int) -> PrunedTree:
+        """The delivery tree after prunes for (source, group).
+
+        A node forwards iff its subtree (in the source's broadcast
+        tree) contains at least one member.  Runs one post-order pass
+        over the tree: O(n).
+        """
+        children = self._router.delivery_children(source)
+        members = self.membership.members(group)
+        keeps: Dict[int, bool] = {}
+        # Post-order via an explicit stack (the tree can be deep).
+        stack = [(source, False)]
+        while stack:
+            node, processed = stack.pop()
+            if not processed:
+                stack.append((node, True))
+                for child in children[node]:
+                    stack.append((child, False))
+            else:
+                keep = node in members
+                for child in children[node]:
+                    keep = keep or keeps[child]
+                keeps[node] = keep
+
+        full_tree = set(keeps)
+        forwarding = set()
+        # The source always transmits; nodes stay on the tree iff
+        # their own subtree needs the traffic.
+        stack2 = [source]
+        while stack2:
+            node = stack2.pop()
+            forwarding.add(node)
+            for child in children[node]:
+                if keeps[child]:
+                    stack2.append(child)
+        pruned = full_tree - forwarding
+        return PrunedTree(source=source, group=group,
+                          forwarding=forwarding, pruned=pruned)
+
+    def traffic_bearing_links(self, source: int, group: int) -> int:
+        """Number of links carrying the group's traffic."""
+        tree = self.pruned_tree(source, group)
+        children = self._router.delivery_children(source)
+        count = 0
+        for node in tree.forwarding:
+            for child in children[node]:
+                if child in tree.forwarding:
+                    count += 1
+        return count
+
+    def savings(self, source: int, group: int) -> float:
+        """Fraction of the broadcast tree pruned away.
+
+        0.0 means everyone needed the traffic; 1.0 is impossible (the
+        source itself always counts).
+        """
+        tree = self.pruned_tree(source, group)
+        total = len(tree.forwarding) + len(tree.pruned)
+        if total == 0:
+            return 0.0
+        return len(tree.pruned) / total

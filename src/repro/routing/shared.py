@@ -1,0 +1,117 @@
+"""Shared multicast trees (CBT / sparse-mode PIM analogue).
+
+In the request-response simulations of §3, packets travel either over
+per-source shortest-path trees or over a single *shared* tree rooted at
+a core.  The Doar-style generator's nearest-neighbour construction tree
+"creates a tree similar to shared trees created by CBT and sparse-mode
+PIM" (paper §3); this module wraps such a tree and answers the delay
+queries the suppression simulation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.graph import Topology
+
+
+class SharedTree:
+    """A delay-weighted tree over a subset of a topology's links.
+
+    Args:
+        num_nodes: number of nodes (ids ``0..num_nodes-1``).
+        edges: iterable of ``(u, v, delay)`` tree edges.  Must form a
+            spanning tree (``num_nodes - 1`` edges, connected).
+        core: the tree's core/root node (CBT core, PIM RP).
+    """
+
+    def __init__(self, num_nodes: int,
+                 edges: Iterable[Tuple[int, int, float]],
+                 core: int = 0) -> None:
+        self.num_nodes = num_nodes
+        self.core = core
+        self._adj: List[List[Tuple[int, float]]] = [
+            [] for __ in range(num_nodes)
+        ]
+        count = 0
+        for u, v, delay in edges:
+            self._adj[u].append((v, float(delay)))
+            self._adj[v].append((u, float(delay)))
+            count += 1
+        if count != num_nodes - 1:
+            raise ValueError(
+                f"a spanning tree over {num_nodes} nodes needs "
+                f"{num_nodes - 1} edges, got {count}"
+            )
+        # Verify connectivity (and cache the core-rooted traversal).
+        self._order, self._parent = self._traverse(core)
+        if len(self._order) != num_nodes:
+            raise ValueError("edges do not form a connected tree")
+
+    @classmethod
+    def from_topology(cls, topology: Topology,
+                      edges: Sequence[Tuple[int, int]],
+                      core: int = 0) -> "SharedTree":
+        """Build from a topology and a list of its links to use."""
+        tree_edges = []
+        for u, v in edges:
+            link = topology.link(u, v)
+            tree_edges.append((u, v, link.delay))
+        return cls(topology.num_nodes, tree_edges, core=core)
+
+    def _traverse(self, root: int) -> Tuple[List[int], np.ndarray]:
+        parent = np.full(self.num_nodes, -1, dtype=np.int64)
+        order = [root]
+        parent[root] = root
+        head = 0
+        while head < len(order):
+            node = order[head]
+            head += 1
+            for nbr, __ in self._adj[node]:
+                if parent[nbr] == -1:
+                    parent[nbr] = node
+                    order.append(nbr)
+        parent[root] = -1
+        return order, parent
+
+    def delays_from(self, node: int) -> np.ndarray:
+        """One-way tree-path delay from ``node`` to every node.
+
+        On a shared tree every packet travels along the unique tree
+        path, so this fully determines multicast timing.
+        """
+        delays = np.full(self.num_nodes, np.inf)
+        delays[node] = 0.0
+        stack = [node]
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        seen[node] = True
+        while stack:
+            current = stack.pop()
+            base = delays[current]
+            for nbr, delay in self._adj[current]:
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    delays[nbr] = base + delay
+                    stack.append(nbr)
+        return delays
+
+    def parent_of(self, node: int) -> Optional[int]:
+        """Parent towards the core, or None for the core itself."""
+        parent = int(self._parent[node])
+        return None if parent < 0 else parent
+
+    def depth_of(self, node: int) -> int:
+        """Hop count from the core to ``node``."""
+        depth = 0
+        current = node
+        while True:
+            parent = self.parent_of(current)
+            if parent is None:
+                return depth
+            current = parent
+            depth += 1
+
+    def __repr__(self) -> str:
+        return f"SharedTree(nodes={self.num_nodes}, core={self.core})"

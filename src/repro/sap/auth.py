@@ -1,0 +1,86 @@
+"""SAP announcement authentication.
+
+The paper notes (§4, footnote 8) that address-usage announcement
+schemes are "open to denial of service attacks" — and the clash
+protocol itself is a lever: an attacker who can forge an announcement
+with a victim's group address can make the victim's directory retreat
+to a new address, disrupting an established session.  Real SAP
+(RFC 2974) carries an authentication header for exactly this reason.
+
+This module implements a shared-key authenticator (HMAC-SHA256 over
+the SAP payload and origin) and a small envelope format so directories
+can reject forged or tampered announcements.  Key distribution is out
+of scope here, as it was for SAP.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+from typing import Optional
+
+from repro.sap.messages import SapMessage
+
+#: Truncated MAC length carried on the wire (bytes).
+MAC_LENGTH = 16
+
+_ENVELOPE = struct.Struct(">H")  # MAC length prefix
+
+
+class SapAuthenticator:
+    """Signs and verifies SAP messages with a shared key.
+
+    Args:
+        key: the shared secret.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("authentication key must be non-empty")
+        self.key = bytes(key)
+
+    # ------------------------------------------------------------------
+    def _mac(self, message: SapMessage) -> bytes:
+        material = message.encode()
+        digest = hmac.new(self.key, material, hashlib.sha256).digest()
+        return digest[:MAC_LENGTH]
+
+    def seal(self, message: SapMessage) -> bytes:
+        """Wire bytes: MAC-length prefix, MAC, then the SAP packet."""
+        mac = self._mac(message)
+        return _ENVELOPE.pack(len(mac)) + mac + message.encode()
+
+    def open(self, data: bytes) -> SapMessage:
+        """Verify and unwrap sealed bytes.
+
+        Raises:
+            AuthenticationError: when the MAC is missing or wrong.
+            ValueError: when the inner SAP packet is malformed.
+        """
+        if len(data) < _ENVELOPE.size:
+            raise AuthenticationError("envelope too short")
+        (mac_length,) = _ENVELOPE.unpack_from(data)
+        if mac_length != MAC_LENGTH:
+            raise AuthenticationError(
+                f"unexpected MAC length {mac_length}"
+            )
+        if len(data) < _ENVELOPE.size + mac_length:
+            raise AuthenticationError("truncated MAC")
+        mac = data[_ENVELOPE.size:_ENVELOPE.size + mac_length]
+        body = data[_ENVELOPE.size + mac_length:]
+        message = SapMessage.decode(body)
+        if not hmac.compare_digest(mac, self._mac(message)):
+            raise AuthenticationError("MAC verification failed")
+        return message
+
+    def verify(self, data: bytes) -> Optional[SapMessage]:
+        """Like :meth:`open` but returns None instead of raising."""
+        try:
+            return self.open(data)
+        except (AuthenticationError, ValueError):
+            return None
+
+
+class AuthenticationError(Exception):
+    """A sealed SAP message failed verification."""

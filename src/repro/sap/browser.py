@@ -1,0 +1,126 @@
+"""Session browsing — the user-facing face of sdr.
+
+A session directory's purpose (§1) is letting "users discover the
+existence of multicast sessions" and "find sufficient information to
+allow them to join".  The :class:`SessionBrowser` wraps a directory's
+cache with the queries the sdr UI offered: what is on now, what is
+coming up, filter by scope or media type, free-text search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sap.directory import SessionDirectory
+from repro.sap.sdp import SessionDescription
+
+
+@dataclass(frozen=True)
+class BrowserEntry:
+    """One listing row."""
+
+    description: SessionDescription
+    first_heard: float
+    last_heard: float
+    own: bool
+
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @property
+    def ttl(self) -> int:
+        return self.description.ttl
+
+    def is_active_at(self, now: float) -> bool:
+        """True if the session's t= window covers ``now``.
+
+        ``start == 0`` means "already started"; ``stop == 0`` means
+        unbounded, both as in SDP.
+        """
+        started = self.description.start == 0 or \
+            self.description.start <= now
+        not_over = self.description.stop == 0 or \
+            now < self.description.stop
+        return started and not_over
+
+    def is_upcoming_at(self, now: float) -> bool:
+        return self.description.start > now
+
+
+class SessionBrowser:
+    """Query view over one directory's known sessions."""
+
+    def __init__(self, directory: SessionDirectory) -> None:
+        self.directory = directory
+
+    # ------------------------------------------------------------------
+    # Listing
+    # ------------------------------------------------------------------
+    def entries(self) -> List[BrowserEntry]:
+        """Every known session (cached + own), most recent first."""
+        now = self.directory.scheduler.now
+        rows: List[BrowserEntry] = []
+        for entry in self.directory.cache.entries():
+            if entry.description is None:
+                continue
+            rows.append(BrowserEntry(
+                description=entry.description,
+                first_heard=entry.first_heard,
+                last_heard=entry.last_heard,
+                own=False,
+            ))
+        for own in self.directory.own_sessions():
+            rows.append(BrowserEntry(
+                description=own.description,
+                first_heard=own.first_announced,
+                last_heard=now,
+                own=True,
+            ))
+        rows.sort(key=lambda row: row.last_heard, reverse=True)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+    def active(self, now: Optional[float] = None) -> List[BrowserEntry]:
+        """Sessions on the air right now."""
+        when = self.directory.scheduler.now if now is None else now
+        return [row for row in self.entries() if row.is_active_at(when)]
+
+    def upcoming(self, now: Optional[float] = None) -> List[BrowserEntry]:
+        """Sessions advertised ahead of their start time (§2.3's
+        "mean advance announcement time is 2 hours")."""
+        when = self.directory.scheduler.now if now is None else now
+        return [row for row in self.entries()
+                if row.is_upcoming_at(when)]
+
+    def by_scope(self, max_ttl: int) -> List[BrowserEntry]:
+        """Sessions whose scope TTL is at most ``max_ttl``."""
+        if not 1 <= max_ttl <= 255:
+            raise ValueError(f"max_ttl {max_ttl} outside [1, 255]")
+        return [row for row in self.entries() if row.ttl <= max_ttl]
+
+    def with_media(self, media: str) -> List[BrowserEntry]:
+        """Sessions carrying a given media type ("audio", "video"...)."""
+        return [
+            row for row in self.entries()
+            if any(stream.media == media
+                   for stream in row.description.media)
+        ]
+
+    def search(self, text: str) -> List[BrowserEntry]:
+        """Case-insensitive substring search over name and info."""
+        needle = text.lower()
+        out = []
+        for row in self.entries():
+            haystack = row.description.name.lower()
+            if row.description.info:
+                haystack += " " + row.description.info.lower()
+            if needle in haystack:
+                out.append(row)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries())

@@ -1,0 +1,219 @@
+"""The announce/listen session cache.
+
+"Session directories use an announce/listen approach to build up a
+complete list of these advertised sessions" (§2.1).  The cache holds
+every announcement heard, expires entries that stop being refreshed,
+and exposes the (address, ttl) view the allocator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allocator import VisibleSet
+from repro.sap.messages import SapMessage, SapMessageType
+from repro.sap.sdp import SessionDescription
+
+#: Default: an entry missing this many seconds of announcements dies.
+DEFAULT_TIMEOUT = 3600.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached announcement.
+
+    Attributes:
+        message: the most recent SAP message.
+        description: parsed SDP (None if unparseable).
+        address_index: group address as a space index, filled by the
+            directory when it can map the address.
+        first_heard: when the announcement was first received.
+        last_heard: most recent reception.
+        times_heard: number of receptions.
+    """
+
+    message: SapMessage
+    description: Optional[SessionDescription]
+    address_index: Optional[int] = None
+    first_heard: float = 0.0
+    last_heard: float = 0.0
+    times_heard: int = 1
+
+    @property
+    def ttl(self) -> int:
+        return self.description.ttl if self.description else 255
+
+
+class SessionCache:
+    """Announcement cache keyed by (origin, message id hash)."""
+
+    def __init__(self, timeout: float = DEFAULT_TIMEOUT) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive: {timeout}")
+        self.timeout = timeout
+        self._entries: Dict[Tuple[int, int], CacheEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def observe(self, message: SapMessage, now: float,
+                address_index: Optional[int] = None
+                ) -> Optional[CacheEntry]:
+        """Record a received SAP message.
+
+        Deletions remove the matching entry.  A *modified*
+        announcement — same origin node and SDP (username, session id)
+        but a higher version — supersedes the stale entry, as sdr's
+        cache did; without this, an address change (e.g. a clash
+        retreat) would leave the old address looking occupied until
+        timeout.  Returns the affected entry (None for deletions and
+        unparseable announcements).
+        """
+        if message.msg_type is SapMessageType.DELETE:
+            self._entries.pop(message.key(), None)
+            return None
+        entry = self._entries.get(message.key())
+        if entry is not None:
+            entry.last_heard = now
+            entry.times_heard += 1
+            return entry
+        try:
+            description = SessionDescription.parse(message.payload)
+        except ValueError:
+            return None
+        self._supersede(message.origin, description)
+        entry = CacheEntry(
+            message=message,
+            description=description,
+            address_index=address_index,
+            first_heard=now,
+            last_heard=now,
+        )
+        self._entries[message.key()] = entry
+        return entry
+
+    def _supersede(self, origin: int,
+                   description: SessionDescription) -> None:
+        """Drop older versions of the same logical session."""
+        stale = [
+            key for key, entry in self._entries.items()
+            if key[0] == origin
+            and entry.description is not None
+            and entry.description.origin_key() == description.origin_key()
+            and entry.description.version < description.version
+        ]
+        for key in stale:
+            del self._entries[key]
+
+    def expire(self, now: float) -> int:
+        """Drop entries not refreshed within the timeout; returns count."""
+        stale = [key for key, entry in self._entries.items()
+                 if now - entry.last_heard > self.timeout]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def entries(self) -> List[CacheEntry]:
+        return list(self._entries.values())
+
+    def lookup(self, origin: int, msg_id_hash: int) -> Optional[CacheEntry]:
+        return self._entries.get((origin, msg_id_hash))
+
+    def entries_for_address(self, address_index: int) -> List[CacheEntry]:
+        """Cached announcements using a given group address."""
+        return [entry for entry in self._entries.values()
+                if entry.address_index == address_index]
+
+    # ------------------------------------------------------------------
+    # Persistence (proxy caches surviving restarts)
+    # ------------------------------------------------------------------
+    def export_text(self) -> str:
+        """Serialise the cache to a text bundle.
+
+        Format: a header line, then per entry a metadata line, the SDP
+        payload, and an ``end`` terminator.  Used by proxy cache
+        servers to persist state across restarts.
+        """
+        lines = ["# repro-sap-cache 1"]
+        for entry in self._entries.values():
+            address = ("-" if entry.address_index is None
+                       else str(entry.address_index))
+            lines.append(
+                f"entry origin={entry.message.origin} "
+                f"first={entry.first_heard!r} "
+                f"last={entry.last_heard!r} "
+                f"heard={entry.times_heard} "
+                f"address={address}"
+            )
+            lines.append(entry.message.payload.rstrip("\n"))
+            lines.append("end")
+        return "\n".join(lines) + "\n"
+
+    def import_text(self, text: str) -> int:
+        """Merge a bundle produced by :meth:`export_text`.
+
+        Existing entries win over imported ones with the same key.
+        Returns the number of entries added.
+
+        Raises:
+            ValueError: on malformed bundles.
+        """
+        lines = text.splitlines()
+        if not lines or lines[0].strip() != "# repro-sap-cache 1":
+            raise ValueError("missing cache bundle header")
+        added = 0
+        index = 1
+        while index < len(lines):
+            line = lines[index].strip()
+            index += 1
+            if not line:
+                continue
+            if not line.startswith("entry "):
+                raise ValueError(f"expected entry line, got {line!r}")
+            fields = dict(part.split("=", 1)
+                          for part in line.split()[1:])
+            payload_lines = []
+            while index < len(lines) and lines[index].strip() != "end":
+                payload_lines.append(lines[index])
+                index += 1
+            if index >= len(lines):
+                raise ValueError("unterminated cache entry")
+            index += 1  # past "end"
+            payload = "\n".join(payload_lines) + "\n"
+            message = SapMessage.announce(int(fields["origin"]), payload)
+            if message.key() in self._entries:
+                continue
+            try:
+                description = SessionDescription.parse(payload)
+            except ValueError:
+                continue
+            address = (None if fields.get("address", "-") == "-"
+                       else int(fields["address"]))
+            self._entries[message.key()] = CacheEntry(
+                message=message,
+                description=description,
+                address_index=address,
+                first_heard=float(fields["first"]),
+                last_heard=float(fields["last"]),
+                times_heard=int(fields.get("heard", 1)),
+            )
+            added += 1
+        return added
+
+    def visible_set(self) -> VisibleSet:
+        """The allocator's view: (address, ttl) of cached sessions.
+
+        Entries without a mapped address index are skipped.
+        """
+        addresses = []
+        ttls = []
+        for entry in self._entries.values():
+            if entry.address_index is None:
+                continue
+            addresses.append(entry.address_index)
+            ttls.append(entry.ttl)
+        return VisibleSet(np.asarray(addresses, dtype=np.int64),
+                          np.asarray(ttls, dtype=np.int64))

@@ -1,0 +1,128 @@
+"""Proxy cache servers (§2.3).
+
+"Combined with local caching servers so that new session directory
+instances get a complete current picture" — the paper's mechanism for
+giving a freshly started sdr an immediate, complete view instead of
+waiting one full announcement period per session.
+
+A :class:`ProxyCacheServer` is a long-running listener that keeps a
+full cache for its site and, on request, replays every cached
+announcement to a newly started directory over the local network
+(modelled as an immediate cache hand-off, since the transfer is a
+LAN-local unicast burst).  It can optionally also *re-announce*
+cached entries at a slow trickle on the originators' behalf, which
+shortens discovery for everyone behind a lossy link.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+from repro.sap.cache import SessionCache
+from repro.sap.directory import SessionDirectory
+from repro.sap.messages import SapMessage, SapMessageType
+from repro.sim.events import EventHandle, EventScheduler
+from repro.sim.network import NetworkModel, Packet
+
+
+class ProxyCacheServer:
+    """A site-local cache that warm-starts new directories.
+
+    Args:
+        node: the node the server runs at.
+        scheduler: simulation scheduler.
+        network: multicast substrate (the server listens like any
+            directory).
+        cache: optionally share an existing cache instance.
+        trickle_interval: if set, re-announce one cached entry every
+            this many seconds (round robin), on the originator's
+            behalf.
+    """
+
+    def __init__(self, node: int, scheduler: EventScheduler,
+                 network: NetworkModel,
+                 cache: Optional[SessionCache] = None,
+                 trickle_interval: Optional[float] = None) -> None:
+        self.node = node
+        self.scheduler = scheduler
+        self.network = network
+        self.cache = cache if cache is not None else SessionCache()
+        self.trickle_interval = trickle_interval
+        self.syncs_served = 0
+        self.trickles_sent = 0
+        self._trickle_handle: Optional[EventHandle] = None
+        self._trickle_cursor = 0
+        network.listen(node, self._on_packet)
+        if trickle_interval is not None:
+            if trickle_interval <= 0:
+                raise ValueError("trickle_interval must be positive")
+            self._schedule_trickle()
+
+    # ------------------------------------------------------------------
+    # Listening
+    # ------------------------------------------------------------------
+    def _on_packet(self, receiver: int, packet: Packet) -> None:
+        try:
+            message = SapMessage.decode(packet.payload)
+        except ValueError:
+            return
+        self.cache.observe(message, self.scheduler.now)
+
+    # ------------------------------------------------------------------
+    # Warm start
+    # ------------------------------------------------------------------
+    def sync_directory(self, directory: SessionDirectory) -> int:
+        """Hand the full cache to a (site-local) directory.
+
+        Returns the number of entries transferred.  Models the LAN
+        unicast burst a real sdr cache server performs at startup.
+        """
+        transferred = 0
+        for entry in self.cache.entries():
+            fake_packet = Packet(
+                source=entry.message.origin,
+                group=0,
+                ttl=entry.ttl,
+                payload=entry.message.encode(),
+            )
+            directory._on_packet(directory.node, fake_packet)
+            transferred += 1
+        self.syncs_served += 1
+        return transferred
+
+    # ------------------------------------------------------------------
+    # Trickle re-announcement
+    # ------------------------------------------------------------------
+    def _schedule_trickle(self) -> None:
+        self._trickle_handle = self.scheduler.schedule(
+            self.trickle_interval, self._trickle
+        )
+
+    def _trickle(self) -> None:
+        entries = self.cache.entries()
+        if entries:
+            entry = entries[self._trickle_cursor % len(entries)]
+            self._trickle_cursor += 1
+            message = SapMessage(
+                SapMessageType.ANNOUNCE,
+                entry.message.origin,
+                entry.message.msg_id_hash,
+                entry.message.payload,
+            )
+            self.network.send(Packet(
+                source=self.node, group=0, ttl=entry.ttl,
+                payload=message.encode(),
+            ))
+            self.trickles_sent += 1
+        self._schedule_trickle()
+
+    def stop(self) -> None:
+        """Stop the trickle loop (listening continues)."""
+        if self._trickle_handle is not None:
+            self._trickle_handle.cancel()
+            self._trickle_handle = None
+
+    def __repr__(self) -> str:
+        return (f"ProxyCacheServer(node={self.node}, "
+                f"cached={len(self.cache)}, syncs={self.syncs_served})")

@@ -1,0 +1,323 @@
+"""The per-site session directory (the paper's sdr).
+
+A :class:`SessionDirectory` runs at one node.  It announces the
+sessions created locally, listens for everyone else's announcements,
+feeds the resulting view to its address allocator, and runs the
+three-phase clash protocol.
+
+"Since the early days of the Mbone, session directories have been used
+to perform both session advertisement and multicast address
+allocation" (§1) — this class is exactly that dual-purpose machine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.address_space import MulticastAddressSpace
+from repro.core.allocator import Allocator, VisibleSet
+from repro.core.session import Session
+from repro.sap.announcer import (
+    Announcer,
+    AnnouncementStrategy,
+    FixedIntervalStrategy,
+)
+from repro.sap.cache import SessionCache
+from repro.sap.clash_protocol import ClashHandler, ClashPolicy
+from repro.sap.messages import SapMessage, SapMessageType
+from repro.sap.sdp import MediaStream, SessionDescription
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel, Packet
+
+#: Conventional "group" carried in simulated SAP packets; the network
+#: model routes on (source, ttl), so this is informational only.
+SAP_GROUP = 0
+
+
+@dataclass
+class OwnSession:
+    """A locally created session and its announcement state."""
+
+    session: Session
+    description: SessionDescription
+    announcer: Announcer
+    first_announced: float
+
+    def message_key(self) -> Tuple[int, int]:
+        """The cache key our current announcement would have."""
+        message = SapMessage.announce(self.session.source,
+                                      self.description.format())
+        return message.key()
+
+
+class SessionDirectory:
+    """One site's sdr instance.
+
+    Args:
+        node: the node this directory runs at.
+        scheduler: simulation event scheduler.
+        network: multicast delivery substrate.
+        allocator: the address allocation algorithm to use.
+        address_space: maps allocator indices to real group addresses.
+        strategy_factory: builds the announcement strategy per session.
+        clash_policy: three-phase protocol tunables; defaults applied
+            when omitted.
+        enable_clash_protocol: set False to disable clash handling.
+        username: SDP origin username.
+        rng: numpy Generator for timers and jitter.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        scheduler: EventScheduler,
+        network: NetworkModel,
+        allocator: Allocator,
+        address_space: MulticastAddressSpace,
+        strategy_factory: Callable[[], AnnouncementStrategy] = (
+            FixedIntervalStrategy
+        ),
+        clash_policy: Optional[ClashPolicy] = None,
+        enable_clash_protocol: bool = True,
+        username: str = "user",
+        cache: Optional[SessionCache] = None,
+        rng: Optional[np.random.Generator] = None,
+        authenticator=None,
+    ) -> None:
+        self.node = node
+        self.scheduler = scheduler
+        self.network = network
+        self.allocator = allocator
+        self.address_space = address_space
+        self.strategy_factory = strategy_factory
+        self.username = username
+        self.cache = cache if cache is not None else SessionCache()
+        self.rng = rng if rng is not None else np.random.default_rng(node)
+        self._own: Dict[Tuple[int, int], OwnSession] = {}
+        self._session_ids = itertools.count(1)
+        self.clash_handler: Optional[ClashHandler] = None
+        if enable_clash_protocol:
+            policy = clash_policy if clash_policy is not None else (
+                ClashPolicy()
+            )
+            self.clash_handler = ClashHandler(self, policy, self.rng)
+        self.authenticator = authenticator
+        self.address_changes = 0
+        self.announcements_received = 0
+        self.auth_failures = 0
+        network.listen(node, self._on_packet)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def create_session(self, name: str, ttl: int,
+                       media: Optional[Sequence[MediaStream]] = None,
+                       info: Optional[str] = None,
+                       lifetime: Optional[float] = None,
+                       start: int = 0, stop: int = 0) -> Session:
+        """Allocate an address, build the description, start announcing.
+
+        Args:
+            name: session name (the SDP ``s=`` line).
+            ttl: scope TTL.
+            media: media streams (default: one audio stream).
+            info: optional free-text description.
+            lifetime: if set, the session is withdrawn automatically
+                after this many simulated seconds.
+            start: SDP ``t=`` start time (0 = already started).
+            stop: SDP ``t=`` stop time (0 = unbounded).
+
+        Returns the created :class:`~repro.core.session.Session`.
+        """
+        visible = self._allocation_view()
+        result = self.allocator.allocate(ttl, visible)
+        session = Session(
+            address=result.address,
+            ttl=ttl,
+            source=self.node,
+            created_at=self.scheduler.now,
+            lifetime=lifetime,
+        )
+        description = SessionDescription(
+            name=name,
+            username=self.username,
+            session_id=int(next(self._session_ids)),
+            version=1,
+            origin_address=f"10.0.{self.node // 256}.{self.node % 256}",
+            connection_address=self.address_space.index_to_ip(
+                session.address
+            ),
+            ttl=ttl,
+            info=info,
+            start=start,
+            stop=stop,
+            media=list(media) if media else [MediaStream("audio", 49170)],
+        )
+        session.description = description
+        own = OwnSession(
+            session=session,
+            description=description,
+            announcer=self._make_announcer(session, description),
+            first_announced=self.scheduler.now,
+        )
+        self._own[(self.node, description.session_id)] = own
+        own.announcer.start()
+        if lifetime is not None:
+            self.scheduler.schedule(lifetime,
+                                    lambda: self._expire_own(session))
+        return session
+
+    def _expire_own(self, session: Session) -> None:
+        """Withdraw an expired session (no-op if already withdrawn)."""
+        try:
+            self.delete_session(session)
+        except KeyError:
+            pass
+
+    def delete_session(self, session: Session) -> None:
+        """Withdraw a session: stop announcing, send a SAP deletion.
+
+        Raises:
+            KeyError: if the session was not created here.
+        """
+        own = self._find_own(session)
+        own.announcer.stop()
+        message = SapMessage.delete(self.node, own.description.format())
+        self._multicast(message, session.ttl)
+        del self._own[(self.node, own.description.session_id)]
+
+    def own_sessions(self) -> List[OwnSession]:
+        """Sessions created at this site, with announcement state."""
+        return list(self._own.values())
+
+    def owns(self, message_key: Tuple[int, int]) -> bool:
+        """True if a cache key corresponds to one of our sessions."""
+        return any(own.message_key() == message_key
+                   for own in self._own.values())
+
+    def known_sessions(self) -> List[SessionDescription]:
+        """Descriptions visible at this site (cache + our own)."""
+        out = [entry.description for entry in self.cache.entries()
+               if entry.description is not None]
+        out.extend(own.description for own in self._own.values())
+        return out
+
+    def expire_cache(self) -> int:
+        """Expire stale cache entries; returns how many were dropped."""
+        return self.cache.expire(self.scheduler.now)
+
+    # ------------------------------------------------------------------
+    # Clash-protocol callbacks (invoked by the ClashHandler)
+    # ------------------------------------------------------------------
+    def defend(self, own: OwnSession) -> None:
+        """Phase 1: immediately re-announce an established session."""
+        own.announcer.announce_now()
+
+    def retreat(self, own: OwnSession) -> None:
+        """Phase 2: move a just-announced session to a new address."""
+        visible = self._allocation_view()
+        result = self.allocator.allocate(own.session.ttl, visible)
+        own.session.address = result.address
+        own.description.connection_address = (
+            self.address_space.index_to_ip(result.address)
+        )
+        own.description.version += 1
+        self.address_changes += 1
+        own.announcer.announce_now()
+
+    def proxy_defend(self, entry) -> None:
+        """Phase 3: re-announce a cached session for its originator."""
+        message = SapMessage(
+            SapMessageType.ANNOUNCE,
+            entry.message.origin,
+            entry.message.msg_id_hash,
+            entry.message.payload,
+        )
+        ttl = entry.ttl
+        self._multicast(message, ttl)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _allocation_view(self) -> VisibleSet:
+        """Cache contents plus our own live sessions."""
+        cached = self.cache.visible_set()
+        own_addresses = [own.session.address for own in self._own.values()]
+        own_ttls = [own.session.ttl for own in self._own.values()]
+        if not own_addresses:
+            return cached
+        addresses = np.concatenate([
+            cached.addresses, np.asarray(own_addresses, dtype=np.int64)
+        ])
+        ttls = np.concatenate([
+            cached.ttls, np.asarray(own_ttls, dtype=np.int64)
+        ])
+        return VisibleSet(addresses, ttls)
+
+    def _make_announcer(self, session: Session,
+                        description: SessionDescription) -> Announcer:
+        def send() -> None:
+            message = SapMessage.announce(self.node, description.format())
+            self._multicast(message, session.ttl)
+
+        return Announcer(
+            scheduler=self.scheduler,
+            send=send,
+            strategy=self.strategy_factory(),
+            sessions_known=lambda: len(self.cache) + len(self._own),
+            rng=self.rng,
+        )
+
+    def _multicast(self, message: SapMessage, ttl: int) -> None:
+        if self.authenticator is not None:
+            payload = self.authenticator.seal(message)
+        else:
+            payload = message.encode()
+        packet = Packet(source=self.node, group=SAP_GROUP, ttl=ttl,
+                        payload=payload)
+        self.network.send(packet)
+
+    def _on_packet(self, receiver: int, packet: Packet) -> None:
+        if self.authenticator is not None:
+            message = self.authenticator.verify(packet.payload)
+            if message is None:
+                self.auth_failures += 1
+                return
+        else:
+            try:
+                message = SapMessage.decode(packet.payload)
+            except ValueError:
+                return
+        self.announcements_received += 1
+        address_index = self._address_index_of(message)
+        entry = self.cache.observe(message, self.scheduler.now,
+                                   address_index=address_index)
+        if entry is not None and entry.address_index is None:
+            entry.address_index = address_index
+        if entry is not None and self.clash_handler is not None:
+            self.clash_handler.on_announcement(entry)
+
+    def _address_index_of(self, message: SapMessage) -> Optional[int]:
+        if message.msg_type is not SapMessageType.ANNOUNCE:
+            return None
+        try:
+            description = SessionDescription.parse(message.payload)
+            return self.address_space.ip_to_index(
+                description.connection_address
+            )
+        except ValueError:
+            return None
+
+    def _find_own(self, session: Session) -> OwnSession:
+        for own in self._own.values():
+            if own.session is session:
+                return own
+        raise KeyError(f"session {session.key()} was not created here")
+
+    def __repr__(self) -> str:
+        return (f"SessionDirectory(node={self.node}, "
+                f"own={len(self._own)}, cached={len(self.cache)})")

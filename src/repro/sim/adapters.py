@@ -1,0 +1,50 @@
+"""Glue between routing and the network model.
+
+The :class:`~repro.sim.network.NetworkModel` wants a function mapping a
+(source, ttl) send to (receiver, delay) pairs; this module builds such
+functions from the scoping and shortest-path machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.routing.scoping import ScopeMap
+from repro.routing.spt import ShortestPathForest
+from repro.topology.graph import Topology
+
+
+def scoped_receiver_map(scope_map: ScopeMap,
+                        delay_forest: ShortestPathForest):
+    """Receiver map applying TTL scoping and delay-tree timing.
+
+    Receivers of a (source, ttl) multicast are the nodes inside the
+    TTL scope; each receives after the shortest-path propagation delay
+    from the source.
+
+    Args:
+        scope_map: the topology's min-required-TTL matrix.
+        delay_forest: a ShortestPathForest built with weight="delay".
+
+    Returns:
+        A callable suitable as ``NetworkModel(receiver_map=...)``.
+    """
+
+    def receivers(source: int, ttl: int) -> List[Tuple[int, float]]:
+        mask = scope_map.reachable(source, ttl)
+        delays = delay_forest.distances_from(source)
+        nodes = np.nonzero(mask)[0]
+        return [(int(node), float(delays[node])) for node in nodes
+                if np.isfinite(delays[node])]
+
+    return receivers
+
+
+def build_network_stack(topology: Topology):
+    """Convenience: (scope_map, delay_forest, receiver_map) for a topology."""
+    scope_map = ScopeMap.from_topology(topology)
+    delay_forest = ShortestPathForest(topology, weight="delay")
+    return scope_map, delay_forest, scoped_receiver_map(scope_map,
+                                                        delay_forest)

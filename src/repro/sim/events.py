@@ -1,0 +1,144 @@
+"""Heap-based discrete event scheduler.
+
+The scheduler owns a :class:`~repro.sim.clock.SimClock` and executes
+callbacks in timestamp order.  Ties are broken by insertion order so runs
+are fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+
+Callback = Callable[[], Any]
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callback) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback: Optional[Callback] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.callback = None
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled/fired."""
+        return not self.cancelled and self.callback is not None
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(when={self.when:.6f}, {state})"
+
+
+class EventScheduler:
+    """Executes callbacks in simulated-time order.
+
+    Example:
+        >>> sched = EventScheduler()
+        >>> fired = []
+        >>> _ = sched.schedule(1.5, lambda: fired.append(sched.now))
+        >>> sched.run()
+        >>> fired
+        [1.5]
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_run(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_run
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events still queued (including cancelled stubs)."""
+        return sum(1 for __, __, h in self._heap if not h.cancelled)
+
+    def schedule(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``when``."""
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule at {when} before current time {self.now}"
+            )
+        handle = EventHandle(when, next(self._seq), callback)
+        heapq.heappush(self._heap, (when, handle.seq, handle))
+        return handle
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if none remain."""
+        while self._heap:
+            when, __, handle = heapq.heappop(self._heap)
+            if handle.cancelled or handle.callback is None:
+                continue
+            self.clock.advance_to(when)
+            callback, handle.callback = handle.callback, None
+            callback()
+            self._events_run += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until``, or ``max_events``.
+
+        Args:
+            until: stop once the next event would fire after this time;
+                the clock is then advanced exactly to ``until``.
+            max_events: safety valve on the number of callbacks executed.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            when = self._next_pending_time()
+            if when is None:
+                break
+            if until is not None and when > until:
+                self.clock.advance_to(until)
+                return
+            self.step()
+            executed += 1
+        if until is not None and until > self.now:
+            self.clock.advance_to(until)
+
+    def _next_pending_time(self) -> Optional[float]:
+        while self._heap:
+            when, __, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return when
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"EventScheduler(now={self.now:.6f}, "
+            f"pending={self.pending_count}, run={self._events_run})"
+        )

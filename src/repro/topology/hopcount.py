@@ -1,0 +1,133 @@
+"""Hop-count analysis (paper fig. 10 and the §2.4.1 TTL table).
+
+The paper takes every mrouter in the mcollect map, computes a histogram
+of mrouter count against hop distance for each commonly used TTL scope,
+and combines the per-source histograms.  The headline outputs are the
+normalised hop-count distributions for TTL 15/47/63/127 and the table
+of typical and maximum hop counts per TTL, which drive the partition
+sizing rule of §2.4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.topology.graph import Topology
+
+if False:  # pragma: no cover - import cycle guard, typing only
+    from repro.routing.scoping import ScopeMap
+
+#: The four TTLs the paper plots in fig. 10.
+PAPER_TTLS = (15, 47, 63, 127)
+
+
+@dataclass
+class HopCountStats:
+    """Hop-count distribution for one TTL scope.
+
+    Attributes:
+        ttl: the scope's TTL.
+        histogram: ``histogram[k]`` = number of (source, receiver) pairs
+            at hop distance k within the scope, combined over sources.
+        normalized: histogram scaled to sum to 1 (fig. 10's y axis).
+        mean_hops: average hop count (the paper's "most frequent hop
+            count" column carries fractional values such as 10.6 and
+            3.1, i.e. it is a distribution-typical value; we report the
+            mean and the integer mode separately).
+        mode_hops: hop count with the largest histogram bin.
+        max_hops: largest hop count observed within the scope.
+    """
+
+    ttl: int
+    histogram: np.ndarray
+    normalized: np.ndarray
+    mean_hops: float
+    mode_hops: int
+    max_hops: int
+
+
+def hop_count_distribution(
+    topology: Topology,
+    ttls: Sequence[int] = PAPER_TTLS,
+    scope_map: "Optional[ScopeMap]" = None,
+    sources: Optional[Sequence[int]] = None,
+) -> Dict[int, HopCountStats]:
+    """Combined hop-count histograms for each TTL scope.
+
+    Args:
+        topology: the network.
+        ttls: TTL values to analyse.
+        scope_map: precomputed :class:`ScopeMap` (computed if omitted).
+        sources: subset of source nodes (all nodes if omitted; the
+            paper uses all mrouters).
+    """
+    # Imported here to avoid a topology <-> routing import cycle.
+    from repro.routing.scoping import ScopeMap
+    from repro.routing.spt import ShortestPathForest
+
+    if scope_map is None:
+        scope_map = ScopeMap.from_topology(topology)
+    forest = ShortestPathForest(topology, weight="metric")
+    depths = forest.all_trees().hop_depths()
+    n = topology.num_nodes
+    src_list = list(range(n)) if sources is None else list(sources)
+
+    need = scope_map.need[src_list]          # [S, n]
+    depth = depths[src_list].astype(np.int64)  # [S, n]
+    max_depth = int(depth.max()) if depth.size else 0
+
+    results: Dict[int, HopCountStats] = {}
+    for ttl in ttls:
+        in_scope = (need <= ttl) & (depth > 0)
+        hops = depth[in_scope]
+        histogram = np.bincount(hops, minlength=max_depth + 1).astype(
+            np.float64
+        )
+        total = histogram.sum()
+        if total > 0:
+            normalized = histogram / total
+            mean_hops = float((np.arange(len(histogram)) * normalized).sum())
+            mode_hops = int(histogram.argmax())
+            max_hops = int(np.max(hops))
+        else:
+            normalized = histogram
+            mean_hops = 0.0
+            mode_hops = 0
+            max_hops = 0
+        results[ttl] = HopCountStats(
+            ttl=ttl,
+            histogram=histogram,
+            normalized=normalized,
+            mean_hops=mean_hops,
+            mode_hops=mode_hops,
+            max_hops=max_hops,
+        )
+    return results
+
+
+#: Example-usage names from the paper's §2.4.1 table.
+TTL_USAGE = {
+    255: "DVMRP metric infinity",
+    127: "Intercontinental",
+    63: "International",
+    47: "National",
+    16: "Local",
+    15: "Local",
+}
+
+
+def usage_table(stats: Dict[int, HopCountStats]) -> List[Dict[str, object]]:
+    """Rows shaped like the paper's §2.4.1 table, highest TTL first."""
+    rows = []
+    for ttl in sorted(stats, reverse=True):
+        entry = stats[ttl]
+        rows.append({
+            "ttl": ttl,
+            "typical_hop_count": round(entry.mean_hops, 1),
+            "max_hop_count": entry.max_hops,
+            "example_usage": TTL_USAGE.get(ttl, ""),
+        })
+    return rows

@@ -1,0 +1,132 @@
+"""Topology map files — an mwatch-style text dump format.
+
+The paper's topology came from the mcollect/mwatch monitor, which
+dumped the Mbone as a text map of mrouters and tunnels with metrics
+and thresholds.  This module defines an equivalent plain-text format
+so generated maps can be saved, diffed, shipped with papers, and
+reloaded:
+
+    # repro-map 1
+    node 0 label north-america/hub
+    node 1 label north-america/usa/bb0 pos 0.25 0.5
+    link 0 1 metric 2 threshold 64 delay 0.0123
+
+Unknown trailing tokens on a line are rejected (the format is ours);
+comment lines start with ``#``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.topology.graph import Topology
+
+HEADER = "# repro-map 1"
+
+
+def dump_map(topology: Topology) -> str:
+    """Serialise a topology to map-file text."""
+    lines: List[str] = [HEADER]
+    for node in topology.nodes():
+        parts = [f"node {node}"]
+        label = topology.label(node)
+        if label is not None:
+            parts.append(f"label {label}")
+        position = topology.position(node)
+        if position is not None:
+            parts.append(f"pos {position[0]!r} {position[1]!r}")
+        lines.append(" ".join(parts))
+    for link in topology.links():
+        lines.append(
+            f"link {link.u} {link.v} metric {link.metric} "
+            f"threshold {link.threshold} delay {link.delay!r}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def save_map(topology: Topology, path: Union[str, Path]) -> None:
+    """Write :func:`dump_map` output to ``path``."""
+    Path(path).write_text(dump_map(topology))
+
+
+def parse_map(text: str) -> Topology:
+    """Parse map-file text back into a topology.
+
+    Raises:
+        ValueError: on malformed input (wrong header, out-of-order
+            node ids, unknown fields, bad numbers).
+    """
+    lines = [line.strip() for line in text.splitlines()]
+    content = [line for line in lines if line and
+               not (line.startswith("#") and line != HEADER)]
+    if not content or content[0] != HEADER:
+        raise ValueError(f"missing map header {HEADER!r}")
+    topo = Topology()
+    for line in content[1:]:
+        tokens = line.split()
+        if tokens[0] == "node":
+            _parse_node(topo, tokens)
+        elif tokens[0] == "link":
+            _parse_link(topo, tokens)
+        else:
+            raise ValueError(f"unknown map line: {line!r}")
+    return topo
+
+
+def load_map(path: Union[str, Path]) -> Topology:
+    """Read and parse a map file."""
+    return parse_map(Path(path).read_text())
+
+
+def _parse_node(topo: Topology, tokens: List[str]) -> None:
+    if len(tokens) < 2:
+        raise ValueError(f"malformed node line: {' '.join(tokens)!r}")
+    node_id = int(tokens[1])
+    if node_id != topo.num_nodes:
+        raise ValueError(
+            f"node ids must be dense and ordered; expected "
+            f"{topo.num_nodes}, got {node_id}"
+        )
+    label: Optional[str] = None
+    position: Optional[Tuple[float, float]] = None
+    index = 2
+    while index < len(tokens):
+        key = tokens[index]
+        if key == "label":
+            if index + 1 >= len(tokens):
+                raise ValueError("label without value")
+            label = tokens[index + 1]
+            index += 2
+        elif key == "pos":
+            if index + 2 >= len(tokens):
+                raise ValueError("pos needs two coordinates")
+            position = (float(tokens[index + 1]),
+                        float(tokens[index + 2]))
+            index += 3
+        else:
+            raise ValueError(f"unknown node field {key!r}")
+    topo.add_node(position=position, label=label)
+
+
+def _parse_link(topo: Topology, tokens: List[str]) -> None:
+    if len(tokens) < 3:
+        raise ValueError(f"malformed link line: {' '.join(tokens)!r}")
+    u, v = int(tokens[1]), int(tokens[2])
+    metric, threshold, delay = 1, 1, 0.001
+    index = 3
+    while index < len(tokens):
+        key = tokens[index]
+        if index + 1 >= len(tokens):
+            raise ValueError(f"link field {key!r} without value")
+        value = tokens[index + 1]
+        if key == "metric":
+            metric = int(value)
+        elif key == "threshold":
+            threshold = int(value)
+        elif key == "delay":
+            delay = float(value)
+        else:
+            raise ValueError(f"unknown link field {key!r}")
+        index += 2
+    topo.add_link(u, v, metric=metric, threshold=threshold, delay=delay)

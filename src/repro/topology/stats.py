@@ -1,0 +1,79 @@
+"""Topology summary statistics (mwatch-style reporting).
+
+Quick structural summaries used by the CLI and by map sanity checks:
+degree distribution, threshold census, metric census, hop diameter,
+and a one-call report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.routing.spt import ShortestPathForest
+from repro.topology.graph import Topology
+
+
+@dataclass
+class TopologySummary:
+    """Structural summary of one topology."""
+
+    num_nodes: int
+    num_links: int
+    mean_degree: float
+    max_degree: int
+    threshold_census: Dict[int, int]
+    metric_census: Dict[int, int]
+    hop_diameter: int
+    mean_hop_distance: float
+    connected: bool
+
+
+def summarize(topology: Topology) -> TopologySummary:
+    """Compute a :class:`TopologySummary` for ``topology``."""
+    degrees = [topology.degree(node) for node in topology.nodes()]
+    thresholds = Counter(link.threshold for link in topology.links())
+    metrics = Counter(link.metric for link in topology.links())
+    connected = topology.is_connected()
+    if topology.num_nodes > 1 and connected:
+        depths = ShortestPathForest(topology).all_trees().hop_depths()
+        positive = depths[depths > 0]
+        hop_diameter = int(depths.max())
+        mean_hops = float(positive.mean()) if positive.size else 0.0
+    else:
+        hop_diameter = 0
+        mean_hops = 0.0
+    return TopologySummary(
+        num_nodes=topology.num_nodes,
+        num_links=topology.num_links,
+        mean_degree=float(np.mean(degrees)) if degrees else 0.0,
+        max_degree=max(degrees) if degrees else 0,
+        threshold_census=dict(sorted(thresholds.items())),
+        metric_census=dict(sorted(metrics.items())),
+        hop_diameter=hop_diameter,
+        mean_hop_distance=mean_hops,
+        connected=connected,
+    )
+
+
+def format_summary(summary: TopologySummary) -> str:
+    """Plain-text rendering of a summary."""
+    lines = [
+        f"nodes:            {summary.num_nodes}",
+        f"links:            {summary.num_links}",
+        f"connected:        {summary.connected}",
+        f"mean degree:      {summary.mean_degree:.2f}",
+        f"max degree:       {summary.max_degree}",
+        f"hop diameter:     {summary.hop_diameter}",
+        f"mean hop dist:    {summary.mean_hop_distance:.2f}",
+        "threshold census: " + ", ".join(
+            f"{t}:{c}" for t, c in summary.threshold_census.items()
+        ),
+        "metric census:    " + ", ".join(
+            f"{m}:{c}" for m, c in summary.metric_census.items()
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic topologies and RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.scoping import ScopeMap
+from repro.topology.doar import DoarParams, generate_doar
+from repro.topology.graph import Topology
+from repro.topology.mbone import MboneParams, generate_mbone
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_mbone():
+    """A ~150-node synthetic Mbone (shared; treat as read-only)."""
+    return generate_mbone(MboneParams(total_nodes=150, seed=42))
+
+
+@pytest.fixture(scope="session")
+def small_scope_map(small_mbone):
+    return ScopeMap.from_topology(small_mbone)
+
+
+@pytest.fixture(scope="session")
+def small_doar():
+    """A 300-node Doar topology (shared; treat as read-only)."""
+    return generate_doar(DoarParams(num_nodes=300, seed=7))
+
+
+@pytest.fixture
+def chain_topology():
+    """0 -1- 1 -16- 2 -1- 3 -64- 4 with unit metrics and known delays.
+
+    Link (1,2) has TTL threshold 16 and link (3,4) threshold 64, so
+    scoping is exactly predictable:
+      need[0] = [0, 2, 18, 18, 68]
+    """
+    topo = Topology()
+    for __ in range(5):
+        topo.add_node()
+    topo.add_link(0, 1, metric=1, threshold=1, delay=0.010)
+    topo.add_link(1, 2, metric=1, threshold=16, delay=0.020)
+    topo.add_link(2, 3, metric=1, threshold=1, delay=0.030)
+    topo.add_link(3, 4, metric=1, threshold=64, delay=0.040)
+    return topo
+
+
+@pytest.fixture
+def chain_scope_map(chain_topology):
+    return ScopeMap.from_topology(chain_topology)

@@ -1,0 +1,88 @@
+"""§2.3 announcement model tests."""
+
+import pytest
+
+from repro.analysis.announcement import (
+    ExponentialBackoffSchedule,
+    invisible_fraction,
+    mean_announcement_delay,
+    paper_two_term_delay,
+)
+
+
+class TestMeanDelay:
+    def test_paper_two_term_value(self):
+        """(0.98*0.2)+(0.02*600) = 12.196 — 'approximately 12 seconds'."""
+        assert paper_two_term_delay() == pytest.approx(12.196)
+
+    def test_geometric_close_to_paper(self):
+        assert mean_announcement_delay() == pytest.approx(12.44, abs=0.05)
+
+    def test_no_loss_is_pure_delay(self):
+        assert mean_announcement_delay(loss=0.0) == pytest.approx(0.2)
+
+    def test_higher_loss_higher_delay(self):
+        assert mean_announcement_delay(loss=0.10) > \
+            mean_announcement_delay(loss=0.02)
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            mean_announcement_delay(loss=1.0)
+        with pytest.raises(ValueError):
+            mean_announcement_delay(loss=-0.1)
+
+
+class TestInvisibleFraction:
+    def test_paper_value(self):
+        """'approximately 0.1% of sessions ... are not visible'."""
+        frac = invisible_fraction(paper_two_term_delay())
+        assert 0.0005 < frac < 0.0015
+
+    def test_capped_at_one(self):
+        assert invisible_fraction(10 ** 9, 1.0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            invisible_fraction(-1.0)
+        with pytest.raises(ValueError):
+            invisible_fraction(1.0, 0.0)
+
+
+class TestBackoffSchedule:
+    def test_intervals_double_and_cap(self):
+        schedule = ExponentialBackoffSchedule(
+            initial_interval=5.0, factor=2.0, background_interval=600.0
+        )
+        gaps = schedule.intervals(9)
+        assert gaps[:4] == [5.0, 10.0, 20.0, 40.0]
+        assert gaps[-1] == 600.0
+
+    def test_announcement_times_cumulative(self):
+        schedule = ExponentialBackoffSchedule()
+        times = schedule.announcement_times(4)
+        assert times == [0.0, 5.0, 15.0, 35.0]
+
+    def test_paper_fast_start_delay(self):
+        """'repeating the announcement 5 seconds after it is first made
+        gives a mean delay of about 0.3 seconds' (2% loss)."""
+        delay = ExponentialBackoffSchedule().mean_discovery_delay()
+        assert delay == pytest.approx(0.3, abs=0.02)
+
+    def test_i_fraction_improves_on_fixed_interval(self):
+        """The §4 point: back-off shrinks i by orders of magnitude."""
+        backoff_i = ExponentialBackoffSchedule().i_fraction()
+        fixed_i = invisible_fraction(mean_announcement_delay())
+        assert backoff_i < fixed_i / 10
+
+    def test_zero_loss_is_first_packet(self):
+        delay = ExponentialBackoffSchedule().mean_discovery_delay(loss=0.0)
+        assert delay == pytest.approx(0.2)
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoffSchedule(initial_interval=0.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoffSchedule(factor=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoffSchedule(initial_interval=700.0,
+                                       background_interval=600.0)

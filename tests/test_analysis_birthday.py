@@ -1,0 +1,84 @@
+"""Birthday model tests (fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.birthday import (
+    allocations_for_clash_probability,
+    clash_probability,
+    expected_allocations_before_clash,
+)
+
+
+class TestClashProbability:
+    def test_zero_allocations_no_clash(self):
+        assert clash_probability(10_000, 0) == 0.0
+
+    def test_one_allocation_no_clash(self):
+        assert clash_probability(10_000, 1) == 0.0
+
+    def test_classic_birthday_365(self):
+        """23 people, 365 days: the canonical 50.7%."""
+        assert clash_probability(365, 23) == pytest.approx(0.5073, abs=1e-3)
+
+    def test_fig4_anchor(self):
+        """Fig. 4: a space of 10,000 crosses p=0.5 near 118."""
+        assert clash_probability(10_000, 118) == pytest.approx(0.5,
+                                                               abs=0.01)
+        assert clash_probability(10_000, 50) < 0.2
+        assert clash_probability(10_000, 300) > 0.98
+
+    def test_more_than_space_certain(self):
+        import math
+        assert clash_probability(10, 11) == 1.0
+        # k = n is NOT certain: all-distinct has probability n!/n^n.
+        expected = 1.0 - math.factorial(10) / 10 ** 10
+        assert clash_probability(10, 10) == pytest.approx(expected,
+                                                          abs=1e-9)
+
+    def test_vector_input(self):
+        out = clash_probability(10_000, np.array([0, 118, 400]))
+        assert out.shape == (3,)
+        assert out[0] == 0.0
+        assert out[2] > out[1] > 0.4
+
+    def test_monotone_in_allocations(self):
+        ks = np.arange(0, 500)
+        probs = clash_probability(10_000, ks)
+        assert (np.diff(probs) >= 0).all()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            clash_probability(0, 5)
+        with pytest.raises(ValueError):
+            clash_probability(10, -1)
+
+    @given(st.integers(min_value=2, max_value=10 ** 6),
+           st.integers(min_value=0, max_value=1000))
+    def test_property_valid_probability(self, n, k):
+        p = clash_probability(n, k)
+        assert 0.0 <= p <= 1.0
+
+
+class TestInverseAndExpectation:
+    def test_inverse_matches_forward(self):
+        k = allocations_for_clash_probability(10_000, 0.5)
+        assert clash_probability(10_000, k) >= 0.5
+        assert clash_probability(10_000, k - 1) < 0.5
+
+    def test_sqrt_scaling(self):
+        """O(sqrt n): quadrupling the space doubles the count."""
+        k1 = allocations_for_clash_probability(10_000, 0.5)
+        k4 = allocations_for_clash_probability(40_000, 0.5)
+        assert k4 / k1 == pytest.approx(2.0, rel=0.05)
+
+    def test_expected_allocations_sqrt(self):
+        e = expected_allocations_before_clash(10_000)
+        assert e == pytest.approx(np.sqrt(np.pi * 10_000 / 2) + 2 / 3)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            allocations_for_clash_probability(100, 0.0)
+        with pytest.raises(ValueError):
+            allocations_for_clash_probability(100, 1.0)

@@ -1,0 +1,56 @@
+"""§4.1 capacity-model tests."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    FLAT_BAND_BOUND,
+    IPV4_MULTICAST,
+    flat_capacity,
+    hierarchical_capacity,
+    improvement_factor,
+)
+
+
+class TestFlatCapacity:
+    def test_paper_flat_bound_magnitude(self):
+        """§4.1: flat allocation of the full 2^28 space is hopeless —
+        the fraction usable collapses."""
+        capacity = flat_capacity(IPV4_MULTICAST, 0.001)
+        assert capacity / IPV4_MULTICAST < 0.01
+
+    def test_small_space_packs_well(self):
+        # "It could probably allocate an address space of 65,536
+        # addresses" — ~10% of the space at i=0.001m as one flat band.
+        capacity = flat_capacity(65_536, 0.001)
+        assert capacity / 65_536 > 0.08
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flat_capacity(0, 0.001)
+
+
+class TestHierarchicalCapacity:
+    def test_structure(self):
+        result = hierarchical_capacity()
+        assert result.prefix_size == FLAT_BAND_BOUND
+        assert result.prefixes == IPV4_MULTICAST // FLAT_BAND_BOUND
+        assert 0 < result.prefixes_usable <= result.prefixes
+        assert 0 < result.sessions_per_prefix <= result.prefix_size
+        assert result.total_sessions == (
+            result.prefixes_usable * result.sessions_per_prefix
+        )
+
+    def test_hierarchy_beats_flat_by_orders_of_magnitude(self):
+        """The paper's whole point: the hierarchy makes the 2^28 space
+        usable."""
+        factor = improvement_factor()
+        assert factor > 100
+
+    def test_timely_addresses_matter(self):
+        fresh = hierarchical_capacity(address_i_fraction=0.00005)
+        stale = hierarchical_capacity(address_i_fraction=0.01)
+        assert fresh.total_sessions > stale.total_sessions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hierarchical_capacity(total_space=100, prefix_size=1000)

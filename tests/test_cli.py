@@ -1,0 +1,99 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateAndStats:
+    def test_generate_mbone_map(self, tmp_path, capsys):
+        out = tmp_path / "m.map"
+        assert main(["generate-map", "--nodes", "100", "--seed", "3",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_doar_map(self, tmp_path, capsys):
+        out = tmp_path / "d.map"
+        assert main(["generate-map", "--kind", "doar", "--nodes", "50",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_map_stats(self, tmp_path, capsys):
+        out = tmp_path / "m.map"
+        main(["generate-map", "--nodes", "100", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["map-stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "nodes:" in text
+        assert "threshold census:" in text
+
+
+class TestAnalysisCommands:
+    def test_analyze_birthday(self, capsys):
+        assert main(["analyze", "birthday", "--space", "10000",
+                     "--allocations", "118"]) == 0
+        out = capsys.readouterr().out
+        assert "P(clash" in out
+        assert "= 0.49" in out or "= 0.50" in out
+
+    def test_analyze_eq1(self, capsys):
+        assert main(["analyze", "eq1", "--space", "8192",
+                     "--i-fraction", "0.001"]) == 0
+        assert "2061" in capsys.readouterr().out
+
+    def test_analyze_responders(self, capsys):
+        assert main(["analyze", "responders", "--sites", "1600",
+                     "--buckets", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform=50.00" in out
+        assert "exponential=1.443" in out
+
+
+class TestSimulationCommands:
+    def test_hopcount(self, capsys):
+        assert main(["hopcount", "--nodes", "100", "--seed", "3",
+                     "--ttls", "15", "127"]) == 0
+        out = capsys.readouterr().out
+        assert "Intercontinental" in out
+        assert "Local" in out
+
+    def test_hopcount_from_map(self, tmp_path, capsys):
+        out_file = tmp_path / "m.map"
+        main(["generate-map", "--nodes", "100", "--out",
+              str(out_file)])
+        capsys.readouterr()
+        assert main(["hopcount", "--map", str(out_file)]) == 0
+        assert "ttl" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--nodes", "100", "--sizes", "100",
+                     "--trials", "1", "--algorithms", "random",
+                     "ipr7"]) == 0
+        out = capsys.readouterr().out
+        assert "ipr7" in out
+        assert "random" in out
+        assert "ds4" in out
+
+    def test_steady_state(self, capsys):
+        assert main(["steady-state", "--nodes", "100", "--algorithm",
+                     "ipr7", "--spaces", "100", "--trials", "3"]) == 0
+        assert "allocations@0.5" in capsys.readouterr().out
+
+    def test_request_response(self, capsys):
+        assert main(["request-response", "--sites", "150", "--d2",
+                     "1.6", "--trials", "3"]) == 0
+        assert "mean responses" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_reproduce_report(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["reproduce", "--nodes", "150", "--out",
+                     str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "16,488" in text
+        assert "fig. 5" in text
+        assert out.read_text().startswith("repro — compact")

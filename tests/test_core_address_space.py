@@ -1,0 +1,84 @@
+"""Multicast address space tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.address_space import (
+    MULTICAST_TOTAL,
+    MulticastAddressSpace,
+    int_to_ip,
+    ip_to_int,
+)
+
+
+class TestIpConversion:
+    def test_roundtrip_known(self):
+        assert ip_to_int("224.2.128.0") == 0xE0028000
+        assert int_to_ip(0xE0028000) == "224.2.128.0"
+
+    def test_malformed_rejected(self):
+        for bad in ("224.2.128", "224.2.128.0.1", "224.2.128.300",
+                    "a.b.c.d"):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_ip(2 ** 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_property_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestMulticastAddressSpace:
+    def test_sdr_dynamic(self):
+        space = MulticastAddressSpace.sdr_dynamic()
+        assert space.size == 65_536
+        assert space.index_to_ip(0) == "224.2.128.0"
+        assert space.index_to_ip(65_535) == "224.3.127.255"
+
+    def test_admin_local(self):
+        space = MulticastAddressSpace.admin_local_scope()
+        assert space.index_to_ip(0) == "239.255.0.0"
+
+    def test_full_ipv4(self):
+        space = MulticastAddressSpace.full_ipv4()
+        assert space.size == MULTICAST_TOTAL == 2 ** 28
+
+    def test_abstract(self):
+        space = MulticastAddressSpace.abstract(1000)
+        assert len(space) == 1000
+        assert space.contains_index(999)
+        assert not space.contains_index(1000)
+
+    def test_index_bounds(self):
+        space = MulticastAddressSpace.abstract(10)
+        with pytest.raises(IndexError):
+            space.index_to_ip(10)
+        with pytest.raises(IndexError):
+            space.index_to_ip(-1)
+
+    def test_ip_to_index_roundtrip(self):
+        space = MulticastAddressSpace.abstract(500)
+        for index in (0, 123, 499):
+            assert space.ip_to_index(space.index_to_ip(index)) == index
+
+    def test_ip_outside_block_rejected(self):
+        space = MulticastAddressSpace.abstract(10)
+        with pytest.raises(ValueError):
+            space.ip_to_index("239.255.0.0")
+
+    def test_non_multicast_base_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastAddressSpace(ip_to_int("10.0.0.0"), 10)
+
+    def test_block_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastAddressSpace(ip_to_int("239.255.255.0"), 10_000)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastAddressSpace.abstract(0)

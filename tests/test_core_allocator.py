@@ -1,0 +1,106 @@
+"""VisibleSet, nth_free_address and the allocator base contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.allocator import (
+    AllocationResult,
+    VisibleSet,
+    nth_free_address,
+)
+from repro.core.session import Session
+
+
+class TestVisibleSet:
+    def test_empty(self):
+        vs = VisibleSet.empty()
+        assert len(vs) == 0
+        assert vs.used_addresses().size == 0
+
+    def test_from_sessions(self):
+        sessions = [Session(address=3, ttl=15, source=0),
+                    Session(address=9, ttl=63, source=1)]
+        vs = VisibleSet.from_sessions(sessions)
+        assert vs.addresses.tolist() == [3, 9]
+        assert vs.ttls.tolist() == [15, 63]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            VisibleSet(np.array([1, 2]), np.array([15]))
+
+    def test_used_addresses_unique_sorted(self):
+        vs = VisibleSet(np.array([9, 3, 9, 1]), np.array([1, 1, 2, 3]))
+        assert vs.used_addresses().tolist() == [1, 3, 9]
+
+    def test_in_address_range(self):
+        vs = VisibleSet(np.array([1, 5, 9]), np.array([15, 63, 127]))
+        sub = vs.in_address_range(2, 9)
+        assert sub.addresses.tolist() == [5]
+        assert sub.ttls.tolist() == [63]
+
+    def test_with_ttl_at_least(self):
+        vs = VisibleSet(np.array([1, 5, 9]), np.array([15, 63, 127]))
+        sub = vs.with_ttl_at_least(63)
+        assert sub.addresses.tolist() == [5, 9]
+
+
+class TestNthFreeAddress:
+    def test_no_used(self):
+        used = np.array([], dtype=np.int64)
+        assert nth_free_address(used, 0, 0, 10) == 0
+        assert nth_free_address(used, 9, 0, 10) == 9
+
+    def test_skips_used(self):
+        used = np.array([0, 1, 5])
+        # Free addresses of [0, 10): 2,3,4,6,7,8,9
+        frees = [nth_free_address(used, r, 0, 10) for r in range(7)]
+        assert frees == [2, 3, 4, 6, 7, 8, 9]
+
+    def test_offset_range(self):
+        used = np.array([101, 103])
+        frees = [nth_free_address(used, r, 100, 106) for r in range(4)]
+        assert frees == [100, 102, 104, 105]
+
+    def test_rank_out_of_bounds_rejected(self):
+        used = np.array([0, 1])
+        with pytest.raises(ValueError):
+            nth_free_address(used, 8, 0, 10)
+        with pytest.raises(ValueError):
+            nth_free_address(used, -1, 0, 10)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.data(),
+    )
+    def test_property_matches_naive_enumeration(self, hi, data):
+        used_set = data.draw(st.sets(
+            st.integers(min_value=0, max_value=hi - 1), max_size=hi - 1
+        ))
+        used = np.array(sorted(used_set), dtype=np.int64)
+        free = [a for a in range(hi) if a not in used_set]
+        if not free:
+            return
+        r = data.draw(st.integers(min_value=0, max_value=len(free) - 1))
+        assert nth_free_address(used, r, 0, hi) == free[r]
+
+
+class TestAllocatorBase:
+    def test_invalid_space_rejected(self):
+        from repro.core.random_alloc import RandomAllocator
+        with pytest.raises(ValueError):
+            RandomAllocator(0)
+
+    def test_invalid_ttl_rejected(self, rng):
+        from repro.core.random_alloc import RandomAllocator
+        allocator = RandomAllocator(100, rng)
+        with pytest.raises(ValueError):
+            allocator.allocate(0, VisibleSet.empty())
+        with pytest.raises(ValueError):
+            allocator.allocate(256, VisibleSet.empty())
+
+    def test_allocation_result_fields(self):
+        result = AllocationResult(address=5, band=2, informed=True,
+                                  forced=False)
+        assert result.address == 5
+        assert result.band == 2

@@ -1,0 +1,92 @@
+"""Address block (CIDR prefix) tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.address_space import ip_to_int
+from repro.core.blocks import AddressBlock, block_for
+
+
+class TestConstruction:
+    def test_parse_and_str_roundtrip(self):
+        block = AddressBlock.parse("224.2.128.0/17")
+        assert str(block) == "224.2.128.0/17"
+        assert block.size == 2 ** 15
+
+    def test_all_multicast(self):
+        root = AddressBlock.all_multicast()
+        assert str(root) == "224.0.0.0/4"
+        assert root.size == 2 ** 28
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            AddressBlock(ip_to_int("224.2.128.1"), 17)
+
+    def test_non_multicast_rejected(self):
+        with pytest.raises(ValueError):
+            AddressBlock(ip_to_int("10.0.0.0"), 8)
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            AddressBlock(ip_to_int("224.0.0.0"), 3)
+        with pytest.raises(ValueError):
+            AddressBlock(ip_to_int("224.0.0.0"), 33)
+
+    def test_parse_requires_slash(self):
+        with pytest.raises(ValueError):
+            AddressBlock.parse("224.2.128.0")
+
+
+class TestGeometry:
+    def test_containment(self):
+        outer = AddressBlock.parse("224.2.0.0/16")
+        inner = AddressBlock.parse("224.2.128.0/17")
+        assert outer.contains_block(inner)
+        assert not inner.contains_block(outer)
+        assert outer.contains_address(ip_to_int("224.2.200.5"))
+        assert not outer.contains_address(ip_to_int("224.3.0.0"))
+
+    def test_overlap(self):
+        a = AddressBlock.parse("224.2.0.0/17")
+        b = AddressBlock.parse("224.2.128.0/17")
+        c = AddressBlock.parse("224.2.0.0/16")
+        assert not a.overlaps(b)
+        assert a.overlaps(c) and b.overlaps(c)
+
+    def test_children(self):
+        block = AddressBlock.parse("224.2.0.0/16")
+        low, high = block.children()
+        assert str(low) == "224.2.0.0/17"
+        assert str(high) == "224.2.128.0/17"
+        assert low.supernet() == block
+        assert high.supernet() == block
+
+    def test_cannot_split_host_route(self):
+        with pytest.raises(ValueError):
+            AddressBlock(ip_to_int("224.0.0.1"), 32).children()
+
+    def test_root_has_no_supernet(self):
+        with pytest.raises(ValueError):
+            AddressBlock.all_multicast().supernet()
+
+    def test_subblocks(self):
+        block = AddressBlock.parse("224.2.0.0/16")
+        subs = list(block.subblocks(18))
+        assert len(subs) == 4
+        assert all(block.contains_block(s) for s in subs)
+        assert subs[0].base == block.base
+        with pytest.raises(ValueError):
+            list(block.subblocks(8))
+
+    def test_block_for(self):
+        block = block_for(ip_to_int("224.2.129.77"), 17)
+        assert str(block) == "224.2.128.0/17"
+
+    @given(st.integers(4, 31), st.integers(0, 2 ** 28 - 1))
+    def test_property_children_tile_parent(self, prefix_len, offset):
+        parent = block_for(0xE0000000 + offset, prefix_len)
+        low, high = parent.children()
+        assert low.size + high.size == parent.size
+        assert low.base == parent.base
+        assert high.last == parent.last
+        assert not low.overlaps(high)

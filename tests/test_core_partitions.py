@@ -1,0 +1,144 @@
+"""Partition map tests (fig. 11 and the static band edges)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.partitions import (
+    IPR3_EDGES,
+    IPR7_EDGES,
+    MAX_TTL,
+    PartitionMap,
+    equal_band_ranges,
+    margin_partition_map,
+)
+
+
+class TestPartitionMap:
+    def test_three_band_assignment(self):
+        pm = PartitionMap(IPR3_EDGES)
+        assert pm.num_bands == 3
+        assert pm.band_of(1) == 0
+        assert pm.band_of(14) == 0
+        assert pm.band_of(15) == 1
+        assert pm.band_of(47) == 1
+        assert pm.band_of(63) == 1
+        assert pm.band_of(64) == 2
+        assert pm.band_of(191) == 2
+
+    def test_seven_band_isolates_paper_ttls(self):
+        """IPR-7 is 'perfect partitioning': no two TTLs of the fig. 5
+        distributions share a band."""
+        pm = PartitionMap(IPR7_EDGES)
+        bands = [pm.band_of(t) for t in (1, 15, 31, 47, 63, 127, 191)]
+        assert len(set(bands)) == 7
+
+    def test_three_band_conflates_european_ttls(self):
+        """The fig. 3 problem: TTL 47 (UK) and 63 (Europe) share a band."""
+        pm = PartitionMap(IPR3_EDGES)
+        assert pm.band_of(47) == pm.band_of(63)
+
+    def test_band_of_array(self):
+        pm = PartitionMap(IPR3_EDGES)
+        out = pm.band_of(np.array([1, 15, 64]))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_ttl_range_inverse(self):
+        pm = PartitionMap(IPR7_EDGES)
+        for band in range(pm.num_bands):
+            lo, hi = pm.ttl_range(band)
+            assert pm.band_of(lo) == band
+            assert pm.band_of(hi) == band
+        assert pm.ttl_range(0)[0] == 1
+        assert pm.ttl_range(pm.num_bands - 1)[1] == MAX_TTL
+
+    def test_ttl_range_bounds_checked(self):
+        pm = PartitionMap(IPR3_EDGES)
+        with pytest.raises(IndexError):
+            pm.ttl_range(3)
+
+    def test_band_counts(self):
+        pm = PartitionMap(IPR3_EDGES)
+        counts = pm.band_counts(np.array([1, 1, 15, 63, 191]))
+        assert counts.tolist() == [2, 2, 1]
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionMap((64, 15))
+        with pytest.raises(ValueError):
+            PartitionMap((15, 15))
+
+    @given(st.integers(min_value=1, max_value=255))
+    def test_property_every_ttl_has_exactly_one_band(self, ttl):
+        for pm in (PartitionMap(IPR3_EDGES), PartitionMap(IPR7_EDGES),
+                   margin_partition_map(2)):
+            band = pm.band_of(ttl)
+            lo, hi = pm.ttl_range(band)
+            assert lo <= ttl <= hi
+
+
+class TestMarginPartitionMap:
+    def test_margin2_partition_count(self):
+        """The paper reports 55 partitions at margin 2; our ceil-based
+        reading of the rule yields 54 (off by one from rounding at the
+        top of the range)."""
+        assert margin_partition_map(2).num_bands == 54
+
+    def test_low_ttls_one_per_partition(self):
+        pm = margin_partition_map(2)
+        # At the bottom of the range every TTL gets its own partition.
+        for ttl in range(1, 8):
+            lo, hi = pm.ttl_range(pm.band_of(ttl))
+            assert lo == hi == ttl
+
+    def test_high_ttl_bands_wider_but_bounded(self):
+        pm = margin_partition_map(2)
+        top_lo, top_hi = pm.ttl_range(pm.num_bands - 1)
+        width = top_hi - top_lo + 1
+        # "the size of the highest TTL band should be less than the
+        # DVMRP infinite routing metric of 32"
+        assert 1 < width < 32
+
+    def test_widths_monotone_non_decreasing(self):
+        """Widths grow with TTL (the rule is proportional to t); the
+        final band may be narrower because it is truncated at 255."""
+        pm = margin_partition_map(2)
+        widths = [hi - lo + 1 for lo, hi in
+                  (pm.ttl_range(b) for b in range(pm.num_bands))]
+        body = widths[:-1]
+        assert all(b >= a for a, b in zip(body, body[1:]))
+
+    def test_larger_margin_more_partitions(self):
+        assert (margin_partition_map(3).num_bands
+                > margin_partition_map(2).num_bands
+                > margin_partition_map(1).num_bands)
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(ValueError):
+            margin_partition_map(0)
+
+
+class TestEqualBandRanges:
+    def test_exact_cover(self):
+        ranges = equal_band_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_even_split(self):
+        ranges = equal_band_ranges(100, 4)
+        assert all(hi - lo == 25 for lo, hi in ranges)
+
+    def test_contiguous_and_complete(self):
+        for size, bands in ((100, 7), (65_536, 8), (17, 5)):
+            ranges = equal_band_ranges(size, bands)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == size
+            for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                assert b == c
+
+    def test_too_many_bands_rejected(self):
+        with pytest.raises(ValueError):
+            equal_band_ranges(3, 5)
+
+    def test_zero_bands_rejected(self):
+        with pytest.raises(ValueError):
+            equal_band_ranges(10, 0)

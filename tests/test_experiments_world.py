@@ -1,0 +1,83 @@
+"""AllocationWorld tests."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.session import Session
+from repro.experiments.world import AllocationWorld
+
+
+class TestAllocationWorld:
+    def test_add_and_visible(self, chain_scope_map):
+        world = AllocationWorld(chain_scope_map)
+        world.add(Session(address=5, ttl=18, source=0))
+        world.add(Session(address=6, ttl=2, source=0))
+        # Node 3 is inside the ttl-18 scope of node 0 but not ttl-2.
+        visible = world.visible_at(3)
+        assert visible.addresses.tolist() == [5]
+        # Node 1 sees both.
+        assert sorted(world.visible_at(1).addresses.tolist()) == [5, 6]
+
+    def test_clash_detection(self, chain_scope_map):
+        world = AllocationWorld(chain_scope_map)
+        world.add(Session(address=5, ttl=18, source=0))
+        assert world.clashes(Session(address=5, ttl=18, source=1))
+        assert not world.clashes(Session(address=9, ttl=18, source=1))
+        # Disjoint scopes, same address: no clash.
+        assert not world.clashes(Session(address=5, ttl=64, source=4))
+
+    def test_remove_swaps_last(self, chain_scope_map):
+        world = AllocationWorld(chain_scope_map)
+        a = Session(address=1, ttl=18, source=0)
+        b = Session(address=2, ttl=18, source=1)
+        c = Session(address=3, ttl=18, source=2)
+        for s in (a, b, c):
+            world.add(s)
+        removed = world.remove_at(0)
+        assert removed is a
+        assert len(world) == 2
+        assert sorted(world.visible_at(1).addresses.tolist()) == [2, 3]
+        # Clash bookkeeping still correct after the swap.
+        assert world.clashes(Session(address=3, ttl=18, source=0))
+        assert not world.clashes(Session(address=1, ttl=18, source=0))
+
+    def test_remove_out_of_range(self, chain_scope_map):
+        world = AllocationWorld(chain_scope_map)
+        with pytest.raises(IndexError):
+            world.remove_at(0)
+
+    def test_growth_beyond_capacity(self, chain_scope_map):
+        world = AllocationWorld(chain_scope_map, initial_capacity=4)
+        for i in range(100):
+            world.add(Session(address=i, ttl=18, source=i % 5))
+        assert len(world) == 100
+        assert len(world.visible_at(0).addresses) > 0
+
+    def test_random_slot(self, chain_scope_map, rng):
+        world = AllocationWorld(chain_scope_map)
+        with pytest.raises(ValueError):
+            world.random_slot(rng)
+        world.add(Session(address=1, ttl=18, source=0))
+        assert world.random_slot(rng) == 0
+
+    # The scope map is immutable, so sharing it across examples is safe.
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.lists(st.tuples(st.integers(0, 4), st.sampled_from(
+        [2, 18, 68, 255]), st.integers(0, 30)), min_size=1, max_size=40),
+        st.integers(0, 4))
+    def test_property_visibility_matches_bruteforce(self, chain_scope_map,
+                                                    triples, node):
+        world = AllocationWorld(chain_scope_map)
+        sessions = []
+        for source, ttl, address in triples:
+            s = Session(address=address, ttl=ttl, source=source)
+            world.add(s)
+            sessions.append(s)
+        visible = world.visible_at(node)
+        expected = sorted(
+            s.address for s in sessions
+            if chain_scope_map.can_hear(node, s.source, s.ttl)
+        )
+        assert sorted(visible.addresses.tolist()) == expected

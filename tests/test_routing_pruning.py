@@ -1,0 +1,104 @@
+"""DVMRP prune/graft (membership-driven delivery) tests."""
+
+import pytest
+
+from repro.routing.pruning import GroupMembership, PruningSimulation
+from repro.topology.graph import Topology
+
+
+@pytest.fixture
+def y_topology():
+    """0 - 1, then 1 - 2 and 1 - 3 (a Y rooted anywhere)."""
+    topo = Topology()
+    for __ in range(4):
+        topo.add_node()
+    topo.add_link(0, 1)
+    topo.add_link(1, 2)
+    topo.add_link(1, 3)
+    return topo
+
+
+class TestGroupMembership:
+    def test_join_leave(self):
+        membership = GroupMembership()
+        membership.join(7, 1)
+        membership.join(7, 2)
+        assert membership.members(7) == {1, 2}
+        assert membership.is_member(7, 1)
+        membership.leave(7, 1)
+        assert membership.members(7) == {2}
+        membership.leave(7, 2)
+        assert membership.groups() == []
+        membership.leave(7, 99)  # idempotent on unknown state
+
+    def test_groups_listing(self):
+        membership = GroupMembership()
+        membership.join(9, 0)
+        membership.join(3, 0)
+        assert membership.groups() == [3, 9]
+
+
+class TestPrunedTree:
+    def test_no_members_prunes_everything_but_source(self, y_topology):
+        sim = PruningSimulation(y_topology)
+        tree = sim.pruned_tree(source=0, group=5)
+        assert tree.forwarding == {0}
+        assert tree.pruned == {1, 2, 3}
+
+    def test_single_member_keeps_path_only(self, y_topology):
+        sim = PruningSimulation(y_topology)
+        sim.membership.join(5, 2)
+        tree = sim.pruned_tree(source=0, group=5)
+        assert tree.forwarding == {0, 1, 2}
+        assert tree.pruned == {3}
+
+    def test_graft_restores_branch(self, y_topology):
+        sim = PruningSimulation(y_topology)
+        sim.membership.join(5, 2)
+        assert 3 in sim.pruned_tree(0, 5).pruned
+        sim.membership.join(5, 3)  # graft
+        tree = sim.pruned_tree(0, 5)
+        assert tree.forwarding == {0, 1, 2, 3}
+        assert tree.pruned == set()
+
+    def test_leave_triggers_reprune(self, y_topology):
+        sim = PruningSimulation(y_topology)
+        sim.membership.join(5, 2)
+        sim.membership.join(5, 3)
+        sim.membership.leave(5, 3)
+        assert 3 in sim.pruned_tree(0, 5).pruned
+
+    def test_intermediate_member(self, y_topology):
+        sim = PruningSimulation(y_topology)
+        sim.membership.join(5, 1)
+        tree = sim.pruned_tree(0, 5)
+        assert tree.forwarding == {0, 1}
+        assert tree.pruned == {2, 3}
+
+    def test_traffic_bearing_links(self, y_topology):
+        sim = PruningSimulation(y_topology)
+        sim.membership.join(5, 2)
+        assert sim.traffic_bearing_links(0, 5) == 2  # 0-1, 1-2
+        sim.membership.join(5, 3)
+        assert sim.traffic_bearing_links(0, 5) == 3
+
+    def test_savings(self, y_topology):
+        sim = PruningSimulation(y_topology)
+        assert sim.savings(0, 5) == pytest.approx(0.75)
+        sim.membership.join(5, 2)
+        assert sim.savings(0, 5) == pytest.approx(0.25)
+
+    def test_source_as_member_of_own_group(self, y_topology):
+        sim = PruningSimulation(y_topology)
+        sim.membership.join(5, 0)
+        tree = sim.pruned_tree(0, 5)
+        assert tree.forwarding == {0}
+
+    def test_on_mbone_sparse_group_prunes_most(self, small_mbone):
+        sim = PruningSimulation(small_mbone)
+        sim.membership.join(1, 5)
+        sim.membership.join(1, 20)
+        tree = sim.pruned_tree(source=0, group=1)
+        assert {5, 20}.issubset(tree.forwarding)
+        # A two-member group needs a small fraction of the map.
+        assert len(tree.forwarding) < small_mbone.num_nodes / 3

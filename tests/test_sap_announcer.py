@@ -1,0 +1,128 @@
+"""Announcement strategy and announcer loop tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.announcement import ExponentialBackoffSchedule
+from repro.sap.announcer import (
+    Announcer,
+    BandwidthLimitedStrategy,
+    ExponentialBackoffStrategy,
+    FixedIntervalStrategy,
+)
+from repro.sim.events import EventScheduler
+
+
+class TestStrategies:
+    def test_fixed(self):
+        strategy = FixedIntervalStrategy(300.0)
+        assert strategy.next_interval(1, 10) == 300.0
+        assert strategy.next_interval(50, 1000) == 300.0
+
+    def test_fixed_validation(self):
+        with pytest.raises(ValueError):
+            FixedIntervalStrategy(0.0)
+
+    def test_backoff_doubles_then_caps(self):
+        strategy = ExponentialBackoffStrategy(
+            ExponentialBackoffSchedule(5.0, 2.0, 600.0)
+        )
+        assert strategy.next_interval(1, 1) == 5.0
+        assert strategy.next_interval(2, 1) == 10.0
+        assert strategy.next_interval(3, 1) == 20.0
+        assert strategy.next_interval(50, 1) == 600.0
+
+    def test_bandwidth_limited_scales_with_population(self):
+        strategy = BandwidthLimitedStrategy(bandwidth_bps=4096,
+                                            packet_bytes=512,
+                                            min_interval=5.0)
+        # One session: 512*8/4096 = 1 s -> floored at 5 s.
+        assert strategy.next_interval(1, 1) == 5.0
+        # 100 sessions: 100 s between announcements of each session.
+        assert strategy.next_interval(1, 100) == pytest.approx(100.0)
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthLimitedStrategy(bandwidth_bps=0)
+
+
+class TestAnnouncer:
+    def make(self, sched, strategy, jitter=0.0):
+        sent = []
+        announcer = Announcer(
+            scheduler=sched,
+            send=lambda: sent.append(sched.now),
+            strategy=strategy,
+            rng=np.random.default_rng(0),
+            jitter_fraction=jitter,
+        )
+        return announcer, sent
+
+    def test_announces_immediately_then_periodically(self):
+        sched = EventScheduler()
+        announcer, sent = self.make(sched, FixedIntervalStrategy(10.0))
+        announcer.start()
+        sched.run(until=35.0)
+        assert sent == [0.0, 10.0, 20.0, 30.0]
+        assert announcer.announcements_sent == 4
+
+    def test_stop_halts_loop(self):
+        sched = EventScheduler()
+        announcer, sent = self.make(sched, FixedIntervalStrategy(10.0))
+        announcer.start()
+        sched.run(until=15.0)
+        announcer.stop()
+        sched.run(until=100.0)
+        assert sent == [0.0, 10.0]
+        assert not announcer.running
+
+    def test_start_idempotent(self):
+        sched = EventScheduler()
+        announcer, sent = self.make(sched, FixedIntervalStrategy(10.0))
+        announcer.start()
+        announcer.start()
+        sched.run(until=1.0)
+        assert sent == [0.0]
+
+    def test_backoff_timing(self):
+        sched = EventScheduler()
+        announcer, sent = self.make(
+            sched,
+            ExponentialBackoffStrategy(
+                ExponentialBackoffSchedule(5.0, 2.0, 600.0)
+            ),
+        )
+        announcer.start()
+        sched.run(until=36.0)
+        assert sent == [0.0, 5.0, 15.0, 35.0]
+
+    def test_announce_now_extra_send(self):
+        sched = EventScheduler()
+        announcer, sent = self.make(sched, FixedIntervalStrategy(100.0))
+        announcer.start()
+        sched.run(until=1.0)
+        announcer.announce_now()
+        assert sent == [0.0, 1.0]
+
+    def test_announce_now_ignored_when_stopped(self):
+        sched = EventScheduler()
+        announcer, sent = self.make(sched, FixedIntervalStrategy(100.0))
+        announcer.announce_now()
+        assert sent == []
+
+    def test_jitter_spreads_interval(self):
+        sched = EventScheduler()
+        announcer, sent = self.make(sched, FixedIntervalStrategy(10.0),
+                                    jitter=0.3)
+        announcer.start()
+        sched.run(until=100.0)
+        gaps = np.diff(sent)
+        assert (gaps >= 7.0 - 1e-9).all()
+        assert (gaps <= 13.0 + 1e-9).all()
+        assert gaps.std() > 0.1
+
+    def test_invalid_jitter_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            Announcer(sched, lambda: None, FixedIntervalStrategy(1.0),
+                      jitter_fraction=1.5)

@@ -1,0 +1,183 @@
+"""SAP authentication tests, including the forged-retreat attack."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sap.auth import (
+    MAC_LENGTH,
+    AuthenticationError,
+    SapAuthenticator,
+)
+from repro.sap.messages import SapMessage
+from repro.sap.sdp import SessionDescription
+
+PAYLOAD = SessionDescription(name="talk", ttl=63).format()
+
+
+class TestSealOpen:
+    def test_roundtrip(self):
+        auth = SapAuthenticator(b"secret")
+        message = SapMessage.announce(3, PAYLOAD)
+        sealed = auth.seal(message)
+        assert auth.open(sealed) == message
+
+    def test_wrong_key_rejected(self):
+        signer = SapAuthenticator(b"alpha")
+        verifier = SapAuthenticator(b"bravo")
+        sealed = signer.seal(SapMessage.announce(3, PAYLOAD))
+        with pytest.raises(AuthenticationError):
+            verifier.open(sealed)
+
+    def test_tampered_payload_rejected(self):
+        auth = SapAuthenticator(b"secret")
+        sealed = bytearray(auth.seal(SapMessage.announce(3, PAYLOAD)))
+        # Flip one bit of a payload character (stays valid UTF-8, so
+        # the failure is the MAC, not the codec).
+        sealed[-2] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            auth.open(bytes(sealed))
+
+    def test_tampered_origin_rejected(self):
+        """The origin is covered by the MAC — an attacker cannot
+        re-attribute a captured announcement."""
+        auth = SapAuthenticator(b"secret")
+        sealed = bytearray(auth.seal(SapMessage.announce(3, PAYLOAD)))
+        # Origin lives in the inner SAP header (bytes 4..8 of body).
+        offset = 2 + MAC_LENGTH + 4
+        sealed[offset + 3] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            auth.open(bytes(sealed))
+
+    def test_truncation_rejected(self):
+        auth = SapAuthenticator(b"secret")
+        sealed = auth.seal(SapMessage.announce(3, PAYLOAD))
+        with pytest.raises(AuthenticationError):
+            auth.open(sealed[:1])
+        with pytest.raises(AuthenticationError):
+            auth.open(sealed[:10])
+
+    def test_verify_returns_none_on_failure(self):
+        auth = SapAuthenticator(b"secret")
+        assert auth.verify(b"garbage") is None
+        message = SapMessage.announce(3, PAYLOAD)
+        assert auth.verify(auth.seal(message)) == message
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            SapAuthenticator(b"")
+
+    @given(st.binary(min_size=1, max_size=32), st.integers(0, 2 ** 16))
+    def test_property_roundtrip_any_key(self, key, origin_base):
+        auth = SapAuthenticator(key)
+        message = SapMessage.announce(origin_base % 1000, PAYLOAD)
+        assert auth.open(auth.seal(message)) == message
+
+    @given(st.binary(max_size=80))
+    def test_property_fuzz_never_crashes(self, data):
+        auth = SapAuthenticator(b"secret")
+        result = auth.verify(data)
+        # Random bytes essentially never carry a valid MAC.
+        assert result is None
+
+
+class TestForgedRetreatAttack:
+    def test_unauthenticated_directory_can_be_displaced(self):
+        """Without auth, a forged clashing announcement makes a young
+        session retreat — the DoS the footnote warns about."""
+        import numpy as np
+        from repro.core.address_space import MulticastAddressSpace
+        from repro.core.informed import InformedRandomAllocator
+        from repro.sap.directory import SessionDirectory
+        from repro.sim.events import EventScheduler
+        from repro.sim.network import NetworkModel, Packet
+
+        space = MulticastAddressSpace.abstract(64)
+        sched = EventScheduler()
+        net = NetworkModel(sched,
+                           lambda s, t: [(n, 0.01) for n in range(3)])
+        victim = SessionDirectory(
+            0, sched, net,
+            InformedRandomAllocator(space.size,
+                                    np.random.default_rng(1)),
+            space, rng=np.random.default_rng(1),
+        )
+        session = victim.create_session("victim", ttl=63)
+        original = session.address
+        forged_description = SessionDescription(
+            name="evil", session_id=666,
+            connection_address=space.index_to_ip(original), ttl=63,
+        )
+        forged = SapMessage.announce(2, forged_description.format())
+        net.send(Packet(source=2, group=0, ttl=63,
+                        payload=forged.encode()))
+        sched.run(until=5.0)
+        # The young session retreated (or defended, depending on the
+        # tie-break) — either way the attacker influenced it.
+        assert victim.clash_handler.clashes_seen >= 1
+
+
+class TestAuthenticatedDirectory:
+    def make_world(self, key_for):
+        """key_for: node -> key bytes or None."""
+        import numpy as np
+        from repro.core.address_space import MulticastAddressSpace
+        from repro.core.informed import InformedRandomAllocator
+        from repro.sap.directory import SessionDirectory
+        from repro.sim.events import EventScheduler
+        from repro.sim.network import NetworkModel
+
+        space = MulticastAddressSpace.abstract(64)
+        sched = EventScheduler()
+        net = NetworkModel(sched,
+                           lambda s, t: [(n, 0.01) for n in range(4)])
+        dirs = {}
+        for node in range(3):
+            key = key_for(node)
+            auth = SapAuthenticator(key) if key else None
+            dirs[node] = SessionDirectory(
+                node, sched, net,
+                InformedRandomAllocator(space.size,
+                                        np.random.default_rng(node)),
+                space, rng=np.random.default_rng(node),
+                authenticator=auth,
+            )
+        return sched, net, space, dirs
+
+    def test_shared_key_directories_interoperate(self):
+        sched, net, space, dirs = self.make_world(lambda n: b"team")
+        dirs[0].create_session("signed", ttl=63)
+        sched.run(until=5.0)
+        assert len(dirs[1].cache) == 1
+        assert dirs[1].auth_failures == 0
+
+    def test_unauthenticated_sender_rejected(self):
+        sched, net, space, dirs = self.make_world(
+            lambda n: b"team" if n != 2 else None
+        )
+        dirs[2].create_session("unsigned", ttl=63)
+        sched.run(until=5.0)
+        assert len(dirs[0].cache) == 0
+        assert dirs[0].auth_failures >= 1
+
+    def test_forged_retreat_attack_blocked(self):
+        """With auth on, the footnote-8 DoS no longer works: a forged
+        clashing announcement is dropped before the clash handler."""
+        from repro.sap.messages import SapMessage
+        from repro.sap.sdp import SessionDescription
+        from repro.sim.network import Packet
+
+        sched, net, space, dirs = self.make_world(lambda n: b"team")
+        victim = dirs[0]
+        session = victim.create_session("victim", ttl=63)
+        original = session.address
+        forged_description = SessionDescription(
+            name="evil", session_id=666,
+            connection_address=space.index_to_ip(original), ttl=63,
+        )
+        forged = SapMessage.announce(9, forged_description.format())
+        net.send(Packet(source=9, group=0, ttl=63,
+                        payload=forged.encode()))
+        sched.run(until=5.0)
+        assert victim.clash_handler.clashes_seen == 0
+        assert victim.own_sessions()[0].session.address == original
+        assert victim.auth_failures >= 1

@@ -1,0 +1,120 @@
+"""Session browser and session lifetime tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.address_space import MulticastAddressSpace
+from repro.core.informed import InformedRandomAllocator
+from repro.sap.browser import SessionBrowser
+from repro.sap.directory import SessionDirectory
+from repro.sap.sdp import MediaStream
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel
+
+SPACE = MulticastAddressSpace.abstract(256)
+
+
+def full_mesh(source, ttl):
+    return [(node, 0.01) for node in range(4)]
+
+
+@pytest.fixture
+def world():
+    sched = EventScheduler()
+    net = NetworkModel(sched, full_mesh)
+
+    def make(node):
+        rng = np.random.default_rng(node)
+        return SessionDirectory(
+            node, sched, net,
+            InformedRandomAllocator(SPACE.size, rng), SPACE, rng=rng,
+        )
+
+    return sched, make(0), make(1)
+
+
+class TestBrowser:
+    def test_lists_cached_and_own(self, world):
+        sched, alice, bob = world
+        alice.create_session("remote talk", ttl=63)
+        bob.create_session("my talk", ttl=63)
+        sched.run(until=1.0)
+        browser = SessionBrowser(bob)
+        rows = browser.entries()
+        assert {row.name for row in rows} == {"remote talk", "my talk"}
+        own_flags = {row.name: row.own for row in rows}
+        assert own_flags["my talk"] is True
+        assert own_flags["remote talk"] is False
+        assert len(browser) == 2
+
+    def test_active_and_upcoming(self, world):
+        sched, alice, bob = world
+        alice.create_session("live now", ttl=63)
+        alice.create_session("later", ttl=63, start=10_000)
+        alice.create_session("over", ttl=63, start=1, stop=2)
+        sched.run(until=5.0)
+        browser = SessionBrowser(bob)
+        assert {r.name for r in browser.active()} == {"live now"}
+        assert {r.name for r in browser.upcoming()} == {"later"}
+
+    def test_by_scope(self, world):
+        sched, alice, bob = world
+        alice.create_session("local", ttl=15)
+        alice.create_session("global", ttl=191)
+        sched.run(until=1.0)
+        browser = SessionBrowser(bob)
+        assert {r.name for r in browser.by_scope(63)} == {"local"}
+        with pytest.raises(ValueError):
+            browser.by_scope(0)
+
+    def test_with_media(self, world):
+        sched, alice, bob = world
+        alice.create_session("audio only", ttl=63,
+                             media=[MediaStream("audio", 5004)])
+        alice.create_session("video too", ttl=63,
+                             media=[MediaStream("audio", 5004),
+                                    MediaStream("video", 5006)])
+        sched.run(until=1.0)
+        browser = SessionBrowser(bob)
+        assert len(browser.with_media("video")) == 1
+        assert len(browser.with_media("audio")) == 2
+        assert len(browser.with_media("whiteboard")) == 0
+
+    def test_search(self, world):
+        sched, alice, bob = world
+        alice.create_session("IETF plenary", ttl=63,
+                             info="mbone working group")
+        alice.create_session("lunch", ttl=63)
+        sched.run(until=1.0)
+        browser = SessionBrowser(bob)
+        assert {r.name for r in browser.search("ietf")} == \
+            {"IETF plenary"}
+        assert {r.name for r in browser.search("MBONE")} == \
+            {"IETF plenary"}
+        assert browser.search("nothing") == []
+
+
+class TestSessionLifetime:
+    def test_session_expires_and_is_withdrawn(self, world):
+        sched, alice, bob = world
+        alice.create_session("short", ttl=63, lifetime=100.0)
+        sched.run(until=1.0)
+        assert len(bob.cache) == 1
+        sched.run(until=200.0)
+        assert alice.own_sessions() == []
+        assert len(bob.cache) == 0  # deletion message removed it
+
+    def test_manual_delete_before_expiry_is_safe(self, world):
+        sched, alice, bob = world
+        session = alice.create_session("short", ttl=63, lifetime=100.0)
+        sched.run(until=1.0)
+        alice.delete_session(session)
+        # The expiry timer fires later and must be a no-op.
+        sched.run(until=200.0)
+        assert alice.own_sessions() == []
+
+    def test_unbounded_sessions_stay(self, world):
+        sched, alice, bob = world
+        alice.create_session("forever", ttl=63)
+        sched.run(until=10_000.0)
+        assert len(alice.own_sessions()) == 1

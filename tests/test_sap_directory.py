@@ -1,0 +1,225 @@
+"""Session directory integration tests on a tiny full-mesh network."""
+
+import numpy as np
+import pytest
+
+from repro.core.address_space import MulticastAddressSpace
+from repro.core.informed import InformedRandomAllocator
+from repro.sap.clash_protocol import ClashPolicy
+from repro.sap.directory import SessionDirectory
+from repro.sap.response_timer import UniformDelayTimer
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel
+
+SPACE = MulticastAddressSpace.abstract(64)
+
+
+def full_mesh(source, ttl, nodes=4, delay=0.01):
+    return [(node, delay) for node in range(nodes)]
+
+
+def make_directory(node, sched, net, seed=None, **kwargs):
+    rng = np.random.default_rng(seed if seed is not None else node)
+    allocator = InformedRandomAllocator(SPACE.size, rng)
+    return SessionDirectory(node, sched, net, allocator, SPACE,
+                            rng=rng, **kwargs)
+
+
+@pytest.fixture
+def sched():
+    return EventScheduler()
+
+
+@pytest.fixture
+def net(sched):
+    return NetworkModel(sched, full_mesh)
+
+
+class TestDiscovery:
+    def test_peer_learns_session(self, sched, net):
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net)
+        session = alice.create_session("seminar", ttl=63)
+        sched.run(until=1.0)
+        names = [d.name for d in bob.known_sessions()]
+        assert names == ["seminar"]
+        entry = bob.cache.entries()[0]
+        assert entry.address_index == session.address
+        assert entry.ttl == 63
+
+    def test_allocator_avoids_discovered_addresses(self, sched, net):
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net)
+        taken = {alice.create_session(f"s{i}", ttl=63).address
+                 for i in range(40)}
+        sched.run(until=1.0)
+        new = bob.create_session("mine", ttl=63)
+        assert new.address not in taken
+
+    def test_delete_session_clears_peers(self, sched, net):
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net)
+        session = alice.create_session("temp", ttl=63)
+        sched.run(until=1.0)
+        assert len(bob.cache) == 1
+        alice.delete_session(session)
+        sched.run(until=2.0)
+        assert len(bob.cache) == 0
+        assert alice.own_sessions() == []
+
+    def test_delete_foreign_session_raises(self, sched, net):
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net)
+        session = alice.create_session("temp", ttl=63)
+        with pytest.raises(KeyError):
+            bob.delete_session(session)
+
+    def test_own_sessions_included_in_allocation_view(self, sched, net):
+        alice = make_directory(0, sched, net)
+        taken = {alice.create_session(f"s{i}", ttl=63).address
+                 for i in range(30)}
+        assert len(taken) == 30  # never reused its own addresses
+
+    def test_cache_expiry_via_directory(self, sched, net):
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net)
+        session = alice.create_session("temp", ttl=63)
+        sched.run(until=1.0)
+        # Silence alice, then advance beyond the cache timeout.
+        alice.own_sessions()[0].announcer.stop()
+        sched.run(until=5000.0)
+        assert bob.expire_cache() == 1
+        assert len(bob.cache) == 0
+
+
+def rig_clash(directory, address):
+    """Point a directory's (single) own session at ``address``."""
+    own = directory.own_sessions()[0]
+    own.session.address = address
+    own.description.connection_address = SPACE.index_to_ip(address)
+    own.description.version += 1
+    return own
+
+
+class TestClashPhases:
+    def test_phase1_established_session_defends(self, sched, net):
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net, enable_clash_protocol=False)
+        session = alice.create_session("old", ttl=63)
+        sched.run(until=100.0)  # alice's session is now established
+        bob.create_session("new", ttl=63)
+        own_bob = rig_clash(bob, session.address)
+        alice_before = alice.own_sessions()[0].announcer.announcements_sent
+        own_bob.announcer.announce_now()
+        sched.run(until=101.0)
+        alice_after = alice.own_sessions()[0].announcer.announcements_sent
+        assert alice.clash_handler.clashes_seen >= 1
+        assert alice_after > alice_before  # immediate re-announcement
+        assert alice.address_changes == 0  # defended, did not move
+
+    def test_phase2_newcomer_retreats(self, sched, net):
+        alice = make_directory(0, sched, net, enable_clash_protocol=False)
+        bob = make_directory(1, sched, net,
+                             clash_policy=ClashPolicy(recent_window=30.0))
+        session = alice.create_session("old", ttl=63)
+        sched.run(until=50.0)
+        bob.create_session("new", ttl=63)
+        own_bob = rig_clash(bob, session.address)
+        # Alice's next periodic announcement reaches bob while bob's
+        # session is still inside the recent window.
+        alice.own_sessions()[0].announcer.announce_now()
+        sched.run(until=51.0)
+        assert bob.address_changes == 1
+        assert own_bob.session.address != session.address
+        assert bob.clash_handler.retreats == 1
+
+    def test_phase3_third_party_defends_partitioned_origin(self, sched,
+                                                           net):
+        fast_timer = ClashPolicy(
+            recent_window=30.0,
+            timer_factory=lambda rng: UniformDelayTimer(1.0, 1.0, rng),
+        )
+        slow_timer = ClashPolicy(
+            recent_window=30.0,
+            timer_factory=lambda rng: UniformDelayTimer(5.0, 5.0, rng),
+        )
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net)
+        carol = make_directory(2, sched, net, clash_policy=fast_timer)
+        dave = make_directory(3, sched, net, clash_policy=slow_timer)
+        session = alice.create_session("old", ttl=63)
+        sched.run(until=50.0)
+        # Alice is partitioned: she can no longer hear anything.
+        net.unlisten(0)
+        bob.create_session("new", ttl=63)
+        own_bob = rig_clash(bob, session.address)
+        own_bob.announcer.announce_now()
+        sched.run(until=60.0)
+        # Carol (fast timer) proxied the defence; Dave was suppressed.
+        assert carol.clash_handler.defences_sent == 1
+        assert dave.clash_handler.defences_sent == 0
+        # Bob saw the defence within his recent window and retreated.
+        assert bob.address_changes >= 1
+        assert own_bob.session.address != session.address
+
+    def test_third_party_suppressed_when_origin_defends(self, sched, net):
+        policy = ClashPolicy(
+            recent_window=30.0,
+            timer_factory=lambda rng: UniformDelayTimer(2.0, 2.0, rng),
+        )
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net)
+        carol = make_directory(2, sched, net, clash_policy=policy)
+        session = alice.create_session("old", ttl=63)
+        sched.run(until=50.0)
+        bob.create_session("new", ttl=63)
+        own_bob = rig_clash(bob, session.address)
+        own_bob.announcer.announce_now()
+        sched.run(until=60.0)
+        # Alice defended herself immediately (phase 1), so carol's
+        # pending third-party defence found a fresher last_heard and
+        # stayed silent.
+        assert carol.clash_handler.defences_sent == 0
+
+    def test_clash_protocol_disabled(self, sched, net):
+        alice = make_directory(0, sched, net,
+                               enable_clash_protocol=False)
+        assert alice.clash_handler is None
+
+    def test_simultaneous_newcomers_tiebreak_moves_one(self, sched, net):
+        """Two sessions announced in the same instant with the same
+        address: the deterministic tie-break makes exactly one side
+        retreat and the other stand (no retreat livelock)."""
+        alice = make_directory(0, sched, net)
+        bob = make_directory(1, sched, net)
+        a = alice.create_session("left", ttl=63)
+        bob.create_session("right", ttl=63)
+        own_bob = rig_clash(bob, a.address)
+        own_bob.announcer.announce_now()
+        sched.run(until=10.0)
+        assert alice.address_changes + bob.address_changes == 1
+        assert (alice.own_sessions()[0].session.address
+                != bob.own_sessions()[0].session.address)
+
+    def test_defence_rate_limited(self, sched, net):
+        """A peer re-announcing a clashing session every 100 ms cannot
+        provoke more than ~1 defence per defend_interval."""
+        alice = make_directory(
+            0, sched, net,
+            clash_policy=ClashPolicy(recent_window=1.0,
+                                     defend_interval=1.0),
+        )
+        bob = make_directory(1, sched, net, enable_clash_protocol=False)
+        session = alice.create_session("old", ttl=63)
+        sched.run(until=50.0)  # alice's session is established
+        bob.create_session("new", ttl=63)
+        own_bob = rig_clash(bob, session.address)
+        before = alice.own_sessions()[0].announcer.announcements_sent
+        for i in range(20):
+            sched.schedule(0.1 * i, own_bob.announcer.announce_now)
+        sched.run(until=52.5)
+        defences = (alice.own_sessions()[0].announcer.announcements_sent
+                    - before)
+        # 20 provocations in ~2 s, defend_interval 1 s => at most 3-4
+        # defences (plus nothing else).
+        assert 1 <= defences <= 4

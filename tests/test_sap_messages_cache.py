@@ -1,0 +1,255 @@
+"""SAP message codec and session cache tests."""
+
+import pytest
+
+from repro.core.allocator import VisibleSet
+from repro.sap.cache import SessionCache
+from repro.sap.messages import SapMessage, SapMessageType, payload_hash
+from repro.sap.sdp import SessionDescription
+
+PAYLOAD = SessionDescription(
+    name="demo", session_id=7, connection_address="224.2.128.9", ttl=63
+).format()
+
+
+class TestSapMessage:
+    def test_announce_roundtrip(self):
+        msg = SapMessage.announce(42, PAYLOAD)
+        decoded = SapMessage.decode(msg.encode())
+        assert decoded == msg
+        assert decoded.msg_type is SapMessageType.ANNOUNCE
+        assert decoded.origin == 42
+        assert decoded.payload == PAYLOAD
+
+    def test_delete_roundtrip(self):
+        msg = SapMessage.delete(42, PAYLOAD)
+        decoded = SapMessage.decode(msg.encode())
+        assert decoded.msg_type is SapMessageType.DELETE
+        assert decoded.key() == msg.key()
+
+    def test_hash_tracks_payload(self):
+        a = SapMessage.announce(1, PAYLOAD)
+        b = SapMessage.announce(1, PAYLOAD + "a=extra\n")
+        assert a.msg_id_hash != b.msg_id_hash
+        assert payload_hash(PAYLOAD) == a.msg_id_hash
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            SapMessage.decode(b"\x20\x00")
+
+    def test_wrong_version_rejected(self):
+        data = bytearray(SapMessage.announce(1, PAYLOAD).encode())
+        data[0] = 0x40  # version 2
+        with pytest.raises(ValueError):
+            SapMessage.decode(bytes(data))
+
+    def test_invalid_hash_rejected(self):
+        with pytest.raises(ValueError):
+            SapMessage(SapMessageType.ANNOUNCE, 1, 2 ** 16, PAYLOAD)
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(ValueError):
+            SapMessage(SapMessageType.ANNOUNCE, -1, 0, PAYLOAD)
+
+    def test_compressed_roundtrip(self):
+        msg = SapMessage.announce(42, PAYLOAD * 8)
+        wire = msg.encode(compress=True)
+        assert SapMessage.decode(wire) == msg
+        # Compression actually helps on repetitive SDP.
+        assert len(wire) < len(msg.encode())
+
+    def test_compressed_and_plain_interoperate(self):
+        msg = SapMessage.announce(42, PAYLOAD)
+        assert SapMessage.decode(msg.encode(compress=True)) == \
+            SapMessage.decode(msg.encode())
+
+    def test_corrupt_compressed_payload_rejected(self):
+        msg = SapMessage.announce(42, PAYLOAD)
+        wire = bytearray(msg.encode(compress=True))
+        wire[10] ^= 0xFF
+        with pytest.raises(ValueError):
+            SapMessage.decode(bytes(wire))
+
+    def test_non_utf8_payload_rejected(self):
+        msg = SapMessage.announce(42, PAYLOAD)
+        wire = msg.encode()[:8] + b"\xff\xfe\x00"
+        with pytest.raises(ValueError):
+            SapMessage.decode(wire)
+
+
+class TestSessionCache:
+    def test_observe_announcement(self):
+        cache = SessionCache()
+        msg = SapMessage.announce(1, PAYLOAD)
+        entry = cache.observe(msg, now=5.0, address_index=9)
+        assert len(cache) == 1
+        assert entry.first_heard == 5.0
+        assert entry.address_index == 9
+        assert entry.description.name == "demo"
+        assert entry.ttl == 63
+
+    def test_repeat_updates_last_heard(self):
+        cache = SessionCache()
+        msg = SapMessage.announce(1, PAYLOAD)
+        cache.observe(msg, now=5.0)
+        entry = cache.observe(msg, now=15.0)
+        assert len(cache) == 1
+        assert entry.first_heard == 5.0
+        assert entry.last_heard == 15.0
+        assert entry.times_heard == 2
+
+    def test_delete_removes(self):
+        cache = SessionCache()
+        cache.observe(SapMessage.announce(1, PAYLOAD), now=0.0)
+        cache.observe(SapMessage.delete(1, PAYLOAD), now=1.0)
+        assert len(cache) == 0
+
+    def test_unparseable_payload_ignored(self):
+        cache = SessionCache()
+        entry = cache.observe(SapMessage.announce(1, "garbage"), now=0.0)
+        assert entry is None
+        assert len(cache) == 0
+
+    def test_expiry(self):
+        cache = SessionCache(timeout=100.0)
+        cache.observe(SapMessage.announce(1, PAYLOAD), now=0.0)
+        other = SessionDescription(name="other").format()
+        cache.observe(SapMessage.announce(2, other), now=90.0)
+        assert cache.expire(now=150.0) == 1
+        assert len(cache) == 1
+        assert cache.lookup(1, payload_hash(PAYLOAD)) is None
+
+    def test_refresh_prevents_expiry(self):
+        cache = SessionCache(timeout=100.0)
+        msg = SapMessage.announce(1, PAYLOAD)
+        cache.observe(msg, now=0.0)
+        cache.observe(msg, now=80.0)
+        assert cache.expire(now=150.0) == 0
+
+    def test_entries_for_address(self):
+        cache = SessionCache()
+        cache.observe(SapMessage.announce(1, PAYLOAD), now=0.0,
+                      address_index=9)
+        other = SessionDescription(name="other").format()
+        cache.observe(SapMessage.announce(2, other), now=0.0,
+                      address_index=4)
+        hits = cache.entries_for_address(9)
+        assert len(hits) == 1
+        assert hits[0].description.name == "demo"
+
+    def test_visible_set(self):
+        cache = SessionCache()
+        cache.observe(SapMessage.announce(1, PAYLOAD), now=0.0,
+                      address_index=9)
+        unmapped = SessionDescription(name="unmapped").format()
+        cache.observe(SapMessage.announce(2, unmapped), now=0.0)
+        vs = cache.visible_set()
+        assert isinstance(vs, VisibleSet)
+        assert vs.addresses.tolist() == [9]
+        assert vs.ttls.tolist() == [63]
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            SessionCache(timeout=0.0)
+
+    def test_modified_announcement_supersedes_older_version(self):
+        """An address change (clash retreat) must not leave the old
+        address looking occupied: version 2 replaces version 1."""
+        cache = SessionCache()
+        v1 = SessionDescription(name="talk", username="mjh",
+                                session_id=7, version=1,
+                                connection_address="224.2.128.5",
+                                ttl=63)
+        v2 = SessionDescription(name="talk", username="mjh",
+                                session_id=7, version=2,
+                                connection_address="224.2.128.9",
+                                ttl=63)
+        cache.observe(SapMessage.announce(1, v1.format()), now=0.0,
+                      address_index=5)
+        cache.observe(SapMessage.announce(1, v2.format()), now=10.0,
+                      address_index=9)
+        assert len(cache) == 1
+        entry = cache.entries()[0]
+        assert entry.description.version == 2
+        assert entry.address_index == 9
+        assert cache.entries_for_address(5) == []
+
+    def test_stale_version_does_not_displace_newer(self):
+        cache = SessionCache()
+        v2 = SessionDescription(name="talk", username="mjh",
+                                session_id=7, version=2)
+        v1 = SessionDescription(name="talk", username="mjh",
+                                session_id=7, version=1)
+        cache.observe(SapMessage.announce(1, v2.format()), now=0.0)
+        cache.observe(SapMessage.announce(1, v1.format()), now=5.0)
+        # The delayed old version coexists (it has a distinct hash)
+        # but the new one survives.
+        versions = sorted(e.description.version
+                          for e in cache.entries())
+        assert 2 in versions
+
+    def test_same_session_id_different_origin_not_superseded(self):
+        cache = SessionCache()
+        desc = SessionDescription(name="talk", username="mjh",
+                                  session_id=7, version=2)
+        cache.observe(SapMessage.announce(1, desc.format()), now=0.0)
+        cache.observe(SapMessage.announce(2, desc.format()), now=1.0)
+        assert len(cache) == 2
+
+
+class TestCachePersistence:
+    def fill(self, cache):
+        for i in range(3):
+            desc = SessionDescription(
+                name=f"s{i}", session_id=i + 1, ttl=63,
+                connection_address=f"224.2.128.{i + 1}",
+            )
+            cache.observe(SapMessage.announce(i, desc.format()),
+                          now=float(i), address_index=i + 1)
+
+    def test_export_import_roundtrip(self):
+        cache = SessionCache()
+        self.fill(cache)
+        restored = SessionCache()
+        added = restored.import_text(cache.export_text())
+        assert added == 3
+        assert len(restored) == 3
+        for entry in cache.entries():
+            twin = restored.lookup(*entry.message.key())
+            assert twin is not None
+            assert twin.description == entry.description
+            assert twin.address_index == entry.address_index
+            assert twin.first_heard == entry.first_heard
+            assert twin.times_heard == entry.times_heard
+
+    def test_import_merges_without_overwriting(self):
+        cache = SessionCache()
+        self.fill(cache)
+        bundle = cache.export_text()
+        # Touch an entry so the local copy differs from the bundle.
+        entry = cache.entries()[0]
+        cache.observe(entry.message, now=99.0)
+        added = cache.import_text(bundle)
+        assert added == 0
+        assert cache.lookup(*entry.message.key()).last_heard == 99.0
+
+    def test_import_rejects_garbage(self):
+        cache = SessionCache()
+        with pytest.raises(ValueError):
+            cache.import_text("nonsense")
+        with pytest.raises(ValueError):
+            cache.import_text("# repro-sap-cache 1\nwhat\n")
+        with pytest.raises(ValueError):
+            cache.import_text(
+                "# repro-sap-cache 1\n"
+                "entry origin=1 first=0.0 last=0.0 heard=1 address=-\n"
+                "v=0\ns=x\n"  # no "end"
+            )
+
+    def test_exported_bundle_feeds_visible_set(self):
+        cache = SessionCache()
+        self.fill(cache)
+        restored = SessionCache()
+        restored.import_text(cache.export_text())
+        assert sorted(restored.visible_set().addresses.tolist()) == \
+            [1, 2, 3]

@@ -1,0 +1,156 @@
+"""Event scheduler and clock tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock(2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(3.0, lambda: fired.append("c"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sched = EventScheduler()
+        fired = []
+        for tag in range(5):
+            sched.schedule(1.0, lambda t=tag: fired.append(t))
+        sched.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(2.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [2.5]
+        assert sched.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sched = EventScheduler(start=5.0)
+        with pytest.raises(ValueError):
+            sched.schedule_at(4.0, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sched.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.pending
+
+    def test_run_until_stops_before_later_events(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(10.0, lambda: fired.append(10))
+        sched.run(until=5.0)
+        assert fired == [1]
+        assert sched.now == 5.0
+        sched.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_with_no_events(self):
+        sched = EventScheduler()
+        sched.run(until=7.0)
+        assert sched.now == 7.0
+
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain(depth):
+            fired.append(sched.now)
+            if depth:
+                sched.schedule(1.0, lambda: chain(depth - 1))
+
+        sched.schedule(1.0, lambda: chain(3))
+        sched.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_max_events_bounds_execution(self):
+        sched = EventScheduler()
+        fired = []
+
+        def forever():
+            fired.append(sched.now)
+            sched.schedule(1.0, forever)
+
+        sched.schedule(0.0, forever)
+        sched.run(max_events=10)
+        assert len(fired) == 10
+
+    def test_step_returns_false_when_empty(self):
+        assert EventScheduler().step() is False
+
+    def test_pending_count_excludes_cancelled(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: None)
+        handle = sched.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sched.pending_count == 1
+
+    def test_events_run_counter(self):
+        sched = EventScheduler()
+        for __ in range(4):
+            sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert sched.events_run == 4
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_property_fires_in_sorted_order(self, delays):
+        sched = EventScheduler()
+        fired = []
+        for delay in delays:
+            sched.schedule(delay, lambda d=delay: fired.append(d))
+        sched.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

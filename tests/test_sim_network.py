@@ -1,0 +1,135 @@
+"""Network model tests: delivery, scoping hook, loss, jitter."""
+
+import pytest
+
+from repro.sim.events import EventScheduler
+from repro.sim.network import LinkModel, NetworkModel, Packet
+from repro.sim.rng import RandomStreams
+
+
+def star_receiver_map(source, ttl):
+    """Everyone (0..4) hears everyone; delay = 0.01 * receiver id."""
+    return [(node, 0.01 * node) for node in range(5)]
+
+
+def ttl_limited_map(source, ttl):
+    """Node i requires ttl >= i to be reached."""
+    return [(node, 0.01) for node in range(5) if ttl >= node]
+
+
+@pytest.fixture
+def sched():
+    return EventScheduler()
+
+
+class TestLinkModel:
+    def test_valid(self):
+        link = LinkModel(delay=0.01, loss=0.5)
+        assert link.delay == 0.01
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(delay=-1.0)
+
+    def test_bad_loss_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(delay=0.0, loss=1.5)
+
+
+class TestNetworkModel:
+    def test_delivers_to_listeners_with_delay(self, sched):
+        net = NetworkModel(sched, star_receiver_map)
+        got = []
+        net.listen(2, lambda node, pkt: got.append((node, sched.now)))
+        net.send(Packet(source=0, group=0, ttl=16))
+        sched.run()
+        assert got == [(2, pytest.approx(0.02))]
+
+    def test_sender_does_not_hear_itself(self, sched):
+        net = NetworkModel(sched, star_receiver_map)
+        got = []
+        net.listen(0, lambda node, pkt: got.append(node))
+        net.listen(1, lambda node, pkt: got.append(node))
+        net.send(Packet(source=0, group=0, ttl=16))
+        sched.run()
+        assert got == [1]
+
+    def test_non_listeners_skipped(self, sched):
+        net = NetworkModel(sched, star_receiver_map)
+        count = net.send(Packet(source=0, group=0, ttl=16))
+        assert count == 0
+
+    def test_ttl_passed_to_receiver_map(self, sched):
+        net = NetworkModel(sched, ttl_limited_map)
+        got = []
+        for node in range(5):
+            net.listen(node, lambda n, p: got.append(n))
+        net.send(Packet(source=0, group=0, ttl=2))
+        sched.run()
+        assert sorted(got) == [1, 2]
+
+    def test_unlisten_stops_delivery(self, sched):
+        net = NetworkModel(sched, star_receiver_map)
+        got = []
+        net.listen(1, lambda n, p: got.append(n))
+        net.unlisten(1)
+        net.send(Packet(source=0, group=0, ttl=16))
+        sched.run()
+        assert got == []
+
+    def test_full_loss_drops_everything(self, sched):
+        net = NetworkModel(sched, star_receiver_map,
+                           streams=RandomStreams(0), loss_rate=1.0)
+        got = []
+        net.listen(1, lambda n, p: got.append(n))
+        net.send(Packet(source=0, group=0, ttl=16))
+        sched.run()
+        assert got == []
+        assert net.packets_lost == 1
+
+    def test_loss_rate_statistics(self, sched):
+        net = NetworkModel(sched, star_receiver_map,
+                           streams=RandomStreams(3), loss_rate=0.3)
+        hits = []
+        for node in range(1, 5):
+            net.listen(node, lambda n, p: hits.append(n))
+        for __ in range(500):
+            net.send(Packet(source=0, group=0, ttl=16))
+        sched.run()
+        # 4 receivers * 500 sends * 0.7 expected delivery.
+        assert 1250 <= len(hits) <= 1550
+
+    def test_jitter_spreads_delivery_times(self, sched):
+        net = NetworkModel(sched, star_receiver_map,
+                           streams=RandomStreams(1), jitter=0.5)
+        times = []
+        net.listen(1, lambda n, p: times.append(sched.now))
+        for __ in range(50):
+            net.send(Packet(source=0, group=0, ttl=16))
+        sched.run()
+        assert max(times) - min(times) > 0.1
+        assert all(t >= 0.01 for t in times)
+
+    def test_invalid_loss_rejected(self, sched):
+        with pytest.raises(ValueError):
+            NetworkModel(sched, star_receiver_map, loss_rate=2.0)
+
+    def test_invalid_jitter_rejected(self, sched):
+        with pytest.raises(ValueError):
+            NetworkModel(sched, star_receiver_map, jitter=-0.1)
+
+    def test_packet_stamped_with_send_time(self, sched):
+        net = NetworkModel(sched, star_receiver_map)
+        packet = Packet(source=0, group=0, ttl=16)
+        sched.schedule(3.0, lambda: net.send(packet))
+        sched.run()
+        assert packet.sent_at == 3.0
+
+    def test_counters(self, sched):
+        net = NetworkModel(sched, star_receiver_map)
+        net.listen(1, lambda n, p: None)
+        net.listen(2, lambda n, p: None)
+        net.send(Packet(source=0, group=0, ttl=16))
+        sched.run()
+        assert net.packets_sent == 1
+        assert net.packets_delivered == 2

@@ -1,0 +1,111 @@
+"""Map file round-trip and topology statistics tests."""
+
+import pytest
+
+from repro.topology.doar import DoarParams, generate_doar
+from repro.topology.graph import Topology
+from repro.topology.mapfile import dump_map, load_map, parse_map, save_map
+from repro.topology.mbone import MboneParams, generate_mbone
+from repro.topology.stats import format_summary, summarize
+
+
+def topologies_equal(a: Topology, b: Topology) -> bool:
+    if a.num_nodes != b.num_nodes or a.num_links != b.num_links:
+        return False
+    for node in a.nodes():
+        if a.label(node) != b.label(node):
+            return False
+        pa, pb = a.position(node), b.position(node)
+        if (pa is None) != (pb is None):
+            return False
+        if pa is not None and not all(
+            abs(x - y) < 1e-9 for x, y in zip(pa, pb)
+        ):
+            return False
+    for link in a.links():
+        other = b.link(link.u, link.v)
+        if (other.metric, other.threshold) != (link.metric,
+                                               link.threshold):
+            return False
+        if abs(other.delay - link.delay) > 1e-12:
+            return False
+    return True
+
+
+class TestMapRoundTrip:
+    def test_mbone_roundtrip(self):
+        topo = generate_mbone(MboneParams(total_nodes=120, seed=8))
+        again = parse_map(dump_map(topo))
+        assert topologies_equal(topo, again)
+
+    def test_doar_roundtrip_with_positions(self):
+        topo = generate_doar(DoarParams(num_nodes=60, seed=8)).topology
+        again = parse_map(dump_map(topo))
+        assert topologies_equal(topo, again)
+
+    def test_save_load(self, tmp_path):
+        topo = generate_mbone(MboneParams(total_nodes=60, seed=8))
+        path = tmp_path / "test.map"
+        save_map(topo, path)
+        assert topologies_equal(topo, load_map(path))
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = ("# repro-map 1\n\n# a comment\nnode 0\nnode 1\n"
+                "link 0 1 metric 2 threshold 16 delay 0.5\n")
+        topo = parse_map(text)
+        assert topo.num_nodes == 2
+        assert topo.link(0, 1).threshold == 16
+
+    def test_defaults_applied(self):
+        topo = parse_map("# repro-map 1\nnode 0\nnode 1\nlink 0 1\n")
+        link = topo.link(0, 1)
+        assert link.metric == 1
+        assert link.threshold == 1
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_map("node 0\n")
+
+    def test_out_of_order_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_map("# repro-map 1\nnode 1\n")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError):
+            parse_map("# repro-map 1\nnode 0 colour red\n")
+        with pytest.raises(ValueError):
+            parse_map("# repro-map 1\nnode 0\nnode 1\n"
+                      "link 0 1 weight 3\n")
+        with pytest.raises(ValueError):
+            parse_map("# repro-map 1\nfrobnicate 1 2\n")
+
+    def test_truncated_fields_rejected(self):
+        with pytest.raises(ValueError):
+            parse_map("# repro-map 1\nnode 0 label\n")
+        with pytest.raises(ValueError):
+            parse_map("# repro-map 1\nnode 0 pos 1.0\n")
+
+
+class TestSummarize:
+    def test_mbone_summary(self, small_mbone):
+        summary = summarize(small_mbone)
+        assert summary.num_nodes == small_mbone.num_nodes
+        assert summary.connected
+        assert summary.hop_diameter > 5
+        assert 1.5 < summary.mean_degree < 4.0
+        assert 16 in summary.threshold_census
+        assert summary.threshold_census[1] > 0
+
+    def test_disconnected_summary(self):
+        topo = Topology()
+        topo.add_node()
+        topo.add_node()
+        summary = summarize(topo)
+        assert not summary.connected
+        assert summary.hop_diameter == 0
+
+    def test_format_summary(self, small_mbone):
+        text = format_summary(summarize(small_mbone))
+        assert "nodes:" in text
+        assert "threshold census:" in text
+        assert str(small_mbone.num_nodes) in text
