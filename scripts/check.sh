@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Pre-PR gate: run every check the repo can enforce, in order of cost.
+#
+#   ./scripts/check.sh            # lint + style + types + tier-1 tests
+#   ./scripts/check.sh --fast     # skip the pytest run
+#
+# ruff and mypy are optional-dev dependencies (pyproject [dev]); when
+# they are not installed the corresponding step is skipped with a
+# notice rather than failing, so the gate also works in minimal
+# containers.  repro.lint and pytest are always required.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro.lint (determinism & simulation-correctness) =="
+python -m repro.lint src --determinism
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests
+else
+    echo "== ruff not installed; skipping (pip install -e '.[dev]') =="
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy (sim, core, lint) =="
+    mypy src/repro/sim src/repro/core src/repro/lint
+else
+    echo "== mypy not installed; skipping (pip install -e '.[dev]') =="
+fi
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== tier-1 pytest =="
+    python -m pytest -x -q
+fi
+
+echo "== all checks passed =="

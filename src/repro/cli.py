@@ -11,8 +11,10 @@ Exposes the library's main workflows without writing Python:
         --timer exponential
     python -m repro analyze birthday --space 10000 --allocations 118
     python -m repro analyze responders --sites 1600 --buckets 32
+    python -m repro lint src --determinism
 
-Every simulation is deterministic for a given ``--seed``.
+Every simulation is deterministic for a given ``--seed``; the ``lint``
+subcommand statically enforces the invariants that make that true.
 """
 
 from __future__ import annotations
@@ -133,6 +135,21 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--seed", type=int, default=1998)
     reproduce.add_argument("--out", help="also write the report here")
 
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & simulation-correctness linter "
+             "(python -m repro.lint)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--select", nargs="+", metavar="RULE")
+    lint.add_argument("--ignore", nargs="+", metavar="RULE")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--determinism", action="store_true")
+    lint.add_argument("--lint-seed", type=int, default=1998,
+                      help="seed for --determinism")
+
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
     birthday = analyze_sub.add_parser("birthday")
@@ -233,6 +250,22 @@ def cmd_request_response(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format, "--seed", str(args.lint_seed)]
+    if args.select:
+        argv += ["--select", *args.select]
+    if args.ignore:
+        argv += ["--ignore", *args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.determinism:
+        argv.append("--determinism")
+    return lint_main(argv)
+
+
 def cmd_analyze(args) -> int:
     if args.model == "birthday":
         p = clash_probability(args.space, args.allocations)
@@ -327,6 +360,7 @@ COMMANDS = {
     "steady-state": cmd_steady_state,
     "request-response": cmd_request_response,
     "analyze": cmd_analyze,
+    "lint": cmd_lint,
 }
 
 

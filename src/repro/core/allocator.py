@@ -18,6 +18,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.core.session import Session
+from repro.sim.rng import derived_stream
 
 
 @dataclass
@@ -101,7 +102,9 @@ class Allocator(abc.ABC):
         if space_size <= 0:
             raise ValueError(f"space_size must be positive: {space_size}")
         self.space_size = int(space_size)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derived_stream(
+            "core.allocator"
+        )
         self.forced_allocations = 0
 
     @abc.abstractmethod

@@ -137,7 +137,8 @@ def run_sap_in_the_loop(topology: Topology, scope_map: ScopeMap,
         creations.append((when, directory_index, ttl))
     for when, directory_index, ttl in creations:
         directory = directories[directory_index]
-        scheduler.schedule_at(
+        # Creations are fire-and-forget; nothing ever cancels them.
+        scheduler.schedule_at(  # simlint: disable=discarded-handle
             when,
             lambda d=directory, t=ttl: d.create_session(
                 f"s@{d.node}", ttl=t

@@ -1,0 +1,29 @@
+"""Static analysis enforcing the repo's determinism contract.
+
+The paper's results are reproducible only because every stochastic
+draw flows through :class:`repro.sim.rng.RandomStreams` and the event
+scheduler breaks timestamp ties by insertion order.  This subpackage
+*enforces* those invariants:
+
+* :mod:`repro.lint.rules` — the rule registry (unseeded RNGs,
+  wall-clock reads, set-iteration order, discarded event handles, ...).
+* :mod:`repro.lint.engine` — AST pass, ``# simlint:`` suppressions.
+* :mod:`repro.lint.report` — text and JSON reporters.
+* :mod:`repro.lint.determinism` — run-twice runtime harness.
+* ``python -m repro.lint [paths]`` — the CLI; exits non-zero on any
+  unsuppressed finding.
+"""
+
+from repro.lint.engine import Finding, lint_paths, lint_source
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import ALL_RULES, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "get_rules",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,85 @@
+"""``python -m repro.lint`` — lint the tree, or run the determinism
+harness.
+
+Exit status is 0 when clean, 1 when any unsuppressed finding (or a
+trace divergence, with ``--determinism``) is reported, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import ALL_RULES, get_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based determinism & simulation-correctness "
+                    "linter for the repro tree",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--select", nargs="+", metavar="RULE",
+                        help="run only these rules")
+    parser.add_argument("--ignore", nargs="+", metavar="RULE",
+                        help="skip these rules")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    parser.add_argument("--determinism", action="store_true",
+                        help="also run the run-twice determinism "
+                             "harness")
+    parser.add_argument("--seed", type=int, default=1998,
+                        help="seed for --determinism")
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        where = ("everywhere" if rule.scope is None
+                 else "repro.{" + ",".join(sorted(rule.scope)) + "}")
+        lines.append(f"{rule.code} {rule.name:<22s} [{where}]")
+        lines.append(f"        {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        rules = get_rules(select=args.select, ignore=args.ignore)
+    except ValueError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    status = 0 if not findings else 1
+    if args.determinism:
+        from repro.lint.determinism import verify
+
+        report = verify(seed=args.seed)
+        print(report.format())
+        if not report.identical:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

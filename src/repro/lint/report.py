@@ -1,0 +1,38 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.engine import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a summary line."""
+    lines: List[str] = [finding.format() for finding in findings]
+    count = len(findings)
+    if count == 0:
+        lines.append("simlint: clean (0 findings)")
+    else:
+        by_rule: dict = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{rule}={n}" for rule, n in sorted(by_rule.items())
+        )
+        noun = "finding" if count == 1 else "findings"
+        lines.append(f"simlint: {count} {noun} ({breakdown})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A stable JSON document: ``{"count": N, "findings": [...]}``."""
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )

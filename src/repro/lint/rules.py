@@ -1,0 +1,431 @@
+"""The rule set: repo-specific determinism and simulation invariants.
+
+Each rule is a small AST visitor over one module.  Rules are scoped:
+most apply only to the simulation-critical subpackages (``sim``,
+``core``, ``sap``, ``experiments``, ``routing``, ``topology``) where
+nondeterminism silently corrupts results; a few (mutable defaults,
+timestamp equality) apply everywhere.
+
+Rules yield ``(line, col, message)`` tuples; the engine attaches file
+paths and applies ``# simlint: disable=...`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+RawFinding = Tuple[int, int, str]
+
+#: Subpackages of ``repro`` whose behaviour feeds simulation results.
+SIM_PACKAGES = frozenset(
+    {"sim", "core", "sap", "experiments", "routing", "topology"}
+)
+
+#: Legacy module-global numpy RNG entry points (shared hidden state).
+_LEGACY_NP_RANDOM = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "exponential", "poisson", "binomial", "standard_normal",
+})
+
+#: Wall-clock callables, as dotted suffixes matched against call sites.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.monotonic", "time.perf_counter",
+    "time.process_time", "time.time_ns", "time.monotonic_ns",
+    "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+})
+
+_WALL_CLOCK_IMPORTS = frozenset({
+    "time", "monotonic", "perf_counter", "process_time", "time_ns",
+    "monotonic_ns", "perf_counter_ns",
+})
+
+#: Names/suffixes treated as simulated timestamps by float-timestamp-eq.
+_TIMESTAMP_NAMES = frozenset({"now", "when", "deadline"})
+_TIMESTAMP_SUFFIXES = (
+    "_time", "_heard", "_announced", "_at", "_deadline",
+)
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "Counter",
+    "deque",
+})
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """One named, suppressible check.
+
+    Attributes:
+        name: stable kebab-case id used in suppression comments.
+        code: short sortable code (``SIM1xx``).
+        description: one-line human summary (``--list-rules``).
+        scope: subpackages of ``repro`` the rule applies to, or None
+            for everywhere.
+    """
+
+    name: str = ""
+    code: str = ""
+    description: str = ""
+    scope: Optional[frozenset] = None
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        raise NotImplementedError
+
+
+class UnseededRngRule(Rule):
+    name = "unseeded-rng"
+    code = "SIM101"
+    description = ("np.random.default_rng() without a seed, or legacy "
+                   "module-global numpy RNG calls, in simulation code")
+    scope = SIM_PACKAGES
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and \
+                    node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name == "default_rng":
+                        aliases.add(alias.asname or alias.name)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted in ("np.random.default_rng",
+                          "numpy.random.default_rng"):
+                if not node.args and not node.keywords:
+                    yield (node.lineno, node.col_offset,
+                           "unseeded np.random.default_rng(); inject an "
+                           "np.random.Generator or derive one from "
+                           "RandomStreams (e.g. rng.derived_stream)")
+            elif dotted is not None and dotted.startswith(
+                    ("np.random.", "numpy.random.")):
+                leaf = dotted.rsplit(".", 1)[1]
+                if leaf in _LEGACY_NP_RANDOM:
+                    yield (node.lineno, node.col_offset,
+                           f"legacy module-global numpy RNG call "
+                           f"{dotted}(); use an injected Generator "
+                           f"or RandomStreams")
+            elif isinstance(node.func, ast.Name) and \
+                    node.func.id in aliases and \
+                    not node.args and not node.keywords:
+                yield (node.lineno, node.col_offset,
+                       "unseeded default_rng(); inject an "
+                       "np.random.Generator or derive one from "
+                       "RandomStreams")
+
+
+class BareRandomRule(Rule):
+    name = "bare-random"
+    code = "SIM102"
+    description = ("the stdlib random module (process-global state) "
+                   "imported in simulation code")
+    scope = SIM_PACKAGES
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or \
+                            alias.name.startswith("random."):
+                        yield (node.lineno, node.col_offset,
+                               "stdlib random imported; simulation "
+                               "code must draw from RandomStreams or "
+                               "an injected np.random.Generator")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (
+                        node.module or "").startswith("random."):
+                    yield (node.lineno, node.col_offset,
+                           "stdlib random imported; simulation code "
+                           "must draw from RandomStreams or an "
+                           "injected np.random.Generator")
+
+
+class WallClockRule(Rule):
+    name = "wall-clock"
+    code = "SIM103"
+    description = ("wall-clock reads (time.time, datetime.now, ...) in "
+                   "simulation code; only SimClock time is admissible")
+    scope = SIM_PACKAGES
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _WALL_CLOCK_CALLS:
+                    yield (node.lineno, node.col_offset,
+                           f"wall-clock call {dotted}(); simulation "
+                           f"code must read time from SimClock / "
+                           f"scheduler.now")
+            elif isinstance(node, ast.ImportFrom) and \
+                    node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_IMPORTS:
+                        yield (node.lineno, node.col_offset,
+                               f"wall-clock import time.{alias.name}; "
+                               f"simulation code must read time from "
+                               f"SimClock / scheduler.now")
+
+
+class SetIterationRule(Rule):
+    name = "set-iteration"
+    code = "SIM104"
+    description = ("iteration over a set/frozenset expression; str "
+                   "hash randomisation makes the order differ across "
+                   "processes -- iterate sorted(...) instead")
+    scope = SIM_PACKAGES
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset"))
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        message = ("iterating a set; element order is not stable "
+                   "across processes (PYTHONHASHSEED) -- iterate "
+                   "sorted(...) so event/RNG order is reproducible")
+        for node in ast.walk(tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield (it.lineno, it.col_offset, message)
+
+
+class TimestampEqRule(Rule):
+    name = "float-timestamp-eq"
+    code = "SIM105"
+    description = ("== / != on simulated-timestamp floats; compare "
+                   "with a tolerance or restructure")
+
+    @staticmethod
+    def _timestampish(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        else:
+            return None
+        if name in _TIMESTAMP_NAMES or \
+                name.endswith(_TIMESTAMP_SUFFIXES):
+            return name
+        return None
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(isinstance(o, ast.Constant)
+                   and (o.value is None or isinstance(o.value, str))
+                   for o in operands):
+                continue
+            for operand in operands:
+                name = self._timestampish(operand)
+                if name is not None:
+                    yield (node.lineno, node.col_offset,
+                           f"float equality on simulated timestamp "
+                           f"{name!r}; exact == on floats is fragile "
+                           f"-- compare with a tolerance or use event "
+                           f"ordering")
+                    break
+
+
+class MutableDefaultRule(Rule):
+    name = "mutable-default"
+    code = "SIM106"
+    description = "mutable default argument (list/dict/set)"
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MUTABLE_FACTORIES)
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults
+                         if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield (default.lineno, default.col_offset,
+                           "mutable default argument; shared across "
+                           "calls -- default to None and create inside")
+
+
+class NegativeDelayRule(Rule):
+    name = "negative-delay"
+    code = "SIM107"
+    description = "scheduling with a statically negative delay"
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("schedule", "schedule_at")
+                    and node.args):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.UnaryOp) and \
+                    isinstance(first.op, ast.USub) and \
+                    isinstance(first.operand, ast.Constant) and \
+                    isinstance(first.operand.value, (int, float)):
+                yield (node.lineno, node.col_offset,
+                       f"scheduling with negative delay "
+                       f"-{first.operand.value}; the scheduler "
+                       f"rejects events in the past")
+
+
+class DiscardedHandleRule(Rule):
+    name = "discarded-handle"
+    code = "SIM108"
+    description = ("scheduler.schedule(...) result discarded; the "
+                   "EventHandle is the only way to cancel")
+    scope = SIM_PACKAGES
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call) and \
+                    isinstance(value.func, ast.Attribute) and \
+                    value.func.attr in ("schedule", "schedule_at"):
+                yield (node.lineno, node.col_offset,
+                       "EventHandle discarded; store it so the event "
+                       "can be cancelled (retreat/stop paths), or "
+                       "suppress if genuinely fire-and-forget")
+
+
+class ModuleMutableStateRule(Rule):
+    name = "module-mutable-state"
+    code = "SIM109"
+    description = ("module-level mutable containers in sim/core; "
+                   "state shared across runs breaks replayability")
+    scope = frozenset({"sim", "core"})
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MUTABLE_FACTORIES)
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        if not isinstance(tree, ast.Module):
+            return
+        for node in tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and \
+                    node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names or all(
+                    n.startswith("__") and n.endswith("__")
+                    for n in names):
+                continue  # __all__ and friends are conventions
+            if self._is_mutable(value):
+                yield (node.lineno, node.col_offset,
+                       f"module-level mutable state "
+                       f"{', '.join(names)}; runs sharing a process "
+                       f"would interfere -- move onto an instance")
+
+
+class BuiltinHashRule(Rule):
+    name = "builtin-hash"
+    code = "SIM110"
+    description = ("builtin hash() in simulation code; str hashes are "
+                   "randomised per process -- use zlib.crc32")
+    scope = SIM_PACKAGES
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "hash":
+                yield (node.lineno, node.col_offset,
+                       "builtin hash(); randomised per process for "
+                       "str/bytes, so derived seeds and orderings "
+                       "differ across runs -- use zlib.crc32")
+
+
+#: Every rule, in code order.  The registry is intentionally a tuple:
+#: rule identity is part of the repo's public determinism contract.
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRngRule(),
+    BareRandomRule(),
+    WallClockRule(),
+    SetIterationRule(),
+    TimestampEqRule(),
+    MutableDefaultRule(),
+    NegativeDelayRule(),
+    DiscardedHandleRule(),
+    ModuleMutableStateRule(),
+    BuiltinHashRule(),
+)
+
+
+def rules_by_name() -> dict:
+    return {rule.name: rule for rule in ALL_RULES}
+
+
+def get_rules(select: Optional[List[str]] = None,
+              ignore: Optional[List[str]] = None) -> Tuple[Rule, ...]:
+    """The active rule set after ``--select`` / ``--ignore`` filters.
+
+    Raises:
+        ValueError: if an unknown rule name is given.
+    """
+    known = rules_by_name()
+    for name in (select or []) + (ignore or []):
+        if name not in known:
+            raise ValueError(
+                f"unknown rule {name!r}; known: {sorted(known)}"
+            )
+    chosen = list(ALL_RULES)
+    if select:
+        chosen = [r for r in chosen if r.name in set(select)]
+    if ignore:
+        chosen = [r for r in chosen if r.name not in set(ignore)]
+    return tuple(chosen)

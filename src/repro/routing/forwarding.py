@@ -157,7 +157,8 @@ class ForwardingEngine:
                 source=packet.source, group=packet.group, ttl=new_ttl,
                 payload=packet.payload, hops=packet.hops + 1,
             )
-            self.scheduler.schedule(
+            # One-shot hop delivery, never cancelled once in flight.
+            self.scheduler.schedule(  # simlint: disable=discarded-handle
                 link.delay,
                 lambda c=child, p=hop_packet: self._deliver(c, p, tap),
             )

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.analysis.announcement import ExponentialBackoffSchedule
 from repro.sim.events import EventHandle, EventScheduler
+from repro.sim.rng import derived_stream
 
 
 class AnnouncementStrategy(abc.ABC):
@@ -116,7 +117,9 @@ class Announcer:
         self.send = send
         self.strategy = strategy
         self.sessions_known = sessions_known
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derived_stream(
+            "sap.announcer"
+        )
         self.jitter_fraction = jitter_fraction
         self.announcements_sent = 0
         self.started_at: Optional[float] = None

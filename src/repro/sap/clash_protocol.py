@@ -28,6 +28,7 @@ import numpy as np
 from repro.sap.cache import CacheEntry
 from repro.sap.response_timer import ExponentialDelayTimer, ResponseDelayTimer
 from repro.sim.events import EventHandle, EventScheduler
+from repro.sim.rng import derived_stream
 
 
 def default_timer_factory(rng: np.random.Generator) -> ResponseDelayTimer:
@@ -80,7 +81,9 @@ class ClashHandler:
                  rng: Optional[np.random.Generator] = None) -> None:
         self.directory = directory
         self.policy = policy or ClashPolicy()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derived_stream(
+            "sap.clash_protocol"
+        )
         self.timer = self.policy.timer_factory(self.rng)
         self._pending: Dict[Tuple[Tuple[int, int], Tuple[int, int]],
                             PendingDefence] = {}

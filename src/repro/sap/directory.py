@@ -30,7 +30,7 @@ from repro.sap.cache import SessionCache
 from repro.sap.clash_protocol import ClashHandler, ClashPolicy
 from repro.sap.messages import SapMessage, SapMessageType
 from repro.sap.sdp import MediaStream, SessionDescription
-from repro.sim.events import EventScheduler
+from repro.sim.events import EventHandle, EventScheduler
 from repro.sim.network import NetworkModel, Packet
 
 #: Conventional "group" carried in simulated SAP packets; the network
@@ -46,6 +46,7 @@ class OwnSession:
     description: SessionDescription
     announcer: Announcer
     first_announced: float
+    expiry_handle: Optional[EventHandle] = None
 
     def message_key(self) -> Tuple[int, int]:
         """The cache key our current announcement would have."""
@@ -167,8 +168,9 @@ class SessionDirectory:
         self._own[(self.node, description.session_id)] = own
         own.announcer.start()
         if lifetime is not None:
-            self.scheduler.schedule(lifetime,
-                                    lambda: self._expire_own(session))
+            own.expiry_handle = self.scheduler.schedule(
+                lifetime, lambda: self._expire_own(session)
+            )
         return session
 
     def _expire_own(self, session: Session) -> None:
@@ -186,6 +188,9 @@ class SessionDirectory:
         """
         own = self._find_own(session)
         own.announcer.stop()
+        if own.expiry_handle is not None:
+            own.expiry_handle.cancel()
+            own.expiry_handle = None
         message = SapMessage.delete(self.node, own.description.format())
         self._multicast(message, session.ttl)
         del self._own[(self.node, own.description.session_id)]

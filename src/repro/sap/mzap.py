@@ -87,7 +87,8 @@ class ZamTransport:
             if not leaking and not reach[node]:
                 continue
             for listener in list(listeners):
-                self.scheduler.schedule(
+                # One-shot delivery, never cancelled once in flight.
+                self.scheduler.schedule(  # simlint: disable=discarded-handle
                     self.delay,
                     lambda l=listener, n=node: l.receive(n, announcement),
                 )

@@ -18,6 +18,7 @@ from repro.analysis.response_bounds import (
     exponential_delay_array,
     exponential_delay_sample,
 )
+from repro.sim.rng import derived_stream
 
 
 class ResponseDelayTimer(abc.ABC):
@@ -29,7 +30,9 @@ class ResponseDelayTimer(abc.ABC):
             raise ValueError(f"need 0 <= D1 <= D2, got {d1}, {d2}")
         self.d1 = d1
         self.d2 = d2
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derived_stream(
+            "sap.response_timer"
+        )
 
     @abc.abstractmethod
     def sample(self) -> float:

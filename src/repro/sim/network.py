@@ -183,7 +183,10 @@ class NetworkModel:
                 for callback in list(callbacks):
                     callback(receiver, packet)
 
-        self.scheduler.schedule(delay, deliver)
+        # Deliveries are one-shot and never cancelled once in flight.
+        self.scheduler.schedule(  # simlint: disable=discarded-handle
+            delay, deliver
+        )
 
     def __repr__(self) -> str:
         return (

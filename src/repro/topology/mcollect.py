@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.sim.rng import derived_stream
 from repro.topology.graph import Topology
 
 
@@ -58,7 +59,9 @@ class McollectProbe:
             )
         self.topology = topology
         self.unreachable_fraction = unreachable_fraction
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derived_stream(
+            "topology.mcollect"
+        )
         self._silent: Optional[Set[int]] = None
 
     def _choose_silent(self, monitor: int) -> Set[int]:

@@ -154,3 +154,69 @@ class TestEventScheduler:
         sched.run()
         assert fired == sorted(fired)
         assert len(fired) == len(delays)
+
+
+class TestTieBreakWithCancellation:
+    """Insertion-order tie-breaking must survive interleaved cancels:
+    cancelled stubs stay in the heap, and skipping them must not
+    perturb the order of the survivors."""
+
+    def test_cancelled_events_skipped_order_preserved(self):
+        sched = EventScheduler()
+        fired = []
+        handles = [sched.schedule(1.0, lambda t=tag: fired.append(t))
+                   for tag in range(6)]
+        for tag in (0, 2, 4):
+            handles[tag].cancel()
+        sched.run()
+        assert fired == [1, 3, 5]
+
+    def test_cancel_same_time_event_from_earlier_event(self):
+        sched = EventScheduler()
+        fired = []
+        handles = {}
+
+        def first():
+            fired.append("first")
+            handles["victim"].cancel()
+
+        sched.schedule(1.0, first)
+        handles["victim"] = sched.schedule(
+            1.0, lambda: fired.append("victim")
+        )
+        sched.schedule(1.0, lambda: fired.append("last"))
+        sched.run()
+        assert fired == ["first", "last"]
+
+    def test_reschedule_after_cancel_goes_to_back_of_tie(self):
+        sched = EventScheduler()
+        fired = []
+        victim = sched.schedule(1.0, lambda: fired.append("old"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        victim.cancel()
+        sched.schedule(1.0, lambda: fired.append("new"))
+        sched.run()
+        assert fired == ["a", "new"]
+
+    def test_interleaved_cancel_and_schedule_at_same_time(self):
+        sched = EventScheduler()
+        fired = []
+        keep = []
+        for round_no in range(4):
+            doomed = sched.schedule(
+                2.0, lambda r=round_no: fired.append(("doomed", r))
+            )
+            keep.append(sched.schedule(
+                2.0, lambda r=round_no: fired.append(("kept", r))
+            ))
+            doomed.cancel()
+        sched.run()
+        assert fired == [("kept", r) for r in range(4)]
+        assert all(not h.pending for h in keep)
+
+    def test_pending_count_tracks_cancel_interleaving(self):
+        sched = EventScheduler()
+        handles = [sched.schedule(1.0, lambda: None) for _ in range(5)]
+        handles[1].cancel()
+        handles[3].cancel()
+        assert sched.pending_count == 3
