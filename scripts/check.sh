@@ -14,7 +14,14 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== repro.lint (determinism & simulation-correctness) =="
+# Pin hash randomisation for the run-twice harness: the two runs must
+# diverge only if the *code* is nondeterministic, never because the
+# gate process drew a different hash seed than a rerun of the gate.
+export PYTHONHASHSEED=0
 python -m repro.lint src --determinism
+
+echo "== repro.sanitize (runtime shadow-state invariants) =="
+python -m repro.sanitize all
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="

@@ -147,8 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--ignore", nargs="+", metavar="RULE")
     lint.add_argument("--list-rules", action="store_true")
     lint.add_argument("--determinism", action="store_true")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="also run the runtime sanitizer scenarios")
     lint.add_argument("--lint-seed", type=int, default=1998,
-                      help="seed for --determinism")
+                      help="seed for --determinism / --sanitize")
 
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
@@ -263,6 +265,8 @@ def cmd_lint(args) -> int:
         argv.append("--list-rules")
     if args.determinism:
         argv.append("--determinism")
+    if args.sanitize:
+        argv.append("--sanitize")
     return lint_main(argv)
 
 

@@ -107,6 +107,14 @@ class AdaptiveIprmaAllocator(Allocator):
             position = lo - gap
         return ranges  # type: ignore[return-value]
 
+    def declared_ranges(self, ttl: int,
+                        visible: VisibleSet) -> List[Tuple[int, int]]:
+        """The band serving ``ttl`` under the deterministic geometry."""
+        band = self.partition_map.band_of(ttl)
+        lowest_ttl, __ = self.partition_map.ttl_range(band)
+        geometry = self.band_geometry(visible.with_ttl_at_least(lowest_ttl))
+        return [geometry[band]]
+
     def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
         self._check_ttl(ttl)
         band = self.partition_map.band_of(ttl)
@@ -115,7 +123,5 @@ class AdaptiveIprmaAllocator(Allocator):
         # the placement of this band anyway because bands are laid out
         # top-down, but restricting the view keeps the invariant
         # explicit and testable.)
-        lowest_ttl, __ = self.partition_map.ttl_range(band)
-        geometry = self.band_geometry(visible.with_ttl_at_least(lowest_ttl))
-        lo, hi = geometry[band]
+        (lo, hi), = self.declared_ranges(ttl, visible)
         return self._informed_pick(visible, lo, hi, band=band)

@@ -9,7 +9,7 @@ i = 0 row of eq. 1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +48,14 @@ class AdminScopedAllocator(Allocator):
         if not zones:
             return None
         return min(zones, key=lambda z: len(z.members))
+
+    def declared_ranges(self, ttl: int,
+                        visible: VisibleSet) -> List[Tuple[int, int]]:
+        """The node's zone range (whole space when unzoned)."""
+        zone = self.zone()
+        if zone is None:
+            return [(0, self.space_size)]
+        return [(zone.range_lo, zone.range_hi)]
 
     def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
         """Allocate inside the node's zone range.

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -110,6 +110,18 @@ class Allocator(abc.ABC):
     @abc.abstractmethod
     def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
         """Pick an address for a new session with scope ``ttl``."""
+
+    def declared_ranges(self, ttl: int,
+                        visible: VisibleSet) -> List[Tuple[int, int]]:
+        """The half-open address ranges ``allocate`` may pick from.
+
+        This is the allocator's *declared* partition geometry for a
+        ``(ttl, visible)`` view — the contract the runtime sanitizer
+        (:mod:`repro.sanitize`) checks every allocation against.
+        Partitioned allocators override this to mirror exactly the
+        band/zone/prefix computation their ``allocate`` performs.
+        """
+        return [(0, self.space_size)]
 
     def _check_ttl(self, ttl: int) -> None:
         if not 1 <= ttl <= 255:

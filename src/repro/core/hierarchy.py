@@ -143,6 +143,14 @@ class HierarchicalAllocator(Allocator):
     # ------------------------------------------------------------------
     # Lower level: address allocation within owned prefixes
     # ------------------------------------------------------------------
+    def declared_ranges(self, ttl: int,
+                        visible: VisibleSet) -> List[Tuple[int, int]]:
+        """Every prefix this region owns (whole space before any claim,
+        since ``allocate`` claims its first prefix on demand)."""
+        if not self.prefixes:
+            return [(0, self.space_size)]
+        return [self.pool.prefix_range(p) for p in self.prefixes]
+
     def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
         """Allocate within owned prefixes, avoiding visible addresses.
 

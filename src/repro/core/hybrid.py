@@ -84,10 +84,16 @@ class HybridIprmaAllocator(Allocator):
             prev_lo = lo
         return ranges  # type: ignore[return-value]
 
-    def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
-        self._check_ttl(ttl)
+    def declared_ranges(self, ttl: int,
+                        visible: VisibleSet) -> List[Tuple[int, int]]:
+        """The band serving ``ttl`` under the hybrid geometry."""
         band = self.partition_map.band_of(ttl)
         lowest_ttl, __ = self.partition_map.ttl_range(band)
         geometry = self.band_geometry(visible.with_ttl_at_least(lowest_ttl))
-        lo, hi = geometry[band]
+        return [geometry[band]]
+
+    def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
+        self._check_ttl(ttl)
+        band = self.partition_map.band_of(ttl)
+        (lo, hi), = self.declared_ranges(ttl, visible)
         return self._informed_pick(visible, lo, hi, band=band)

@@ -66,6 +66,11 @@ class StaticIprmaAllocator(Allocator):
         """Half-open address range of the band serving ``ttl``."""
         return self.band_ranges[self.partition_map.band_of(ttl)]
 
+    def declared_ranges(self, ttl: int,
+                        visible: VisibleSet) -> List[Tuple[int, int]]:
+        """Static bands: the range serving ``ttl``, whatever is visible."""
+        return [self.band_range(ttl)]
+
     def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
         self._check_ttl(ttl)
         band = self.partition_map.band_of(ttl)

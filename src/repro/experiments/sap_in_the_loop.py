@@ -93,10 +93,20 @@ class SapLoopResult:
 
 
 def run_sap_in_the_loop(topology: Topology, scope_map: ScopeMap,
-                        config: SapLoopConfig) -> SapLoopResult:
-    """Run the experiment; see module docstring."""
+                        config: SapLoopConfig,
+                        sanitizer=None) -> SapLoopResult:
+    """Run the experiment; see module docstring.
+
+    Args:
+        sanitizer: optional
+            :class:`repro.sanitize.SanitizerContext`; when given, the
+            whole stack runs under shadow-state checking and the
+            convergence-time cache cross-check runs before returning.
+    """
     rng = np.random.default_rng(config.seed)
     scheduler = EventScheduler()
+    if sanitizer is not None:
+        sanitizer.attach_scheduler(scheduler)
     delay_forest = ShortestPathForest(topology, weight="delay")
     network = NetworkModel(
         scheduler,
@@ -104,6 +114,8 @@ def run_sap_in_the_loop(topology: Topology, scope_map: ScopeMap,
         streams=RandomStreams(config.seed),
         loss_rate=config.loss,
     )
+    if sanitizer is not None:
+        sanitizer.attach_network(network)
     space = MulticastAddressSpace.abstract(config.space_size)
 
     def strategy_factory():
@@ -126,6 +138,8 @@ def run_sap_in_the_loop(topology: Topology, scope_map: ScopeMap,
             enable_clash_protocol=config.enable_clash_protocol,
             rng=np.random.default_rng((config.seed, node, 1)),
         ))
+        if sanitizer is not None:
+            sanitizer.watch_directory(directories[-1])
 
     # Schedule session creations spread over the arrival window.
     total = config.num_directories * config.sessions_per_directory
@@ -147,6 +161,8 @@ def run_sap_in_the_loop(topology: Topology, scope_map: ScopeMap,
 
     horizon = config.inter_arrival * total + config.settle_time
     scheduler.run(until=horizon, max_events=2_000_000)
+    if sanitizer is not None:
+        sanitizer.check_convergence(directories)
 
     # Residual clashes: pairs of live sessions with the same address
     # and overlapping scopes that the protocol failed to separate.

@@ -36,8 +36,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--determinism", action="store_true",
                         help="also run the run-twice determinism "
                              "harness")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="also run the runtime sanitizer "
+                             "scenarios (python -m repro.sanitize) "
+                             "and merge violations into the findings")
     parser.add_argument("--seed", type=int, default=1998,
-                        help="seed for --determinism")
+                        help="seed for --determinism / --sanitize")
     return parser
 
 
@@ -66,6 +70,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
+    if args.sanitize:
+        from repro.sanitize.scenarios import run_all_scenarios
+
+        findings = list(findings)
+        for result in run_all_scenarios(seed=args.seed):
+            findings.extend(
+                violation.to_finding(f"<sanitize:{result.name}>")
+                for violation in result.violations
+            )
     if args.format == "json":
         print(render_json(findings))
     else:

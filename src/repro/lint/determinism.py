@@ -48,16 +48,25 @@ class DeterminismReport:
 
 def run_scenario(seed: int = 1998, num_sites: int = 6,
                  sessions_per_site: int = 3, space_size: int = 12,
-                 horizon: float = 240.0) -> str:
+                 horizon: float = 240.0, sanitizer=None) -> str:
     """One full scenario; returns its complete event trace as text.
 
     The trace includes every announcement receipt, clash defence,
     retreat and third-party proxy defence, plus a counter footer, so
     two textually equal traces mean the runs were behaviourally
     identical.
+
+    Args:
+        sanitizer: optional
+            :class:`repro.sanitize.SanitizerContext`; when given, the
+            scheduler, network and every directory run under full
+            shadow-state checking (the sanitizers observe, never
+            steer, so the trace is unchanged).
     """
     streams = RandomStreams(seed)
     scheduler = EventScheduler()
+    if sanitizer is not None:
+        sanitizer.attach_scheduler(scheduler)
 
     def receiver_map(source: int, ttl: int):
         # Full mesh with deterministic, asymmetric per-pair delays.
@@ -66,6 +75,8 @@ def run_scenario(seed: int = 1998, num_sites: int = 6,
 
     network = NetworkModel(scheduler, receiver_map, streams=streams,
                            loss_rate=0.05, jitter=0.02)
+    if sanitizer is not None:
+        sanitizer.attach_network(network)
     space = MulticastAddressSpace.abstract(space_size)
     tracer = Tracer(scheduler)
 
@@ -80,6 +91,8 @@ def run_scenario(seed: int = 1998, num_sites: int = 6,
             rng=streams.get(f"dir.{node}"),
         )
         trace_directory(tracer, directory)
+        if sanitizer is not None:
+            sanitizer.watch_directory(directory)
         directories.append(directory)
 
     workload = streams.get("workload")

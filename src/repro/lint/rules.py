@@ -18,8 +18,11 @@ from typing import Iterator, List, Optional, Tuple
 RawFinding = Tuple[int, int, str]
 
 #: Subpackages of ``repro`` whose behaviour feeds simulation results.
+#: ``sanitize`` is included: the runtime sanitizers observe simulations
+#: in place, so nondeterminism there would corrupt sanitized traces.
 SIM_PACKAGES = frozenset(
-    {"sim", "core", "sap", "experiments", "routing", "topology"}
+    {"sim", "core", "sap", "experiments", "routing", "topology",
+     "sanitize"}
 )
 
 #: Legacy module-global numpy RNG entry points (shared hidden state).
@@ -390,6 +393,225 @@ class BuiltinHashRule(Rule):
                        "differ across runs -- use zlib.crc32")
 
 
+class TtlWideningRule(Rule):
+    name = "ttl-widening"
+    code = "SIM111"
+    description = ("arithmetic that widens a TTL (ttl + k, ttl * k); "
+                   "scope may only ever narrow as packets travel")
+    scope = SIM_PACKAGES
+
+    @staticmethod
+    def _ttlish(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        else:
+            return None
+        if name == "ttl" or name.endswith("_ttl"):
+            return name
+        return None
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Mult)):
+                continue
+            for ttl_side, other in ((node.left, node.right),
+                                    (node.right, node.left)):
+                name = self._ttlish(ttl_side)
+                if name is None:
+                    continue
+                if not (isinstance(other, ast.Constant)
+                        and isinstance(other.value, (int, float))
+                        and not isinstance(other.value, bool)):
+                    continue
+                widens = (other.value > 0
+                          if isinstance(node.op, ast.Add)
+                          else other.value > 1)
+                if widens:
+                    yield (node.lineno, node.col_offset,
+                           f"TTL-widening arithmetic on {name!r}; a "
+                           f"TTL may only be decremented (routers "
+                           f"narrow scope, nothing widens it) -- "
+                           f"widening leaks traffic beyond the "
+                           f"session's declared scope")
+                break
+
+
+class AddressTtlConfusionRule(Rule):
+    name = "address-ttl-confusion"
+    code = "SIM112"
+    description = ("an address-named value passed as a ttl argument, "
+                   "or vice versa, across a call boundary")
+    scope = SIM_PACKAGES
+
+    #: Functions whose first argument is an address-space index/IP.
+    _ADDRESS_FUNCS = frozenset({"index_to_ip", "ip_to_index"})
+
+    @staticmethod
+    def _kind(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        else:
+            return None
+        if name == "ttl" or name.endswith("_ttl"):
+            return "ttl"
+        if name in ("address", "address_index") or \
+                name.endswith(("_address", "_address_index")):
+            return "address"
+        return None
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                kind = self._kind(keyword.value)
+                if kind == "address" and keyword.arg == "ttl":
+                    yield (keyword.value.lineno,
+                           keyword.value.col_offset,
+                           "address-named value passed as ttl=; both "
+                           "are plain ints, so this compiles and then "
+                           "mis-scopes every packet")
+                elif kind == "ttl" and keyword.arg in ("address",
+                                                       "address_index"):
+                    yield (keyword.value.lineno,
+                           keyword.value.col_offset,
+                           f"ttl-named value passed as "
+                           f"{keyword.arg}=; both are plain ints, so "
+                           f"this compiles and then corrupts the "
+                           f"address view")
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                attr = func.attr
+            elif isinstance(func, ast.Name):
+                attr = func.id
+            else:
+                continue
+            if attr in self._ADDRESS_FUNCS and node.args and \
+                    self._kind(node.args[0]) == "ttl":
+                yield (node.lineno, node.col_offset,
+                       f"ttl-named value passed to {attr}(), which "
+                       f"takes an address-space index")
+
+
+class UninformedAllocateOverrideRule(Rule):
+    name = "uninformed-allocate-override"
+    code = "SIM113"
+    description = ("Allocator subclass overrides allocate() without "
+                   "consulting the visible set (_informed_pick or "
+                   "delegation) or declaring informed=False")
+    scope = SIM_PACKAGES
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any((dotted_name(base) or "").endswith("Allocator")
+                       for base in node.bases):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and \
+                        item.name == "allocate" and \
+                        not self._consults_visible(item):
+                    yield (item.lineno, item.col_offset,
+                           f"{node.name}.allocate neither calls "
+                           f"_informed_pick / delegates to another "
+                           f"allocate nor marks its result "
+                           f"informed=False; silently skipping the "
+                           f"clash-avoidance check defeats informed "
+                           f"allocation (paper section 2.1)")
+
+    @staticmethod
+    def _consults_visible(func: ast.FunctionDef) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("_informed_pick", "allocate"):
+                return True
+            callee = dotted_name(node.func) or ""
+            if callee.endswith("AllocationResult"):
+                for keyword in node.keywords:
+                    if keyword.arg == "informed" and \
+                            isinstance(keyword.value, ast.Constant) and \
+                            keyword.value.value is False:
+                        return True
+        return False
+
+
+class LoopCaptureRule(Rule):
+    name = "loop-capture"
+    code = "SIM114"
+    description = ("lambda passed to schedule()/schedule_at() inside a "
+                   "for loop captures the loop variable by reference")
+    scope = SIM_PACKAGES
+
+    def check(self, tree: ast.AST) -> Iterator[RawFinding]:
+        for loop in ast.walk(tree):
+            if not isinstance(loop, ast.For):
+                continue
+            names = set(self._target_names(loop.target))
+            if not names:
+                continue
+            for stmt in loop.body:
+                yield from self._check_body(stmt, names)
+
+    def _check_body(self, stmt: ast.AST, names) -> Iterator[RawFinding]:
+        for node in ast.walk(stmt):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("schedule", "schedule_at")):
+                continue
+            arguments = list(node.args)
+            arguments += [keyword.value for keyword in node.keywords]
+            for argument in arguments:
+                if not isinstance(argument, ast.Lambda):
+                    continue
+                captured = self._free_loop_names(argument, names)
+                if captured:
+                    listing = ", ".join(sorted(captured))
+                    yield (argument.lineno, argument.col_offset,
+                           f"lambda captures loop variable(s) "
+                           f"{listing} by reference; every scheduled "
+                           f"event will see the final value when it "
+                           f"fires -- bind as a default "
+                           f"(lambda x=x: ...)")
+
+    @classmethod
+    def _target_names(cls, target: ast.AST) -> List[str]:
+        if isinstance(target, ast.Name):
+            return [target.id]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: List[str] = []
+            for element in target.elts:
+                out.extend(cls._target_names(element))
+            return out
+        return []
+
+    @staticmethod
+    def _free_loop_names(lam: ast.Lambda, loop_names) -> set:
+        params = {a.arg for a in (lam.args.posonlyargs + lam.args.args
+                                  + lam.args.kwonlyargs)}
+        if lam.args.vararg is not None:
+            params.add(lam.args.vararg.arg)
+        if lam.args.kwarg is not None:
+            params.add(lam.args.kwarg.arg)
+        captured = set()
+        for node in ast.walk(lam.body):
+            if isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load) and \
+                    node.id in loop_names and node.id not in params:
+                captured.add(node.id)
+        return captured
+
+
 #: Every rule, in code order.  The registry is intentionally a tuple:
 #: rule identity is part of the repo's public determinism contract.
 ALL_RULES: Tuple[Rule, ...] = (
@@ -403,6 +625,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     DiscardedHandleRule(),
     ModuleMutableStateRule(),
     BuiltinHashRule(),
+    TtlWideningRule(),
+    AddressTtlConfusionRule(),
+    UninformedAllocateOverrideRule(),
+    LoopCaptureRule(),
 )
 
 

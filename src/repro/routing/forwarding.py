@@ -157,7 +157,11 @@ class ForwardingEngine:
                 source=packet.source, group=packet.group, ttl=new_ttl,
                 payload=packet.payload, hops=packet.hops + 1,
             )
-            # One-shot hop delivery, never cancelled once in flight.
+            # Fire-and-forget is safe here: the engine has no teardown
+            # path (nothing ever stops a packet mid-flight), and the
+            # lambda binds the child/packet as defaults, so no state the
+            # hop observes can change before it fires.  A stored handle
+            # would have no caller to cancel it.
             self.scheduler.schedule(  # simlint: disable=discarded-handle
                 link.delay,
                 lambda c=child, p=hop_packet: self._deliver(c, p, tap),

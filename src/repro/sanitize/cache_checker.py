@@ -1,0 +1,93 @@
+"""CacheSanitizer — SAP caches versus the announcers' ground truth.
+
+Announce/listen is lossy by design, so a cache may legitimately *lag*
+the announcer (missed re-announcements, missed deletions).  Two states
+can never arise from loss alone, only from corruption of the cache or
+of the supersede logic (:meth:`repro.sap.cache.SessionCache.observe`):
+
+* **SAN231 cache-divergence** — a cached entry carries the *same*
+  description version as the originator's live session but a
+  different address.  Equal version implies an identical SDP payload,
+  so the mapped address index must match; a mismatch means the cache
+  (or the address mapping) was corrupted.
+* **SAN232 cache-future-version** — a cached entry's version exceeds
+  the originator's own current version.  Versions only ever increase
+  at the originator (clash retreats bump them), so nobody can have
+  heard a version the originator has not reached.
+
+The check runs after convergence (``check()``), not per event —
+matching how the experiments themselves validate end state (e.g.
+``run_sap_in_the_loop`` counting residual clashing pairs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+
+class CacheSanitizer:
+    """Compares tracked directories' caches against announcer state."""
+
+    def __init__(self, context) -> None:
+        self._context = context
+        self._directories: List[object] = []
+        self.entries_checked = 0
+
+    def track(self, directory) -> None:
+        if directory not in self._directories:
+            self._directories.append(directory)
+
+    def check(self, directories: Optional[Iterable] = None) -> int:
+        """Cross-check every cache entry; returns entries checked."""
+        dirs = (list(directories) if directories is not None
+                else self._directories)
+        by_node = {d.node: d for d in dirs}
+        checked = 0
+        for directory in dirs:
+            for entry in directory.cache.entries():
+                if entry.description is None:
+                    continue
+                owner = by_node.get(entry.message.origin)
+                if owner is None:
+                    continue
+                own = self._matching_own(owner, entry)
+                if own is None:
+                    # Withdrawn at the owner; a lingering entry is a
+                    # legal consequence of a lost DELETE.
+                    continue
+                checked += 1
+                self._check_entry(directory, owner, entry, own)
+        self.entries_checked += checked
+        return checked
+
+    @staticmethod
+    def _matching_own(owner, entry):
+        origin_key = entry.description.origin_key()
+        for own in owner.own_sessions():
+            if own.description.origin_key() == origin_key:
+                return own
+        return None
+
+    def _check_entry(self, directory, owner, entry, own) -> None:
+        cached_version = entry.description.version
+        true_version = own.description.version
+        if cached_version > true_version:
+            self._context.record(
+                "SAN232", "cache-future-version",
+                f"node {directory.node} caches version "
+                f"{cached_version} of node {owner.node}'s session "
+                f"{own.description.session_id}, ahead of the "
+                f"originator's version {true_version}",
+            )
+            return
+        if (cached_version == true_version
+                and entry.address_index is not None
+                and entry.address_index != own.session.address):
+            self._context.record(
+                "SAN231", "cache-divergence",
+                f"node {directory.node} caches address "
+                f"{entry.address_index} for node {owner.node}'s "
+                f"session {own.description.session_id} v"
+                f"{cached_version}, but the originator holds address "
+                f"{own.session.address} at the same version",
+            )

@@ -1,0 +1,94 @@
+"""``python -m repro.sanitize`` — run sanitized scenarios.
+
+Exit status 0 when every scenario is clean, 1 when any violation was
+recorded, 2 on usage errors — matching ``python -m repro.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.report import render_json as lint_render_json
+from repro.sanitize.report import render_text
+from repro.sanitize.scenarios import (
+    SCENARIO_NAMES,
+    run_scenario,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.sanitize",
+        description="shadow-state simulation sanitizer: run scenarios "
+                    "under ASan-style runtime invariant checking",
+    )
+    parser.add_argument(
+        "scenarios", nargs="*", default=["all"],
+        help=f"scenarios to run: {', '.join(SCENARIO_NAMES)}, or "
+             f"'all' (default)",
+    )
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--seed", type=int, default=1998,
+                        help="scenario seed")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="print the scenario registry and exit")
+    return parser
+
+
+def list_scenarios() -> str:
+    from repro.sanitize import scenarios as module
+
+    lines = []
+    for line in (module.__doc__ or "").splitlines():
+        stripped = line.strip()
+        if stripped.startswith("* "):
+            lines.append(stripped[2:])
+        elif lines and stripped and not stripped.startswith("*"):
+            lines[-1] += " " + stripped
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_scenarios:
+        print(list_scenarios())
+        return 0
+    names: List[str] = []
+    for name in args.scenarios:
+        if name == "all":
+            names.extend(SCENARIO_NAMES)
+        else:
+            names.append(name)
+    results = []
+    for name in names:
+        try:
+            results.append(run_scenario(name, seed=args.seed))
+        except ValueError as exc:
+            print(f"repro.sanitize: {exc}", file=sys.stderr)
+            return 2
+    if args.format == "json":
+        findings = [
+            violation.to_finding(f"<sanitize:{result.name}>")
+            for result in results
+            for violation in result.violations
+        ]
+        print(lint_render_json(findings))
+    else:
+        for result in results:
+            print(result.summary)
+            print(render_text(result.violations, result.name))
+        total = sum(len(result.violations) for result in results)
+        scenarios_run = len(results)
+        if total == 0:
+            print(f"sanitize: {scenarios_run} scenario(s) clean")
+        else:
+            print(f"sanitize: {total} violation(s) across "
+                  f"{scenarios_run} scenario(s)")
+    return 0 if all(result.clean for result in results) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

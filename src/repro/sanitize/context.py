@@ -1,0 +1,161 @@
+"""SanitizerContext — attach every checker to a running simulation.
+
+One context owns one violation list and one instance of each checker.
+Attachment is explicit and opt-in, mirroring how ASan instruments a
+binary only when compiled in:
+
+* :meth:`attach_scheduler` installs the
+  :class:`~repro.sanitize.scheduler_checker.SchedulerSanitizer` as the
+  scheduler's and clock's ``_monitor``;
+* :meth:`attach_network` installs the context itself as the network
+  model's ``_monitor`` (it fans ``on_send`` out to the address checker
+  and ``on_deliver`` to the scope checker);
+* :meth:`watch_directory` hooks a
+  :class:`~repro.sap.directory.SessionDirectory`'s lifecycle events,
+  wraps its allocator, seeds the shadow state with any pre-existing
+  sessions, and registers the directory for the convergence-time cache
+  check;
+* :meth:`watch_allocator` wraps a bare allocator (for allocator-only
+  experiments such as the fig. 12 steady-state churn).
+
+When no context is attached, every hook point in the kernel is a
+single ``is not None`` attribute check — the zero-cost-when-off
+contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.routing.scoping import ScopeMap
+from repro.sanitize.address_checker import AddressSanitizer
+from repro.sanitize.cache_checker import CacheSanitizer
+from repro.sanitize.report import (
+    VIOLATION_CODES,
+    Violation,
+    render_json,
+    render_text,
+)
+from repro.sanitize.scheduler_checker import SchedulerSanitizer
+from repro.sanitize.scope_checker import ScopeSanitizer
+
+
+class SanitizerContext:
+    """Shared state and dispatch hub for all four checkers.
+
+    Args:
+        scope_map: topology scope map for the delivery-containment
+            check; None disables ScopeSanitizer (scenarios without
+            TTL scoping semantics).
+        scenario: label used in reports and pseudo-paths.
+    """
+
+    def __init__(self, scope_map: Optional[ScopeMap] = None,
+                 scenario: str = "") -> None:
+        self.scenario = scenario
+        self.violations: List[Violation] = []
+        self.scheduler_sanitizer = SchedulerSanitizer(self)
+        self.address_sanitizer = AddressSanitizer(self)
+        self.scope_sanitizer = ScopeSanitizer(self, scope_map)
+        self.cache_sanitizer = CacheSanitizer(self)
+        self._scheduler = None
+
+    # ------------------------------------------------------------------
+    # Violation collection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._scheduler.now if self._scheduler is not None else 0.0
+
+    def record(self, code: str, rule: str, message: str,
+               time: Optional[float] = None) -> None:
+        """Append one violation; checkers call this."""
+        if VIOLATION_CODES.get(code) != rule:
+            raise ValueError(f"unregistered violation {code}/{rule}")
+        when = self.now if time is None else time
+        self.violations.append(Violation(code, rule, message, time=when))
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def render_text(self) -> str:
+        return render_text(self.violations, self.scenario)
+
+    def render_json(self) -> str:
+        return render_json(self.violations, self.scenario)
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach_scheduler(self, scheduler):
+        """Monitor a scheduler and its clock; returns the scheduler."""
+        self._scheduler = scheduler
+        scheduler._monitor = self.scheduler_sanitizer
+        scheduler.clock._monitor = self.scheduler_sanitizer
+        return scheduler
+
+    def attach_network(self, network):
+        """Monitor a network model's sends/deliveries; returns it."""
+        network._monitor = self
+        return network
+
+    def watch_directory(self, directory):
+        """Shadow a session directory end to end; returns it."""
+        directory._sanitizer = self
+        self.watch_allocator(directory.allocator, node=directory.node)
+        for own in directory.own_sessions():
+            self.address_sanitizer.on_session_created(directory, own)
+        self.cache_sanitizer.track(directory)
+        return directory
+
+    def watch_allocator(self, allocator, node: Optional[int] = None):
+        """Wrap ``allocator.allocate`` with shadow checks; returns it."""
+        if getattr(allocator, "_sanitize_watched", False):
+            return allocator
+        inner = allocator.allocate
+
+        def allocate(ttl, visible):
+            result = inner(ttl, visible)
+            self.address_sanitizer.on_allocate(allocator, node, ttl,
+                                               visible, result)
+            return result
+
+        allocator.allocate = allocate
+        allocator._sanitize_watched = True
+        return allocator
+
+    # ------------------------------------------------------------------
+    # NetworkModel monitor interface
+    # ------------------------------------------------------------------
+    def on_send(self, packet) -> None:
+        self.address_sanitizer.on_packet_sent(packet)
+
+    def on_deliver(self, receiver: int, packet) -> None:
+        self.scope_sanitizer.on_packet_delivered(receiver, packet)
+
+    # ------------------------------------------------------------------
+    # SessionDirectory sanitizer interface
+    # ------------------------------------------------------------------
+    def on_session_created(self, directory, own) -> None:
+        self.address_sanitizer.on_session_created(directory, own)
+
+    def on_session_withdrawn(self, directory, own) -> None:
+        self.address_sanitizer.on_session_withdrawn(directory, own)
+
+    def on_session_moved(self, directory, own, old_address) -> None:
+        self.address_sanitizer.on_session_moved(directory, own,
+                                                old_address)
+
+    # ------------------------------------------------------------------
+    # Convergence-time checks
+    # ------------------------------------------------------------------
+    def check_convergence(self,
+                          directories: Optional[Iterable] = None) -> int:
+        """Run the cache cross-check; returns entries checked."""
+        return self.cache_sanitizer.check(directories)
+
+    def __repr__(self) -> str:
+        label = self.scenario or "unnamed"
+        return (f"SanitizerContext({label!r}, "
+                f"violations={len(self.violations)})")

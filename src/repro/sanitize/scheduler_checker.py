@@ -1,0 +1,80 @@
+"""SchedulerSanitizer — kernel invariants of the event machinery.
+
+Installed as the ``_monitor`` of an
+:class:`~repro.sim.events.EventScheduler` and its
+:class:`~repro.sim.clock.SimClock`.  The kernel already *rejects* most
+of these misuses with exceptions; the monitor hooks fire before those
+raises, so a sanitized run records the violation even when the kernel
+refuses the operation — exactly like ASan reporting a bad access the
+MMU would also have trapped.
+
+Invariants:
+
+* **SAN221 clock-backwards** — the clock was asked to move to an
+  earlier time.  Event timestamps must be non-decreasing or causality
+  (and every trace comparison) breaks.
+* **SAN222 past-schedule** — a callback was scheduled before the
+  current simulated time, usually a negative-delay arithmetic slip.
+* **SAN223 cancelled-handle-fired** — a cancelled
+  :class:`~repro.sim.events.EventHandle` executed anyway; cancellation
+  is the only teardown mechanism components have, so this is the
+  simulation analogue of use-after-free.
+* **SAN224 reentrant-run** — ``run()`` was entered from inside an
+  event callback; the inner loop would drain events the outer loop
+  believes are still pending.
+"""
+
+from __future__ import annotations
+
+
+class SchedulerSanitizer:
+    """Monitor for :class:`EventScheduler` / :class:`SimClock` hooks."""
+
+    def __init__(self, context) -> None:
+        self._context = context
+        self._run_depth = 0
+
+    # ------------------------------------------------------------------
+    # SimClock hook
+    # ------------------------------------------------------------------
+    def on_clock_advance(self, current: float, target: float) -> None:
+        if target < current:
+            self._context.record(
+                "SAN221", "clock-backwards",
+                f"clock asked to move backwards from t={current} "
+                f"to t={target}",
+                time=current,
+            )
+
+    # ------------------------------------------------------------------
+    # EventScheduler hooks
+    # ------------------------------------------------------------------
+    def on_past_schedule(self, when: float, now: float) -> None:
+        self._context.record(
+            "SAN222", "past-schedule",
+            f"callback scheduled at t={when} before current time "
+            f"t={now}",
+            time=now,
+        )
+
+    def on_fire(self, handle) -> None:
+        if handle.cancelled:
+            self._context.record(
+                "SAN223", "cancelled-handle-fired",
+                f"cancelled event (scheduled for t={handle.when}) "
+                f"fired anyway",
+                time=handle.when,
+            )
+
+    def on_run_enter(self, now: float) -> None:
+        if self._run_depth > 0:
+            self._context.record(
+                "SAN224", "reentrant-run",
+                "run() entered re-entrantly from inside an event "
+                "callback",
+                time=now,
+            )
+        self._run_depth += 1
+
+    def on_run_exit(self) -> None:
+        self._run_depth = max(0, self._run_depth - 1)

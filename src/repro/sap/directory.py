@@ -100,6 +100,10 @@ class SessionDirectory:
         self.rng = rng if rng is not None else np.random.default_rng(node)
         self._own: Dict[Tuple[int, int], OwnSession] = {}
         self._session_ids = itertools.count(1)
+        #: Optional shadow-state observer (see :mod:`repro.sanitize`).
+        #: None in normal operation; one attribute check per session
+        #: create/delete/retreat when sanitizers are off.
+        self._sanitizer = None
         self.clash_handler: Optional[ClashHandler] = None
         if enable_clash_protocol:
             policy = clash_policy if clash_policy is not None else (
@@ -166,6 +170,8 @@ class SessionDirectory:
             first_announced=self.scheduler.now,
         )
         self._own[(self.node, description.session_id)] = own
+        if self._sanitizer is not None:
+            self._sanitizer.on_session_created(self, own)
         own.announcer.start()
         if lifetime is not None:
             own.expiry_handle = self.scheduler.schedule(
@@ -191,6 +197,8 @@ class SessionDirectory:
         if own.expiry_handle is not None:
             own.expiry_handle.cancel()
             own.expiry_handle = None
+        if self._sanitizer is not None:
+            self._sanitizer.on_session_withdrawn(self, own)
         message = SapMessage.delete(self.node, own.description.format())
         self._multicast(message, session.ttl)
         del self._own[(self.node, own.description.session_id)]
@@ -226,12 +234,15 @@ class SessionDirectory:
         """Phase 2: move a just-announced session to a new address."""
         visible = self._allocation_view()
         result = self.allocator.allocate(own.session.ttl, visible)
+        old_address = own.session.address
         own.session.address = result.address
         own.description.connection_address = (
             self.address_space.index_to_ip(result.address)
         )
         own.description.version += 1
         self.address_changes += 1
+        if self._sanitizer is not None:
+            self._sanitizer.on_session_moved(self, own, old_address)
         own.announcer.announce_now()
 
     def proxy_defend(self, entry) -> None:
@@ -297,6 +308,13 @@ class SessionDirectory:
                 message = SapMessage.decode(packet.payload)
             except ValueError:
                 return
+        if message.origin == self.node:
+            # Our own announcement echoed back — a third-party proxy
+            # defence (§3 phase 3) re-sends our message verbatim.  Real
+            # sdr ignores these; caching them would let this site later
+            # proxy-defend its *own withdrawn* session, resurrecting a
+            # session it knows is dead.
+            return
         self.announcements_received += 1
         address_index = self._address_index_of(message)
         entry = self.cache.observe(message, self.scheduler.now,

@@ -81,17 +81,23 @@ class ZamTransport:
         leaking = announcement.zone_name in self._leaky_zones
         reach = self.scope_map.reachable(announcement.producer,
                                          announcement.range_lo)
-        for node, listeners in self._listeners.items():
+        for node in self._listeners:
             if node == announcement.producer:
                 continue
             if not leaking and not reach[node]:
                 continue
-            for listener in list(listeners):
-                # One-shot delivery, never cancelled once in flight.
-                self.scheduler.schedule(  # simlint: disable=discarded-handle
-                    self.delay,
-                    lambda l=listener, n=node: l.receive(n, announcement),
-                )
+            # Fire-and-forget is safe here: _deliver looks the node's
+            # listeners up at *fire* time, so a listener removed while
+            # the ZAM is in flight simply misses it — no stale callback
+            # a stored handle would need to cancel.
+            self.scheduler.schedule(  # simlint: disable=discarded-handle
+                self.delay,
+                lambda n=node: self._deliver(n, announcement),
+            )
+
+    def _deliver(self, node: int, announcement: ZoneAnnouncement) -> None:
+        for listener in list(self._listeners.get(node, ())):
+            listener.receive(node, announcement)
 
 
 class ZoneAnnouncer:

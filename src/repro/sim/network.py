@@ -94,6 +94,10 @@ class NetworkModel:
         self.loss_rate = loss_rate
         self.jitter = jitter
         self._listeners: Dict[int, list] = {}
+        #: Optional shadow-state observer (see :mod:`repro.sanitize`).
+        #: None in normal operation; one attribute check per send and
+        #: delivery when sanitizers are off.
+        self._monitor: Optional[Any] = None
         self._partition: Optional[frozenset] = None
         self.packets_sent = 0
         self.packets_delivered = 0
@@ -154,6 +158,8 @@ class NetworkModel:
         """
         packet.sent_at = self.scheduler.now
         self.packets_sent += 1
+        if self._monitor is not None:
+            self._monitor.on_send(packet)
         loss_rng = self.streams.get("net.loss")
         jitter_rng = self.streams.get("net.jitter")
         scheduled = 0
@@ -180,10 +186,15 @@ class NetworkModel:
             callbacks = self._listeners.get(receiver)
             if callbacks:
                 self.packets_delivered += 1
+                if self._monitor is not None:
+                    self._monitor.on_deliver(receiver, packet)
                 for callback in list(callbacks):
                     callback(receiver, packet)
 
-        # Deliveries are one-shot and never cancelled once in flight.
+        # Fire-and-forget is safe here: the closure looks the receiver's
+        # listeners up at *fire* time, so an unlisten() between send and
+        # delivery makes this a no-op rather than a stale callback —
+        # there is nothing a stored handle would ever need to cancel.
         self.scheduler.schedule(  # simlint: disable=discarded-handle
             delay, deliver
         )

@@ -87,11 +87,29 @@ class TestSeededViolationsAreCaught:
             assert code in result.stdout
 
 
+class TestSanitizeBridge:
+    def test_lint_cli_sanitize_merges_clean(self):
+        result = run_cli(["src", "--sanitize"])
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_lint_cli_sanitize_json_schema(self):
+        result = run_cli(["src", "--sanitize", "--format", "json"])
+        assert result.returncode == 0, result.stdout + result.stderr
+        data = json.loads(result.stdout)
+        assert data == {"count": 0, "findings": []}
+
+
 class TestReproCliIntegration:
     def test_repro_cli_lint_subcommand(self):
         from repro.cli import main
 
         assert main(["lint", "src"]) == 0
+
+    def test_repro_cli_lint_sanitize_passthrough(self):
+        from repro.cli import main
+
+        assert main(["lint", "src", "--sanitize"]) == 0
 
     def test_repro_cli_lint_select(self, tmp_path, capsys):
         from repro.cli import main

@@ -214,6 +214,149 @@ class TestBuiltinHash:
         ) == []
 
 
+class TestTtlWidening:
+    def test_ttl_plus_constant_flagged(self):
+        assert "ttl-widening" in names("wide = ttl + 1\n")
+
+    def test_constant_plus_attribute_ttl_flagged(self):
+        assert "ttl-widening" in names("wide = 2 + packet.ttl\n")
+
+    def test_ttl_times_constant_flagged(self):
+        assert "ttl-widening" in names("wide = session_ttl * 2\n")
+
+    def test_ttl_decrement_clean(self):
+        assert names("narrow = packet.ttl - 1\n") == []
+
+    def test_ttl_times_one_clean(self):
+        assert names("same = ttl * 1\n") == []
+
+    def test_ttl_plus_variable_clean(self):
+        # Only constant widening is statically decidable.
+        assert names("maybe = ttl + margin\n") == []
+
+    def test_unrelated_name_clean(self):
+        assert names("total = count + 1\n") == []
+
+    def test_not_applied_outside_sim_scope(self):
+        assert names("wide = ttl + 1\n", package="analysis") == []
+
+
+class TestAddressTtlConfusion:
+    def test_address_passed_as_ttl_kwarg_flagged(self):
+        assert "address-ttl-confusion" in names(
+            "pkt = Packet(source=0, ttl=address, payload=b'x')\n"
+        )
+
+    def test_address_index_attribute_as_ttl_flagged(self):
+        assert "address-ttl-confusion" in names(
+            "send(ttl=entry.address_index)\n"
+        )
+
+    def test_ttl_passed_as_address_kwarg_flagged(self):
+        assert "address-ttl-confusion" in names(
+            "observe(message, address_index=session_ttl)\n"
+        )
+
+    def test_ttl_first_arg_to_index_to_ip_flagged(self):
+        assert "address-ttl-confusion" in names(
+            "ip = space.index_to_ip(ttl)\n"
+        )
+
+    def test_correct_kwargs_clean(self):
+        assert names(
+            "pkt = Packet(source=0, ttl=ttl, payload=b'x')\n"
+        ) == []
+
+    def test_address_to_index_to_ip_clean(self):
+        assert names("ip = space.index_to_ip(address)\n") == []
+
+
+class TestUninformedAllocateOverride:
+    def test_override_ignoring_visible_flagged(self):
+        code = (
+            "class BadAllocator(Allocator):\n"
+            "    def allocate(self, ttl, visible):\n"
+            "        return AllocationResult(7, None, True, False)\n"
+        )
+        assert "uninformed-allocate-override" in names(code)
+
+    def test_informed_pick_delegation_clean(self):
+        code = (
+            "class GoodAllocator(Allocator):\n"
+            "    def allocate(self, ttl, visible):\n"
+            "        return self._informed_pick(visible, 0, self.n)\n"
+        )
+        assert names(code) == []
+
+    def test_delegating_to_inner_allocate_clean(self):
+        code = (
+            "class WrapAllocator(Allocator):\n"
+            "    def allocate(self, ttl, visible):\n"
+            "        return self.inner.allocate(ttl, visible)\n"
+        )
+        assert names(code) == []
+
+    def test_explicit_informed_false_clean(self):
+        # Deliberately uninformed allocators opt out in the result.
+        code = (
+            "class Randomish(Allocator):\n"
+            "    def allocate(self, ttl, visible):\n"
+            "        return AllocationResult(7, band=None,\n"
+            "                                informed=False,\n"
+            "                                forced=False)\n"
+        )
+        assert names(code) == []
+
+    def test_non_allocator_class_clean(self):
+        code = (
+            "class Planner:\n"
+            "    def allocate(self, ttl, visible):\n"
+            "        return 7\n"
+        )
+        assert names(code) == []
+
+
+class TestLoopCapture:
+    def test_loop_var_captured_by_reference_flagged(self):
+        code = (
+            "for node in nodes:\n"
+            "    sched.schedule(  # simlint: disable=discarded-handle\n"
+            "        1.0, lambda: deliver(node))\n"
+        )
+        assert "loop-capture" in names(code)
+
+    def test_tuple_target_captured_flagged(self):
+        code = (
+            "for node, delay in pairs:\n"
+            "    h = sched.schedule_at(delay, lambda: go(node))\n"
+        )
+        assert "loop-capture" in names(code)
+
+    def test_default_binding_clean(self):
+        code = (
+            "for node in nodes:\n"
+            "    h = sched.schedule(1.0, lambda n=node: deliver(n))\n"
+        )
+        assert names(code) == []
+
+    def test_lambda_not_using_loop_var_clean(self):
+        code = (
+            "for node in nodes:\n"
+            "    h = sched.schedule(1.0, lambda: tick())\n"
+        )
+        assert names(code) == []
+
+    def test_lambda_outside_loop_clean(self):
+        assert names("h = sched.schedule(1.0, lambda: go(node))\n") == []
+
+    def test_non_schedule_call_clean(self):
+        code = (
+            "for node in nodes:\n"
+            "    out.append(lambda: deliver(node))\n"
+        )
+        assert names(code) == []
+
+
 class TestSuppressions:
     def test_line_suppression(self):
         code = ("import numpy as np\n"
@@ -293,7 +436,7 @@ class TestEngine:
     def test_registry_codes_unique_and_scoped(self):
         codes = [r.code for r in ALL_RULES]
         assert len(codes) == len(set(codes))
-        assert len(ALL_RULES) == 10
+        assert len(ALL_RULES) == 14
         for rule in ALL_RULES:
             assert rule.scope is None or rule.scope <= SIM_PACKAGES
 

@@ -1,0 +1,164 @@
+"""Clean-run scenario tests, the CLI, and the zero-cost-when-off contract.
+
+The mutation tests prove each checker *can* fire; these prove the real
+protocol stack *doesn't* make them fire: the full §4 clash-protocol
+simulation and the AIPR steady-state churn run under every sanitizer
+with zero violations, as tier-1 tests.
+"""
+
+import json
+
+import pytest
+
+from repro.sanitize import (
+    SCENARIO_NAMES,
+    VIOLATION_CODES,
+    SanitizerContext,
+    Violation,
+    render_json,
+    render_text,
+    run_scenario,
+)
+from repro.sanitize.cli import main as sanitize_main
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel
+
+
+@pytest.fixture(scope="module")
+def scenario_results():
+    """Run every registered scenario once per module."""
+    return {name: run_scenario(name, seed=1998)
+            for name in SCENARIO_NAMES}
+
+
+class TestCleanScenarios:
+    def test_kernel_scenario_clean(self, scenario_results):
+        result = scenario_results["kernel"]
+        assert result.clean, result.context.render_text()
+        # The run must have exercised the cache cross-check.
+        assert result.context.cache_sanitizer.entries_checked > 0
+
+    def test_clash_protocol_scenario_clean(self, scenario_results):
+        result = scenario_results["clash"]
+        assert result.clean, result.context.render_text()
+        assert result.context.scope_sanitizer.deliveries_checked > 0
+
+    def test_steady_state_scenario_clean(self, scenario_results):
+        result = scenario_results["steady"]
+        assert result.clean, result.context.render_text()
+
+    def test_summaries_name_their_scenario(self, scenario_results):
+        for name, result in scenario_results.items():
+            assert result.name == name
+            assert result.summary.startswith(f"{name}:")
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenario("no-such-scenario")
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert sanitize_main(["kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitize[kernel]: clean (0 violations)" in out
+        assert "1 scenario(s) clean" in out
+
+    def test_json_format_matches_lint_schema(self, capsys):
+        assert sanitize_main(["kernel", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {"count": 0, "findings": []}
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert sanitize_main(["bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_list_scenarios(self, capsys):
+        assert sanitize_main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIO_NAMES:
+            assert name in out
+
+
+class TestReportModel:
+    def test_every_code_has_a_distinct_rule(self):
+        rules = list(VIOLATION_CODES.values())
+        assert len(rules) == len(set(rules))
+
+    def test_record_rejects_unregistered_pairs(self):
+        context = SanitizerContext(scenario="test")
+        with pytest.raises(ValueError, match="unregistered"):
+            context.record("SAN999", "made-up", "nope")
+        with pytest.raises(ValueError, match="unregistered"):
+            context.record("SAN201", "scope-violation", "wrong rule")
+
+    def test_render_text_breaks_down_by_rule(self):
+        violations = [
+            Violation("SAN221", "clock-backwards", "a", time=1.0),
+            Violation("SAN221", "clock-backwards", "b", time=2.0),
+            Violation("SAN211", "scope-violation", "c", time=3.0),
+        ]
+        text = render_text(violations, "demo")
+        assert "t=1.0000: SAN221 [clock-backwards] a" in text
+        assert ("sanitize[demo]: 3 violations "
+                "(clock-backwards=2, scope-violation=1)") in text
+
+    def test_render_json_uses_pseudo_paths(self):
+        violations = [Violation("SAN211", "scope-violation", "leak",
+                                time=4.5)]
+        data = json.loads(render_json(violations, "demo"))
+        assert data["count"] == 1
+        finding = data["findings"][0]
+        assert finding["path"] == "<sanitize:demo>"
+        assert finding["code"] == "SAN211"
+        assert finding["message"].startswith("t=4.5000: ")
+
+
+class TestZeroCostWhenOff:
+    """Sanitizers off must leave the kernel objects untouched.
+
+    The hook contract is a single ``is not None`` attribute check, so
+    the structural assertion is that no monitor, wrapper or shadow
+    attribute exists unless a context explicitly attached one.
+    """
+
+    def test_fresh_kernel_objects_have_no_monitor(self):
+        scheduler = EventScheduler()
+        network = NetworkModel(scheduler, lambda source, ttl: [])
+        assert scheduler._monitor is None
+        assert scheduler.clock._monitor is None
+        assert network._monitor is None
+
+    def test_fresh_directory_has_no_sanitizer(self, rng):
+        import numpy as np
+
+        from repro.core.address_space import MulticastAddressSpace
+        from repro.core.informed import InformedRandomAllocator
+        from repro.sap.directory import SessionDirectory
+
+        scheduler = EventScheduler()
+        network = NetworkModel(scheduler, lambda source, ttl: [])
+        directory = SessionDirectory(
+            node=0, scheduler=scheduler, network=network,
+            allocator=InformedRandomAllocator(
+                64, np.random.default_rng(0)
+            ),
+            address_space=MulticastAddressSpace.abstract(64),
+            rng=rng,
+        )
+        assert directory._sanitizer is None
+        # The allocator's allocate is the plain bound method: no
+        # wrapper marker unless watch_allocator ran.
+        assert not hasattr(directory.allocator, "_sanitize_watched")
+
+    def test_unsanitized_harness_runs_are_byte_identical(self):
+        # The determinism harness is the sensitive consumer: running
+        # it with and without hooks *present but detached* must not
+        # perturb the trace (monitors only observe, never steer).
+        from repro.lint.determinism import run_scenario as run_det
+
+        plain = run_det(seed=7)
+        context = SanitizerContext(scenario="kernel")
+        sanitized = run_det(seed=7, sanitizer=context)
+        assert context.clean
+        assert sanitized == plain

@@ -1,0 +1,188 @@
+"""ScopeSanitizer and CacheSanitizer: mutation tests for SAN211/231/232.
+
+The scope check cross-validates what the network *delivered* against
+what the scope map says is audible; the cache check compares every
+directory's cache with the originators' ground truth after
+convergence.  Each mutation goes through the real delivery/caching
+paths and then corrupts exactly one thing.
+"""
+
+import numpy as np
+
+from repro.core.address_space import MulticastAddressSpace
+from repro.core.informed import InformedRandomAllocator
+from repro.routing.spt import ShortestPathForest
+from repro.sanitize import SanitizerContext
+from repro.sap.directory import SessionDirectory
+from repro.sim.adapters import scoped_receiver_map
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel, Packet
+
+SPACE = 64
+
+
+def codes(context):
+    return [violation.code for violation in context.violations]
+
+
+def leaky_full_mesh(num_nodes):
+    """A receiver map that ignores TTL scoping entirely (the bug)."""
+
+    def receivers(source, ttl):
+        return [(node, 0.01) for node in range(num_nodes)
+                if node != source]
+
+    return receivers
+
+
+class TestScopeViolation:
+    def test_leaky_receiver_map_records_san211(self, chain_scope_map):
+        context = SanitizerContext(scope_map=chain_scope_map,
+                                   scenario="test")
+        scheduler = context.attach_scheduler(EventScheduler())
+        network = context.attach_network(NetworkModel(
+            scheduler, leaky_full_mesh(chain_scope_map.num_nodes)
+        ))
+        for node in range(chain_scope_map.num_nodes):
+            network.listen(node, lambda receiver, packet: None)
+        # need[0] = [0, 2, 18, 18, 68]: ttl 5 legally reaches node 1
+        # only, but the leaky map delivers to 2, 3 and 4 as well.
+        network.send(Packet(source=0, group=0, ttl=5, payload=b"x"))
+        scheduler.run()
+        assert codes(context) == ["SAN211", "SAN211", "SAN211"]
+        assert all(v.rule == "scope-violation"
+                   for v in context.violations)
+        assert context.scope_sanitizer.deliveries_checked == 4
+
+    def test_scoped_receiver_map_clean(self, chain_topology,
+                                       chain_scope_map):
+        context = SanitizerContext(scope_map=chain_scope_map,
+                                   scenario="test")
+        scheduler = context.attach_scheduler(EventScheduler())
+        forest = ShortestPathForest(chain_topology, weight="delay")
+        network = context.attach_network(NetworkModel(
+            scheduler, scoped_receiver_map(chain_scope_map, forest)
+        ))
+        for node in range(chain_scope_map.num_nodes):
+            network.listen(node, lambda receiver, packet: None)
+        for ttl in (5, 20, 68, 127):
+            network.send(Packet(source=0, group=0, ttl=ttl,
+                                payload=b"x"))
+        scheduler.run()
+        assert context.scope_sanitizer.deliveries_checked > 0
+        assert context.clean
+
+    def test_no_scope_map_disables_check(self):
+        context = SanitizerContext(scenario="test")
+        scheduler = context.attach_scheduler(EventScheduler())
+        network = context.attach_network(NetworkModel(
+            scheduler, leaky_full_mesh(3)
+        ))
+        for node in range(3):
+            network.listen(node, lambda receiver, packet: None)
+        network.send(Packet(source=0, group=0, ttl=1, payload=b"x"))
+        scheduler.run()
+        assert context.scope_sanitizer.deliveries_checked == 0
+        assert context.clean
+
+
+def make_pair(context):
+    """Two directories on a lossless full mesh, both watched."""
+    scheduler = context.attach_scheduler(EventScheduler())
+    network = context.attach_network(NetworkModel(
+        scheduler, leaky_full_mesh(2)
+    ))
+    directories = []
+    for node in (0, 1):
+        directory = SessionDirectory(
+            node=node,
+            scheduler=scheduler,
+            network=network,
+            allocator=InformedRandomAllocator(
+                SPACE, np.random.default_rng(node)
+            ),
+            address_space=MulticastAddressSpace.abstract(SPACE),
+            username=f"user{node}",
+            rng=np.random.default_rng(100 + node),
+        )
+        directories.append(context.watch_directory(directory))
+    return scheduler, directories
+
+
+class TestCacheDivergence:
+    def test_synced_caches_clean(self):
+        context = SanitizerContext(scenario="test")
+        scheduler, (a, b) = make_pair(context)
+        a.create_session("conf", ttl=63)
+        scheduler.run(until=5.0)
+        assert len(b.cache) == 1
+        checked = context.check_convergence()
+        assert checked == 1
+        assert context.clean
+
+    def test_corrupted_address_records_san231(self):
+        context = SanitizerContext(scenario="test")
+        scheduler, (a, b) = make_pair(context)
+        session = a.create_session("conf", ttl=63)
+        scheduler.run(until=5.0)
+        entry = b.cache.entries()[0]
+        entry.address_index = (session.address + 1) % SPACE
+        context.check_convergence()
+        assert codes(context) == ["SAN231"]
+        assert context.violations[0].rule == "cache-divergence"
+
+    def test_stale_version_is_legal_lag_not_divergence(self):
+        # Loss can leave a cache a whole version behind; only *equal*
+        # versions must agree on the address.
+        context = SanitizerContext(scenario="test")
+        scheduler, (a, b) = make_pair(context)
+        session = a.create_session("conf", ttl=63)
+        scheduler.run(until=5.0)
+        own = a.own_sessions()[0]
+        # The originator retreats (bumps version + address); B misses
+        # the re-announcement entirely.
+        a.retreat(own)
+        assert own.description.version == 2
+        entry = b.cache.entries()[0]
+        assert entry.description.version == 1
+        context.check_convergence()
+        assert session.source == 0
+        assert context.clean
+
+    def test_withdrawn_session_entries_are_skipped(self):
+        # A lingering entry for a withdrawn session is a legal
+        # consequence of a lost DELETE, not a divergence.
+        context = SanitizerContext(scenario="test")
+        scheduler, (a, b) = make_pair(context)
+        session = a.create_session("conf", ttl=63)
+        scheduler.run(until=5.0)
+        entry = b.cache.entries()[0]
+        a.delete_session(session)  # B never hears the DELETE...
+        entry.address_index = (session.address + 1) % SPACE
+        checked = context.check_convergence()
+        assert checked == 0
+        assert context.clean
+
+
+class TestCacheFutureVersion:
+    def test_version_ahead_of_originator_records_san232(self):
+        context = SanitizerContext(scenario="test")
+        scheduler, (a, b) = make_pair(context)
+        a.create_session("conf", ttl=63)
+        scheduler.run(until=5.0)
+        entry = b.cache.entries()[0]
+        entry.description.version += 1  # impossible without corruption
+        context.check_convergence()
+        assert codes(context) == ["SAN232"]
+        assert context.violations[0].rule == "cache-future-version"
+
+    def test_explicit_directory_list_overrides_tracking(self):
+        context = SanitizerContext(scenario="test")
+        scheduler, (a, b) = make_pair(context)
+        a.create_session("conf", ttl=63)
+        scheduler.run(until=5.0)
+        entry = b.cache.entries()[0]
+        entry.description.version += 1
+        fresh = SanitizerContext(scenario="other")
+        fresh.check_convergence([a, b])
+        assert codes(fresh) == ["SAN232"]
