@@ -23,6 +23,11 @@ python -m repro.lint src --determinism
 echo "== repro.sanitize (runtime shadow-state invariants) =="
 python -m repro.sanitize all
 
+echo "== repro.modelcheck (bounded exhaustive exploration) =="
+# The fast scenarios are exhaustive in under a second; the ghost
+# scenario (~1 min) runs in CI's model-check step, not the local gate.
+python -m repro.modelcheck smoke simultaneous
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests

@@ -12,9 +12,12 @@ Exposes the library's main workflows without writing Python:
     python -m repro analyze birthday --space 10000 --allocations 118
     python -m repro analyze responders --sites 1600 --buckets 32
     python -m repro lint src --determinism
+    python -m repro modelcheck smoke
 
 Every simulation is deterministic for a given ``--seed``; the ``lint``
-subcommand statically enforces the invariants that make that true.
+subcommand statically enforces the invariants that make that true, and
+``modelcheck`` exhausts small protocol configurations against the
+paper's safety claims.
 """
 
 from __future__ import annotations
@@ -141,16 +144,35 @@ def build_parser() -> argparse.ArgumentParser:
              "(python -m repro.lint)",
     )
     lint.add_argument("paths", nargs="*", default=["src"])
-    lint.add_argument("--format", choices=("text", "json"),
+    lint.add_argument("--format", choices=("text", "json", "github"),
                       default="text")
     lint.add_argument("--select", nargs="+", metavar="RULE")
     lint.add_argument("--ignore", nargs="+", metavar="RULE")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="bypass the incremental lint cache")
     lint.add_argument("--determinism", action="store_true")
     lint.add_argument("--sanitize", action="store_true",
                       help="also run the runtime sanitizer scenarios")
     lint.add_argument("--lint-seed", type=int, default=1998,
                       help="seed for --determinism / --sanitize")
+
+    modelcheck = sub.add_parser(
+        "modelcheck",
+        help="bounded explicit-state model checker "
+             "(python -m repro.modelcheck)",
+    )
+    modelcheck.add_argument("scenarios", nargs="*", default=["smoke"])
+    modelcheck.add_argument("--format",
+                            choices=("text", "json", "github"),
+                            default="text")
+    modelcheck.add_argument("--mutation")
+    modelcheck.add_argument("--mc-seed", type=int, default=0,
+                            help="world seed for the explorer")
+    modelcheck.add_argument("--depth", type=int, default=None)
+    modelcheck.add_argument("--keep-going", action="store_true")
+    modelcheck.add_argument("--list-scenarios", action="store_true")
+    modelcheck.add_argument("--list-rules", action="store_true")
 
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
@@ -263,11 +285,31 @@ def cmd_lint(args) -> int:
         argv += ["--ignore", *args.ignore]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.no_cache:
+        argv.append("--no-cache")
     if args.determinism:
         argv.append("--determinism")
     if args.sanitize:
         argv.append("--sanitize")
     return lint_main(argv)
+
+
+def cmd_modelcheck(args) -> int:
+    from repro.modelcheck.cli import main as modelcheck_main
+
+    argv: List[str] = list(args.scenarios)
+    argv += ["--format", args.format, "--seed", str(args.mc_seed)]
+    if args.mutation:
+        argv += ["--mutation", args.mutation]
+    if args.depth is not None:
+        argv += ["--depth", str(args.depth)]
+    if args.keep_going:
+        argv.append("--keep-going")
+    if args.list_scenarios:
+        argv.append("--list-scenarios")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return modelcheck_main(argv)
 
 
 def cmd_analyze(args) -> int:
@@ -365,6 +407,7 @@ COMMANDS = {
     "request-response": cmd_request_response,
     "analyze": cmd_analyze,
     "lint": cmd_lint,
+    "modelcheck": cmd_modelcheck,
 }
 
 

@@ -5,17 +5,23 @@ draw flows through :class:`repro.sim.rng.RandomStreams` and the event
 scheduler breaks timestamp ties by insertion order.  This subpackage
 *enforces* those invariants:
 
-* :mod:`repro.lint.rules` — the rule registry (unseeded RNGs,
+* :mod:`repro.lint.rules` — the SIM1xx rule set (unseeded RNGs,
   wall-clock reads, set-iteration order, discarded event handles, ...).
+* :mod:`repro.lint.registry` — the shared registry across all three
+  analysis tools (SIM static rules, MC30x spec cross-checks, SAN2xx /
+  MC31x runtime codes) plus the common exit-code contract.
 * :mod:`repro.lint.engine` — AST pass, ``# simlint:`` suppressions.
-* :mod:`repro.lint.report` — text and JSON reporters.
+* :mod:`repro.lint.cache` — incremental cache keyed by content hash
+  and rule-set signature.
+* :mod:`repro.lint.report` — text, JSON and GitHub-annotation
+  reporters.
 * :mod:`repro.lint.determinism` — run-twice runtime harness.
 * ``python -m repro.lint [paths]`` — the CLI; exits non-zero on any
   unsuppressed finding.
 """
 
 from repro.lint.engine import Finding, lint_paths, lint_source
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_github, render_json, render_text
 from repro.lint.rules import ALL_RULES, get_rules
 
 __all__ = [
@@ -24,6 +30,7 @@ __all__ = [
     "get_rules",
     "lint_paths",
     "lint_source",
+    "render_github",
     "render_json",
     "render_text",
 ]

@@ -1,0 +1,118 @@
+"""Incremental lint cache: skip files whose findings cannot change.
+
+Static findings for a file are a pure function of (file content,
+active rule set, the package the path scopes the file into).  The
+cache therefore keys each entry by the file's content hash and stores
+it under the file's path, and the whole cache is stamped with a
+rule-set signature (:func:`repro.lint.registry.ruleset_signature`):
+
+* editing a file invalidates just that file;
+* editing, adding, renaming or re-scoping any rule invalidates the
+  whole cache (the signature changes);
+* moving a file invalidates it (the path is the entry key, and the
+  path also determines rule scoping).
+
+The cache lives in ``.repro-lint-cache.json`` next to wherever the
+linter is run, is versioned (:data:`CACHE_FORMAT`), and is fail-open:
+a missing, corrupt or stale-format cache simply means a full relint.
+``--no-cache`` bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.engine import Finding, iter_python_files, lint_source
+from repro.lint.registry import ruleset_signature
+from repro.lint.rules import Rule
+
+#: Bumped whenever the on-disk cache schema changes.
+CACHE_FORMAT = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_FILE = ".repro-lint-cache.json"
+
+
+def _content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Findings keyed by (path, content hash) under one rule-set."""
+
+    def __init__(self, path: str, signature: str):
+        self.path = Path(path)
+        self.signature = signature
+        self.entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("format") != CACHE_FORMAT:
+            return
+        if raw.get("ruleset") != self.signature:
+            return  # rule set changed: every cached finding is stale
+        entries = raw.get("files")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def lookup(self, path: str, text: str) -> Optional[List[Finding]]:
+        entry = self.entries.get(path)
+        if entry is None or entry.get("hash") != _content_hash(text):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Finding(**raw) for raw in entry.get("findings", [])]
+
+    def store(self, path: str, text: str,
+              findings: Sequence[Finding]) -> None:
+        self.entries[path] = {
+            "hash": _content_hash(text),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+
+    def save(self) -> None:
+        document = {
+            "format": CACHE_FORMAT,
+            "ruleset": self.signature,
+            "files": {
+                path: self.entries[path]
+                for path in sorted(self.entries)
+            },
+        }
+        try:
+            self.path.write_text(
+                json.dumps(document, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # read-only checkout: caching is best-effort
+
+
+def lint_paths_cached(paths: Sequence[str], rules: Sequence[Rule],
+                      cache_file: str = DEFAULT_CACHE_FILE
+                      ) -> List[Finding]:
+    """Like :func:`repro.lint.engine.lint_paths`, reusing cached
+    findings for unchanged files and updating the cache afterwards."""
+    cache = LintCache(cache_file, ruleset_signature(tuple(rules)))
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        text = Path(file_path).read_text(encoding="utf-8")
+        cached = cache.lookup(file_path, text)
+        if cached is None:
+            cached = lint_source(text, path=file_path, rules=rules)
+            cache.store(file_path, text, cached)
+        findings.extend(cached)
+    cache.save()
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

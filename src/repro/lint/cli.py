@@ -1,9 +1,20 @@
 """``python -m repro.lint`` — lint the tree, or run the determinism
 harness.
 
-Exit status is 0 when clean, 1 when any unsuppressed finding (or a
-trace divergence, with ``--determinism``) is reported, 2 on usage
-errors.
+Exit status follows the shared contract in
+:mod:`repro.lint.registry`: 0 when clean, 1 when any unsuppressed
+finding (or a trace divergence, with ``--determinism``) is reported,
+2 on usage errors.
+
+The static rule set is the full registry — SIM1xx determinism rules
+plus the MC30x protocol-spec cross-checks — and ``--list-rules``
+prints every check the repo's three analysis tools run, including the
+runtime SAN2xx / MC31x codes that only ``repro.sanitize`` and
+``repro.modelcheck`` can emit.
+
+Findings for unchanged files are served from an incremental cache
+(``.repro-lint-cache.json``; see :mod:`repro.lint.cache`) keyed by
+file content hash and rule-set signature; ``--no-cache`` bypasses it.
 """
 
 from __future__ import annotations
@@ -12,9 +23,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.lint.engine import lint_paths
-from repro.lint.report import render_json, render_text
-from repro.lint.rules import ALL_RULES, get_rules
+from repro.lint.registry import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    get_static_rules,
+    render_registry,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,14 +40,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "github"),
                         default="text")
     parser.add_argument("--select", nargs="+", metavar="RULE",
                         help="run only these rules")
     parser.add_argument("--ignore", nargs="+", metavar="RULE",
                         help="skip these rules")
     parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule registry and exit")
+                        help="print the shared rule registry (static "
+                             "and runtime codes) and exit")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="relint every file, ignoring and not "
+                             "updating the incremental cache")
+    parser.add_argument("--cache-file",
+                        default=None,
+                        help="incremental cache location (default: "
+                             ".repro-lint-cache.json)")
     parser.add_argument("--determinism", action="store_true",
                         help="also run the run-twice determinism "
                              "harness")
@@ -45,31 +68,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def list_rules() -> str:
-    lines = []
-    for rule in ALL_RULES:
-        where = ("everywhere" if rule.scope is None
-                 else "repro.{" + ",".join(sorted(rule.scope)) + "}")
-        lines.append(f"{rule.code} {rule.name:<22s} [{where}]")
-        lines.append(f"        {rule.description}")
-    return "\n".join(lines)
-
-
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
-        print(list_rules())
-        return 0
+        print(render_registry())
+        return EXIT_CLEAN
     try:
-        rules = get_rules(select=args.select, ignore=args.ignore)
+        rules = get_static_rules(select=args.select, ignore=args.ignore)
     except ValueError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
-        findings = lint_paths(args.paths, rules=rules)
+        if args.no_cache:
+            from repro.lint.engine import lint_paths
+
+            findings = lint_paths(args.paths, rules=rules)
+        else:
+            from repro.lint.cache import (
+                DEFAULT_CACHE_FILE,
+                lint_paths_cached,
+            )
+
+            findings = lint_paths_cached(
+                args.paths, rules=rules,
+                cache_file=args.cache_file or DEFAULT_CACHE_FILE,
+            )
     except FileNotFoundError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.sanitize:
         from repro.sanitize.scenarios import run_all_scenarios
 
@@ -80,17 +106,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for violation in result.violations
             )
     if args.format == "json":
+        from repro.lint.report import render_json
+
         print(render_json(findings))
+    elif args.format == "github":
+        from repro.lint.report import render_github
+
+        output = render_github(findings)
+        if output:
+            print(output)
     else:
+        from repro.lint.report import render_text
+
         print(render_text(findings))
-    status = 0 if not findings else 1
+    status = EXIT_CLEAN if not findings else EXIT_FINDINGS
     if args.determinism:
         from repro.lint.determinism import verify
 
         report = verify(seed=args.seed)
         print(report.format())
         if not report.identical:
-            status = 1
+            status = EXIT_FINDINGS
     return status
 
 

@@ -1,4 +1,4 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: human text, machine JSON, GitHub annotations."""
 
 from __future__ import annotations
 
@@ -36,3 +36,23 @@ def render_json(findings: Sequence[Finding]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow annotations (``::error file=...``).
+
+    Runtime findings carry pseudo-paths like ``<sanitize:kernel>``
+    with no real source location; those become file-less annotations
+    so the Actions UI still surfaces them on the run summary.
+    """
+    lines: List[str] = []
+    for finding in findings:
+        message = f"{finding.code} [{finding.rule}] {finding.message}"
+        if finding.path.startswith("<"):
+            lines.append(f"::error title={finding.code}::"
+                         f"{finding.path}: {message}")
+        else:
+            lines.append(f"::error file={finding.path},"
+                         f"line={max(finding.line, 1)},"
+                         f"col={finding.col}::{message}")
+    return "\n".join(lines)

@@ -20,9 +20,11 @@ RawFinding = Tuple[int, int, str]
 #: Subpackages of ``repro`` whose behaviour feeds simulation results.
 #: ``sanitize`` is included: the runtime sanitizers observe simulations
 #: in place, so nondeterminism there would corrupt sanitized traces.
+#: ``modelcheck`` likewise: state fingerprints and replay must be
+#: bit-identical across processes or restore() diverges.
 SIM_PACKAGES = frozenset(
     {"sim", "core", "sap", "experiments", "routing", "topology",
-     "sanitize"}
+     "sanitize", "modelcheck"}
 )
 
 #: Legacy module-global numpy RNG entry points (shared hidden state).

@@ -1,0 +1,34 @@
+"""repro.modelcheck — bounded explicit-state model checking.
+
+The third rung of the repo's correctness ladder (static lint →
+runtime sanitize → exhaustive small-scope model check).  The package
+drives the *real* protocol implementation — the session directory,
+clash handler and scheduler, not a reimplementation — through every
+interleaving of message delivery, message loss and timer firing that
+a small configuration admits, checking safety invariants at each
+reachable state:
+
+* **MC311 established-displaced** — a session past the recent window
+  never loses its address ("existing sessions will not be disrupted
+  by new sessions", paper §3).
+* **MC312 stable-double-claim** — a loss-free trace never quiesces
+  with two directories claiming the same address.
+* **SAN204 use-after-expiry** (reused from :mod:`repro.sanitize`) — a
+  ghost/withdrawn session is never re-announced by its originator.
+* plus every other SAN2xx runtime probe, attached per explored world.
+
+Alongside the explorer, :mod:`repro.modelcheck.astcheck` statically
+extracts each protocol handler's state machine from the AST and
+cross-checks it against the declared machines in
+:mod:`repro.modelcheck.spec` (rules MC301–MC304).
+"""
+
+from repro.modelcheck.harness import ProtocolHarness, Snapshot
+from repro.modelcheck.explorer import ExplorationResult, explore
+
+__all__ = [
+    "ExplorationResult",
+    "ProtocolHarness",
+    "Snapshot",
+    "explore",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.modelcheck``."""
+
+import sys
+
+from repro.modelcheck.cli import main
+
+sys.exit(main())

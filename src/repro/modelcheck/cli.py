@@ -1,0 +1,126 @@
+"""``python -m repro.modelcheck`` — exhaust the protocol's small worlds.
+
+    python -m repro.modelcheck smoke
+    python -m repro.modelcheck all --format json
+    python -m repro.modelcheck smoke --mutation defend-off-by-one
+
+Exit status follows the shared contract in
+:mod:`repro.lint.registry`: 0 when every exploration is clean (and
+complete), 1 when any violation was found *or* an exploration was
+truncated by the state cap (an incomplete verification is not a
+verification), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.registry import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    render_registry,
+)
+from repro.modelcheck.explorer import (
+    DEFAULT_MAX_STATES,
+    ExplorationResult,
+    explore,
+)
+from repro.modelcheck.harness import MUTATIONS
+from repro.modelcheck.report import render_github, render_json, render_text
+from repro.modelcheck.scenarios import SCENARIOS, get_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.modelcheck",
+        description="bounded explicit-state model checker for the "
+                    "clash-detection protocol (drives the real "
+                    "implementation through every interleaving)",
+    )
+    parser.add_argument(
+        "scenarios", nargs="*", default=["smoke"],
+        help=f"scenarios to exhaust: "
+             f"{', '.join(sorted(SCENARIOS))}, or 'all' "
+             f"(default: smoke)",
+    )
+    parser.add_argument("--mutation", choices=MUTATIONS,
+                        help="inject a seeded protocol bug and expect "
+                             "a counterexample")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="world seed (jitter draws derive from it)")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="override the scenario's trace-depth "
+                             "bound")
+    parser.add_argument("--max-states", type=int,
+                        default=DEFAULT_MAX_STATES,
+                        help="safety cap on explored states")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="exhaust the space instead of stopping "
+                             "at the first (minimal) violation")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="print the scenario registry and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the shared rule registry (static "
+                             "and runtime codes) and exit")
+    return parser
+
+
+def list_scenarios() -> str:
+    lines = []
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]
+        lines.append(f"{name:<14s} {scenario.doc}")
+        lines.append(f"        nodes={scenario.nodes} "
+                     f"space={scenario.space_size} "
+                     f"depth={scenario.depth} "
+                     f"loss_budget={scenario.loss_budget} "
+                     f"horizon={scenario.horizon:.0f}s")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_registry())
+        return EXIT_CLEAN
+    if args.list_scenarios:
+        print(list_scenarios())
+        return EXIT_CLEAN
+    names: List[str] = []
+    for name in args.scenarios:
+        if name == "all":
+            names.extend(sorted(SCENARIOS))
+        else:
+            names.append(name)
+    results: List[ExplorationResult] = []
+    for name in names:
+        try:
+            scenario = get_scenario(name)
+        except ValueError as exc:
+            print(f"repro.modelcheck: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        results.append(explore(
+            scenario, seed=args.seed, mutation=args.mutation,
+            depth=args.depth, max_states=args.max_states,
+            stop_on_violation=not args.keep_going,
+        ))
+    if args.format == "json":
+        print(render_json(results))
+    elif args.format == "github":
+        output = render_github(results)
+        if output:
+            print(output)
+    else:
+        print(render_text(results))
+    clean = all(result.clean and not result.truncated
+                for result in results)
+    return EXIT_CLEAN if clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

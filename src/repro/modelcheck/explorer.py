@@ -1,0 +1,189 @@
+"""Bounded breadth-first state-space exploration.
+
+The explorer enumerates every trace of explorer actions (message
+delivery, message loss within the scenario's budget, timer firing
+within the horizon) up to a depth bound, merging states that hash to
+the same :meth:`~repro.modelcheck.harness.ProtocolHarness.fingerprint`.
+
+Breadth-first order is load-bearing twice over:
+
+* every state is first reached at its **minimal depth**, so the
+  visited set can be a plain ``seen`` check with no re-expansion
+  bookkeeping and remain sound under the depth bound;
+* the first violating state encountered therefore comes with a
+  **minimal counterexample** — no separate minimisation pass.
+
+Restore is deterministic replay (see :mod:`repro.modelcheck.harness`),
+so each expansion rebuilds the child world from scratch and replays
+its trace; the queue holds only ``(trace, enabled-actions)`` pairs,
+never live object graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.modelcheck.harness import Action, McViolation, ProtocolHarness
+from repro.modelcheck.scenarios import Scenario
+
+#: Hard cap on explored states, a safety valve against a scenario
+#: whose bounds were chosen too generously.
+DEFAULT_MAX_STATES = 200_000
+
+
+def _wall_clock() -> float:
+    """Real elapsed seconds, for the ``elapsed_seconds`` stat only.
+
+    This is the explorer's own runtime, never simulated time; nothing
+    inside an explored world may observe it.
+    """
+    return time.monotonic()  # simlint: disable=wall-clock
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one bounded exploration learned."""
+
+    scenario: str
+    seed: int
+    mutation: Optional[str]
+    depth: int
+    states: int = 0
+    transitions: int = 0
+    quiescent_states: int = 0
+    #: Lossy traces that quiesced with a double-claim still standing —
+    #: not violations (the repair retransmission lies beyond the
+    #: horizon) but worth reporting.
+    latent_clashes: int = 0
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+    violations: List[McViolation] = field(default_factory=list)
+    counterexample: Optional[Tuple[Action, ...]] = None
+    counterexample_labels: Optional[Tuple[str, ...]] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "mutation": self.mutation,
+            "depth": self.depth,
+            "states": self.states,
+            "transitions": self.transitions,
+            "quiescent_states": self.quiescent_states,
+            "latent_clashes": self.latent_clashes,
+            "truncated": self.truncated,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "violations": [
+                {"code": v.code, "rule": v.rule, "message": v.message,
+                 "time": v.time}
+                for v in self.violations
+            ],
+            "counterexample": (
+                list(self.counterexample_labels)
+                if self.counterexample_labels is not None else None
+            ),
+        }
+
+
+def _rebuild(scenario: Scenario, seed: int, mutation: Optional[str],
+             trace: Tuple[Action, ...]) -> ProtocolHarness:
+    harness = ProtocolHarness(scenario, seed=seed, mutation=mutation)
+    for action in trace:
+        harness.execute(action)
+    return harness
+
+
+def explore(scenario: Scenario, seed: int = 0,
+            mutation: Optional[str] = None,
+            depth: Optional[int] = None,
+            max_states: int = DEFAULT_MAX_STATES,
+            stop_on_violation: bool = True) -> ExplorationResult:
+    """Exhaust the scenario's bounded state space.
+
+    Args:
+        scenario: the configuration to explore.
+        seed: world seed (jitter and delay draws derive from it).
+        mutation: optional mutant (see harness ``MUTATIONS``).
+        depth: trace-length bound; defaults to the scenario's.
+        max_states: safety cap; the result is marked ``truncated``
+            when it bites.
+        stop_on_violation: return at the first (minimal) violating
+            trace instead of exhausting the space.
+
+    Returns an :class:`ExplorationResult`; ``result.counterexample``
+    replays to the violation via
+    ``ProtocolHarness.restore(scenario, Snapshot(trace, fp), ...)``.
+    """
+    bound = depth if depth is not None else scenario.depth
+    started = _wall_clock()
+    result = ExplorationResult(scenario=scenario.name, seed=seed,
+                               mutation=mutation, depth=bound)
+
+    root = ProtocolHarness(scenario, seed=seed, mutation=mutation)
+    seen = {root.fingerprint()}
+    result.states = 1
+    _note_quiescence(root, result)
+    if root.violations:
+        _record_violation(root, result, started)
+        return result
+    queue = deque([(tuple(root.trace), root.enabled_actions())])
+
+    while queue:
+        trace, actions = queue.popleft()
+        if len(trace) >= bound:
+            continue
+        for action in actions:
+            child = _rebuild(scenario, seed, mutation, trace + (action,))
+            result.transitions += 1
+            if child.violations:
+                _record_violation(child, result, started)
+                if stop_on_violation:
+                    return result
+                continue
+            fingerprint = child.fingerprint()
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            result.states += 1
+            _note_quiescence(child, result)
+            if child.violations:
+                # check_quiescent_state found an MC312 / convergence
+                # breach at this quiescent state.
+                _record_violation(child, result, started)
+                if stop_on_violation:
+                    return result
+                continue
+            if result.states >= max_states:
+                result.truncated = True
+                result.elapsed_seconds = _wall_clock() - started
+                return result
+            queue.append((tuple(child.trace), child.enabled_actions()))
+
+    result.elapsed_seconds = _wall_clock() - started
+    return result
+
+
+def _note_quiescence(harness: ProtocolHarness,
+                     result: ExplorationResult) -> None:
+    if not harness.quiescent():
+        return
+    result.quiescent_states += 1
+    if harness.losses_used == 0:
+        harness.check_quiescent_state()
+    elif harness.double_claims():
+        result.latent_clashes += 1
+
+
+def _record_violation(harness: ProtocolHarness,
+                      result: ExplorationResult, started: float) -> None:
+    result.violations.extend(harness.violations)
+    result.counterexample = tuple(harness.trace)
+    result.counterexample_labels = tuple(harness.trace_labels)
+    result.elapsed_seconds = _wall_clock() - started

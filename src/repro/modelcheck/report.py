@@ -1,0 +1,106 @@
+"""Model-check reporters, in the shared lint report model.
+
+Runtime model-check violations map into the lint
+:class:`~repro.lint.engine.Finding` shape the same way sanitizer
+violations do: a pseudo-path (``<modelcheck:scenario>``), line 0 and
+the simulated time folded into the message.  JSON output is the lint
+schema (``{"count": N, "findings": [...]}``) extended with a
+``results`` array carrying the exploration statistics — state and
+transition counts, bounds, and the minimal counterexample trace when
+a violation was found.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.engine import Finding
+from repro.lint.report import render_github as _lint_render_github
+from repro.modelcheck.explorer import ExplorationResult
+
+
+def result_pseudo_path(result: ExplorationResult) -> str:
+    if result.mutation:
+        return f"<modelcheck:{result.scenario}+{result.mutation}>"
+    return f"<modelcheck:{result.scenario}>"
+
+
+def result_findings(result: ExplorationResult) -> List[Finding]:
+    """Map one exploration's violations into lint findings."""
+    path = result_pseudo_path(result)
+    return [
+        Finding(
+            path=path, line=0, col=0, code=violation.code,
+            rule=violation.rule,
+            message=f"t={violation.time:.4f}: {violation.message}",
+        )
+        for violation in result.violations
+    ]
+
+
+def _summary_line(result: ExplorationResult) -> str:
+    label = f"modelcheck[{result.scenario}]"
+    if result.mutation:
+        label = f"modelcheck[{result.scenario}+{result.mutation}]"
+    status = ("TRUNCATED" if result.truncated
+              else "clean" if result.clean
+              else f"{len(result.violations)} violation(s)")
+    return (f"{label}: {status} — {result.states} states, "
+            f"{result.transitions} transitions, "
+            f"{result.quiescent_states} quiescent, "
+            f"{result.latent_clashes} latent clash(es), "
+            f"depth {result.depth}, "
+            f"{result.elapsed_seconds:.2f}s")
+
+
+def render_text(results: Sequence[ExplorationResult]) -> str:
+    """Per-scenario summaries, violations and counterexamples."""
+    lines: List[str] = []
+    for result in results:
+        lines.append(_summary_line(result))
+        for violation in result.violations:
+            lines.append(f"  t={violation.time:.4f}: {violation.code} "
+                         f"[{violation.rule}] {violation.message}")
+        if result.violations and result.counterexample_labels:
+            lines.append("  minimal counterexample "
+                         f"({len(result.counterexample_labels)} "
+                         "actions):")
+            for step, label in enumerate(
+                    result.counterexample_labels, start=1):
+                lines.append(f"    {step:2d}. {label}")
+    total = sum(len(result.violations) for result in results)
+    if total == 0:
+        lines.append(f"modelcheck: {len(results)} exploration(s) clean")
+    else:
+        lines.append(f"modelcheck: {total} violation(s) across "
+                     f"{len(results)} exploration(s)")
+    return "\n".join(lines)
+
+
+def render_json(results: Sequence[ExplorationResult]) -> str:
+    """Lint-schema findings plus per-exploration statistics."""
+    findings = [
+        finding.to_dict()
+        for result in results
+        for finding in result_findings(result)
+    ]
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": findings,
+            "results": [result.to_dict() for result in results],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_github(results: Sequence[ExplorationResult]) -> str:
+    """GitHub Actions annotations for every violation."""
+    findings = [
+        finding
+        for result in results
+        for finding in result_findings(result)
+    ]
+    return _lint_render_github(findings)

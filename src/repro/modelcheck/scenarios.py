@@ -1,0 +1,154 @@
+"""Model-checking scenarios: small worlds worth exhausting.
+
+Each scenario is a tiny configuration (2–4 directories, a 2-address
+space, one or two contended addresses) chosen so that the bounded
+state space is small enough to exhaust yet still contains the
+protocol situations the paper reasons about in §3:
+
+* ``smoke`` — the canonical defend/retreat encounter: an established
+  session versus a newcomer that allocated the same address while the
+  establisher's announcements were lost.
+* ``simultaneous`` — the simultaneous-allocation race: two sites
+  allocate the same address in the same propagation window and the
+  deterministic tie-break must make exactly one of them move.
+* ``ghost`` — the use-after-expiry gauntlet: an established session
+  expires while a third-party defence of it is pending; nobody may
+  re-announce it as its originator afterwards.
+
+Scenario announcement intervals are deliberately short (45 s versus
+sdr's classic 600 s) so that one or two re-announcements fall inside
+the timer horizon: repair-after-loss paths are then part of the
+explored space instead of being truncated away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One bounded configuration to exhaust.
+
+    Attributes:
+        name: CLI identifier.
+        doc: one-line description for listings and reports.
+        nodes: number of session directories.
+        space_size: addresses in the (deliberately tiny) space.
+        horizon: timers due after this simulated time are outside the
+            model (bounds periodic re-announcement chains).
+        depth: default exploration depth bound (actions per trace).
+        loss_budget: maximum messages the explorer may lose per trace.
+        delay_bound: maximum in-flight delay (seconds) for a message
+            that is eventually delivered.  Timer firings that would
+            advance the clock past an undelivered message's deadline
+            are disabled until that message is delivered or dropped.
+            Without this bound the explorer can defer a delivery past
+            the recent window, turning *both* claimants established —
+            the paper's partition-heal case, which the protocol
+            deliberately does not auto-resolve (§3).
+        announce_interval: fixed re-announcement interval (seconds).
+        protocol_nodes: nodes running the clash protocol; the rest are
+            legacy announcers (announce and cache, never defend or
+            retreat — the paper's guarantee is among participants, so
+            MC312 only counts protocol-running claimants).
+        setup: callable building the initial world on a harness.
+    """
+
+    name: str
+    doc: str
+    nodes: int
+    space_size: int
+    horizon: float
+    depth: int
+    loss_budget: int
+    delay_bound: float
+    announce_interval: float
+    protocol_nodes: Tuple[int, ...]
+    setup: Callable[["object"], None]
+
+
+def _setup_smoke(harness) -> None:
+    """Node 0 establishes a session whose announcements never reached
+    node 1 (partition); 40 s later node 1 allocates the same address."""
+    harness.create(0, "established")
+    harness.void_inflight()
+    harness.advance(40.0)
+    harness.create(1, "newcomer")
+
+
+def _setup_simultaneous(harness) -> None:
+    """Both sites allocate in the same propagation window: each picks
+    address 0 before hearing the other's announcement."""
+    harness.create(0, "racer-a")
+    harness.create(1, "racer-b")
+
+
+def _setup_ghost(harness) -> None:
+    """Node 0's session (lifetime 50 s, so it expires mid-exploration)
+    is cached only at node 1; node 2 — a legacy announcer with no
+    clash protocol — never heard it and allocates the same address at
+    t=40."""
+    harness.create(0, "victim", lifetime=50.0)
+    harness.deliver_inflight(1)
+    harness.advance(40.0)
+    harness.create(2, "newcomer")
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "smoke": Scenario(
+        name="smoke",
+        doc="established session vs newcomer (defend/retreat, §3 "
+            "phases 1-2)",
+        nodes=2,
+        space_size=2,
+        horizon=120.0,
+        depth=12,
+        loss_budget=1,
+        delay_bound=5.0,
+        announce_interval=45.0,
+        protocol_nodes=(0, 1),
+        setup=_setup_smoke,
+    ),
+    "simultaneous": Scenario(
+        name="simultaneous",
+        doc="simultaneous-allocation race, deterministic tie-break "
+            "(§3 phase 2)",
+        nodes=2,
+        space_size=2,
+        horizon=100.0,
+        depth=12,
+        loss_budget=1,
+        delay_bound=5.0,
+        announce_interval=45.0,
+        protocol_nodes=(0, 1),
+        setup=_setup_simultaneous,
+    ),
+    "ghost": Scenario(
+        name="ghost",
+        doc="session expires while a third-party defence is pending "
+            "(§3 phase 3 vs withdrawal)",
+        nodes=3,
+        space_size=2,
+        horizon=120.0,
+        depth=12,
+        loss_budget=1,
+        delay_bound=5.0,
+        announce_interval=45.0,
+        protocol_nodes=(0, 1),
+        setup=_setup_ghost,
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})")
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))

@@ -10,6 +10,13 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.lint.registry import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    render_registry,
+)
+from repro.lint.report import render_github as lint_render_github
 from repro.lint.report import render_json as lint_render_json
 from repro.sanitize.report import render_text
 from repro.sanitize.scenarios import (
@@ -29,12 +36,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"scenarios to run: {', '.join(SCENARIO_NAMES)}, or "
              f"'all' (default)",
     )
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "github"),
                         default="text")
     parser.add_argument("--seed", type=int, default=1998,
                         help="scenario seed")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="print the scenario registry and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the shared rule registry (static "
+                             "and runtime codes) and exit")
     return parser
 
 
@@ -53,9 +63,12 @@ def list_scenarios() -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_registry())
+        return EXIT_CLEAN
     if args.list_scenarios:
         print(list_scenarios())
-        return 0
+        return EXIT_CLEAN
     names: List[str] = []
     for name in args.scenarios:
         if name == "all":
@@ -68,14 +81,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             results.append(run_scenario(name, seed=args.seed))
         except ValueError as exc:
             print(f"repro.sanitize: {exc}", file=sys.stderr)
-            return 2
-    if args.format == "json":
+            return EXIT_USAGE
+    if args.format in ("json", "github"):
         findings = [
             violation.to_finding(f"<sanitize:{result.name}>")
             for result in results
             for violation in result.violations
         ]
-        print(lint_render_json(findings))
+        if args.format == "json":
+            print(lint_render_json(findings))
+        else:
+            output = lint_render_github(findings)
+            if output:
+                print(output)
     else:
         for result in results:
             print(result.summary)
@@ -87,7 +105,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(f"sanitize: {total} violation(s) across "
                   f"{scenarios_run} scenario(s)")
-    return 0 if all(result.clean for result in results) else 1
+    return (EXIT_CLEAN if all(result.clean for result in results)
+            else EXIT_FINDINGS)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -105,6 +105,12 @@ class ClashHandler:
         if self.policy.enable_third_party:
             self._check_third_party(entry)
 
+    def _is_established(self, age: float) -> bool:
+        """Phase-1 predicate: does a session of this age stand its
+        ground?  A session older than the recent window is established
+        and defends; a younger one is a newcomer and retreats."""
+        return age > self.policy.recent_window
+
     def _check_own_sessions(self, entry: CacheEntry) -> None:
         now = self.scheduler.now
         for own in self.directory.own_sessions():
@@ -116,7 +122,7 @@ class ClashHandler:
             self.clashes_seen += 1
             age = now - own.first_announced
             other_age = now - entry.first_heard
-            if age > self.policy.recent_window:
+            if self._is_established(age):
                 # Phase 1: defend an established session immediately
                 # (rate-limited so a persistent peer cannot provoke a
                 # defence storm).

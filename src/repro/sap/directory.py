@@ -308,12 +308,7 @@ class SessionDirectory:
                 message = SapMessage.decode(packet.payload)
             except ValueError:
                 return
-        if message.origin == self.node:
-            # Our own announcement echoed back — a third-party proxy
-            # defence (§3 phase 3) re-sends our message verbatim.  Real
-            # sdr ignores these; caching them would let this site later
-            # proxy-defend its *own withdrawn* session, resurrecting a
-            # session it knows is dead.
+        if self._drop_self_origin(message):
             return
         self.announcements_received += 1
         address_index = self._address_index_of(message)
@@ -323,6 +318,16 @@ class SessionDirectory:
             entry.address_index = address_index
         if entry is not None and self.clash_handler is not None:
             self.clash_handler.on_announcement(entry)
+
+    def _drop_self_origin(self, message: SapMessage) -> bool:
+        """Drop our own announcements echoed back to us.
+
+        A third-party proxy defence (§3 phase 3) re-sends our message
+        verbatim.  Real sdr ignores these; caching them would let this
+        site later proxy-defend its *own withdrawn* session,
+        resurrecting a session it knows is dead.
+        """
+        return message.origin == self.node
 
     def _address_index_of(self, message: SapMessage) -> Optional[int]:
         if message.msg_type is not SapMessageType.ANNOUNCE:

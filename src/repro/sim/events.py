@@ -79,6 +79,16 @@ class EventScheduler:
         """Number of events still queued (including cancelled stubs)."""
         return sum(1 for __, __, h in self._heap if not h.cancelled)
 
+    def pending_handles(self) -> List[EventHandle]:
+        """Live (pending) handles in firing order ``(when, seq)``.
+
+        The model checker uses this to enumerate the timer events it
+        may fire next; tombstoned (cancelled) heap entries are skipped.
+        """
+        live = [handle for __, __, handle in self._heap if handle.pending]
+        live.sort(key=lambda handle: (handle.when, handle.seq))
+        return live
+
     def schedule(self, delay: float, callback: Callback) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:

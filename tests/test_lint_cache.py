@@ -1,0 +1,134 @@
+"""Incremental lint cache: reuse, invalidation, fail-open behaviour."""
+
+import json
+
+from repro.lint.cache import (
+    CACHE_FORMAT,
+    LintCache,
+    lint_paths_cached,
+)
+from repro.lint.engine import lint_paths
+from repro.lint.registry import get_static_rules, ruleset_signature
+
+RULES = get_static_rules()
+
+BAD = ("import numpy as np\n"
+       "rng = np.random.default_rng()\n")
+WORSE = ("import numpy as np\n"
+         "rng = np.random.default_rng()\n"
+         "key = hash('x')\n")
+
+
+def _tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD)
+    (pkg / "ok.py").write_text("VALUE = 3\n")
+    return tmp_path / "src", pkg / "bad.py"
+
+
+class TestCachedLinting:
+    def test_warm_run_matches_cold_run(self, tmp_path):
+        src, _ = _tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+        cold = lint_paths_cached([str(src)], RULES,
+                                 cache_file=cache_file)
+        warm = lint_paths_cached([str(src)], RULES,
+                                 cache_file=cache_file)
+        assert cold == warm
+        assert cold == lint_paths([str(src)], rules=RULES)
+        assert [f.rule for f in cold] == ["unseeded-rng"]
+
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        src, _ = _tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+        lint_paths_cached([str(src)], RULES, cache_file=cache_file)
+        cache = LintCache(cache_file, ruleset_signature(RULES))
+        assert len(cache.entries) == 2
+        text = BAD
+        assert cache.lookup(str(src / "repro" / "core" / "bad.py"),
+                            text) is not None
+        assert cache.hits == 1
+
+    def test_editing_a_file_invalidates_only_it(self, tmp_path):
+        src, bad = _tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+        lint_paths_cached([str(src)], RULES, cache_file=cache_file)
+        bad.write_text(WORSE)
+        findings = lint_paths_cached([str(src)], RULES,
+                                     cache_file=cache_file)
+        assert sorted(f.rule for f in findings) == [
+            "builtin-hash", "unseeded-rng"]
+
+    def test_ruleset_change_invalidates_everything(self, tmp_path):
+        src, _ = _tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+        lint_paths_cached([str(src)], RULES, cache_file=cache_file)
+        subset = get_static_rules(select=["builtin-hash"])
+        assert ruleset_signature(subset) != ruleset_signature(RULES)
+        stale = LintCache(cache_file, ruleset_signature(subset))
+        assert stale.entries == {}
+        findings = lint_paths_cached([str(src)], subset,
+                                     cache_file=cache_file)
+        assert findings == []
+
+    def test_corrupt_cache_is_fail_open(self, tmp_path):
+        src, _ = _tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        findings = lint_paths_cached([str(src)], RULES,
+                                     cache_file=str(cache_file))
+        assert [f.rule for f in findings] == ["unseeded-rng"]
+        # And the run repaired the cache on disk.
+        document = json.loads(cache_file.read_text())
+        assert document["format"] == CACHE_FORMAT
+
+    def test_stale_format_is_ignored(self, tmp_path):
+        src, _ = _tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text(json.dumps({
+            "format": CACHE_FORMAT + 1,
+            "ruleset": ruleset_signature(RULES),
+            "files": {"poison": {"hash": "x", "findings": []}},
+        }))
+        cache = LintCache(str(cache_file), ruleset_signature(RULES))
+        assert cache.entries == {}
+
+
+class TestCliFlags:
+    def _run(self, argv, tmp_path):
+        from repro.lint.cli import main
+
+        return main(argv)
+
+    def test_cache_file_flag_writes_there(self, tmp_path, capsys):
+        src, _ = _tree(tmp_path)
+        cache_file = tmp_path / "custom-cache.json"
+        status = self._run([str(src), "--cache-file", str(cache_file)],
+                           tmp_path)
+        capsys.readouterr()
+        assert status == 1
+        assert cache_file.exists()
+
+    def test_no_cache_flag_skips_the_cache(self, tmp_path, capsys):
+        src, _ = _tree(tmp_path)
+        cache_file = tmp_path / "custom-cache.json"
+        status = self._run([str(src), "--no-cache",
+                            "--cache-file", str(cache_file)], tmp_path)
+        capsys.readouterr()
+        assert status == 1
+        assert not cache_file.exists()
+
+    def test_cached_and_uncached_cli_agree(self, tmp_path, capsys):
+        src, _ = _tree(tmp_path)
+        cache_file = tmp_path / "c.json"
+        self._run([str(src), "--format", "json",
+                   "--cache-file", str(cache_file)], tmp_path)
+        first = json.loads(capsys.readouterr().out)
+        self._run([str(src), "--format", "json",
+                   "--cache-file", str(cache_file)], tmp_path)
+        cached = json.loads(capsys.readouterr().out)
+        self._run([str(src), "--format", "json", "--no-cache"],
+                  tmp_path)
+        uncached = json.loads(capsys.readouterr().out)
+        assert first == cached == uncached

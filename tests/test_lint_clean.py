@@ -14,6 +14,7 @@ import sys
 from pathlib import Path
 
 from repro.lint.engine import lint_paths
+from repro.lint.registry import get_static_rules
 from repro.lint.report import render_text
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -26,7 +27,7 @@ def run_cli(args, cwd=None):
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     return subprocess.run(
-        [sys.executable, "-m", "repro.lint", *args],
+        [sys.executable, "-m", "repro.lint", "--no-cache", *args],
         cwd=cwd or REPO_ROOT, env=env,
         capture_output=True, text=True,
     )
@@ -34,7 +35,8 @@ def run_cli(args, cwd=None):
 
 class TestTreeIsClean:
     def test_src_tree_is_clean(self):
-        findings = lint_paths([str(SRC)])
+        # The full static contract: SIM1xx plus the MC30x spec rules.
+        findings = lint_paths([str(SRC)], rules=get_static_rules())
         assert findings == [], "\n" + render_text(findings)
 
     def test_cli_exits_zero_on_clean_tree(self):
@@ -83,7 +85,10 @@ class TestSeededViolationsAreCaught:
     def test_cli_list_rules(self):
         result = run_cli(["--list-rules"])
         assert result.returncode == 0
-        for code in ("SIM101", "SIM105", "SIM110"):
+        # The unified registry: static SIM and MC rules plus the
+        # runtime-only SAN2xx / MC31x codes.
+        for code in ("SIM101", "SIM105", "SIM110",
+                     "MC301", "MC311", "SAN204"):
             assert code in result.stdout
 
 

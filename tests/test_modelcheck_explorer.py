@@ -1,0 +1,77 @@
+"""Bounded exploration: exhaustion, determinism, clean-run numbers.
+
+The exact state/transition counts below are part of the verification
+record (README quick-start quotes them): exploration is deterministic,
+so any drift means the protocol, the harness or the explorer changed
+behaviour and the bounds need re-verifying.
+"""
+
+from repro.modelcheck.explorer import ExplorationResult, explore
+from repro.modelcheck.scenarios import get_scenario
+
+
+class TestCleanRuns:
+    def test_smoke_exhausts_clean(self):
+        result = explore(get_scenario("smoke"))
+        assert result.clean
+        assert not result.truncated
+        assert result.states == 138
+        assert result.transitions == 179
+        assert result.quiescent_states == 52
+        assert result.latent_clashes == 6
+        assert result.counterexample is None
+        assert result.elapsed_seconds < 60.0
+
+    def test_simultaneous_exhausts_clean(self):
+        result = explore(get_scenario("simultaneous"))
+        assert result.clean
+        assert not result.truncated
+        assert result.states == 547
+        assert result.transitions == 780
+        assert result.latent_clashes == 0
+
+    def test_exploration_is_deterministic(self):
+        first = explore(get_scenario("smoke"))
+        second = explore(get_scenario("smoke"))
+        assert (first.states, first.transitions,
+                first.quiescent_states, first.latent_clashes) == (
+            second.states, second.transitions,
+            second.quiescent_states, second.latent_clashes)
+
+
+class TestBounds:
+    def test_depth_zero_is_root_only(self):
+        result = explore(get_scenario("smoke"), depth=0)
+        assert result.states == 1
+        assert result.transitions == 0
+        assert result.clean
+
+    def test_shallower_depth_explores_less(self):
+        shallow = explore(get_scenario("smoke"), depth=6)
+        full = explore(get_scenario("smoke"))
+        assert shallow.states < full.states
+        assert shallow.clean
+
+    def test_max_states_truncates(self):
+        result = explore(get_scenario("smoke"), max_states=5)
+        assert result.truncated
+        assert result.states == 5
+
+
+class TestResultModel:
+    def test_to_dict_schema(self):
+        result = explore(get_scenario("smoke"), depth=2)
+        data = result.to_dict()
+        for key in ("scenario", "seed", "mutation", "depth", "states",
+                    "transitions", "quiescent_states", "latent_clashes",
+                    "truncated", "elapsed_seconds", "violations",
+                    "counterexample"):
+            assert key in data, key
+        assert data["scenario"] == "smoke"
+        assert data["violations"] == []
+        assert data["counterexample"] is None
+
+    def test_clean_property(self):
+        result = ExplorationResult(scenario="x", seed=0, mutation=None,
+                                   depth=1)
+        assert result.clean

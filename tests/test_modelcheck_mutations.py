@@ -1,0 +1,133 @@
+"""Mutation testing: seeded protocol bugs must yield counterexamples.
+
+Each mutation re-introduces a specific historical or plausible bug
+behind a test-only flag; the model checker must find a minimal
+counterexample trace for each, and the same traces must be clean on
+the unmutated protocol.  The full ghost exploration (~1 min) runs
+only when ``REPRO_MC_EXHAUSTIVE=1`` (CI's model-check job); the
+tier-1 path replays the explorer-found counterexample directly.
+"""
+
+import os
+
+import pytest
+
+from repro.modelcheck.explorer import explore
+from repro.modelcheck.harness import ProtocolHarness
+from repro.modelcheck.scenarios import get_scenario
+
+#: Minimal counterexample the explorer finds for smoke +
+#: defend-off-by-one: B's announce reaches A (A defends via the
+#: tie-break), A's defence reaches B (the mutant treats the newcomer
+#: as established, so B defends instead of retreating), B's defence
+#: reaches A (rate-limit suppresses a re-defence) — quiescing with
+#: both claiming address 0.
+SMOKE_CE = (("deliver", 1), ("deliver", 2), ("deliver", 3))
+
+#: Counterexample the explorer finds for ghost + ghost-resurrection:
+#: the victim's announcement reaches B but is dropped towards A; B's
+#: third-party defence re-announces it, and the mutant victim caches
+#: its own echo; the victim's session then expires (DELETE) — but the
+#: ghost cache entry survives, so when the legacy newcomer's
+#: re-announcement arrives, the victim schedules a defence of its own
+#: withdrawn session and fires it: SAN204 use-after-expiry.
+GHOST_CE = (
+    ("deliver", 3), ("drop", 2), ("fire", 3), ("deliver", 4),
+    ("deliver", 5), ("fire", 1), ("deliver", 6), ("deliver", 7),
+    ("fire", 2), ("deliver", 8), ("deliver", 9), ("fire", 5),
+)
+
+exhaustive = pytest.mark.skipif(
+    os.environ.get("REPRO_MC_EXHAUSTIVE") != "1",
+    reason="full ghost exploration (~1 min); set REPRO_MC_EXHAUSTIVE=1",
+)
+
+
+class TestDefendOffByOne:
+    def test_explorer_finds_minimal_counterexample(self):
+        result = explore(get_scenario("smoke"),
+                         mutation="defend-off-by-one")
+        assert not result.clean
+        assert result.violations[0].code == "MC312"
+        assert result.counterexample == SMOKE_CE
+        assert result.counterexample_labels is not None
+        assert len(result.counterexample_labels) == len(SMOKE_CE)
+
+    def test_counterexample_replays(self):
+        harness = ProtocolHarness(get_scenario("smoke"),
+                                  mutation="defend-off-by-one")
+        for action in SMOKE_CE:
+            harness.execute(action)
+        assert harness.quiescent()
+        harness.check_quiescent_state()
+        assert any(v.code == "MC312" for v in harness.violations)
+
+    def test_trace_is_clean_without_the_mutation(self):
+        harness = ProtocolHarness(get_scenario("smoke"))
+        for action in SMOKE_CE:
+            harness.execute(action)
+        harness.check_quiescent_state()
+        assert harness.violations == []
+
+    def test_full_space_also_breaches_established_safety(self):
+        # Deeper in the mutant's space a lossy branch makes the
+        # wrongly-established newcomer retreat later on: MC311.
+        result = explore(get_scenario("smoke"),
+                         mutation="defend-off-by-one",
+                         stop_on_violation=False)
+        codes = {violation.code for violation in result.violations}
+        assert "MC312" in codes
+        assert "MC311" in codes
+
+
+class TestGhostResurrection:
+    def test_counterexample_replays_to_san204(self):
+        harness = ProtocolHarness(get_scenario("ghost"),
+                                  mutation="ghost-resurrection")
+        for action in GHOST_CE:
+            harness.execute(action)
+        codes = {violation.code for violation in harness.violations}
+        assert "SAN204" in codes
+
+    def test_prefix_is_clean_without_the_mutation(self):
+        harness = ProtocolHarness(get_scenario("ghost"))
+        # The final action fires the ghost-defence timer, which only
+        # the mutant ever schedules; replay everything before it.
+        for action in GHOST_CE[:-1]:
+            harness.execute(action)
+        assert harness.violations == []
+        assert GHOST_CE[-1] not in harness.enabled_actions()
+
+    @exhaustive
+    def test_explorer_finds_the_ghost(self):
+        result = explore(get_scenario("ghost"),
+                         mutation="ghost-resurrection")
+        assert not result.clean
+        codes = {violation.code for violation in result.violations}
+        assert "SAN204" in codes
+        assert result.counterexample == GHOST_CE
+
+    @exhaustive
+    def test_ghost_space_is_clean_on_main(self):
+        result = explore(get_scenario("ghost"))
+        assert result.clean
+        assert not result.truncated
+        assert result.states == 15915
+
+
+class TestCli:
+    def test_mutant_run_exits_nonzero_with_trace(self, capsys):
+        from repro.modelcheck.cli import main
+
+        status = main(["smoke", "--mutation", "defend-off-by-one"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "MC312" in out
+        assert "minimal counterexample" in out
+
+    def test_unknown_mutation_is_usage_error(self):
+        from repro.modelcheck.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["smoke", "--mutation", "nope"])
+        assert excinfo.value.code == 2
