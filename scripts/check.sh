@@ -28,6 +28,11 @@ echo "== repro.modelcheck (bounded exhaustive exploration) =="
 # scenario (~1 min) runs in CI's model-check step, not the local gate.
 python -m repro.modelcheck smoke simultaneous
 
+echo "== repro.obs (instrumented scenarios, OBS4xx self-checks) =="
+# Fails on any OBS4xx issue (metric collisions, unclosed spans); the
+# full metrics/bench artifacts are collected in CI's reports job.
+python -m repro.obs kernel steady
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests

@@ -13,6 +13,7 @@ Exposes the library's main workflows without writing Python:
     python -m repro analyze responders --sites 1600 --buckets 32
     python -m repro lint src --determinism
     python -m repro modelcheck smoke
+    python -m repro obs --scenario steady --format json
 
 Every simulation is deterministic for a given ``--seed``; the ``lint``
 subcommand statically enforces the invariants that make that true, and
@@ -174,6 +175,25 @@ def build_parser() -> argparse.ArgumentParser:
     modelcheck.add_argument("--list-scenarios", action="store_true")
     modelcheck.add_argument("--list-rules", action="store_true")
 
+    obs = sub.add_parser(
+        "obs",
+        help="observability: instrumented scenarios, metrics and "
+             "benchmarks (python -m repro.obs)",
+    )
+    obs.add_argument("scenarios", nargs="*", default=[])
+    obs.add_argument("--scenario", action="append", default=[],
+                     metavar="NAME")
+    obs.add_argument("--format",
+                     choices=("text", "json", "prom", "github"),
+                     default="text")
+    obs.add_argument("--obs-seed", type=int, default=1998,
+                     help="scenario seed")
+    obs.add_argument("--bench", action="store_true",
+                     help="collect the BENCH_obs baseline")
+    obs.add_argument("--out", help="also write the report here")
+    obs.add_argument("--list-scenarios", action="store_true")
+    obs.add_argument("--list-rules", action="store_true")
+
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
     birthday = analyze_sub.add_parser("birthday")
@@ -312,6 +332,24 @@ def cmd_modelcheck(args) -> int:
     return modelcheck_main(argv)
 
 
+def cmd_obs(args) -> int:
+    from repro.obs.cli import main as obs_main
+
+    argv: List[str] = list(args.scenarios)
+    for name in args.scenario:
+        argv += ["--scenario", name]
+    argv += ["--format", args.format, "--seed", str(args.obs_seed)]
+    if args.bench:
+        argv.append("--bench")
+    if args.out:
+        argv += ["--out", args.out]
+    if args.list_scenarios:
+        argv.append("--list-scenarios")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return obs_main(argv)
+
+
 def cmd_analyze(args) -> int:
     if args.model == "birthday":
         p = clash_probability(args.space, args.allocations)
@@ -408,6 +446,7 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "lint": cmd_lint,
     "modelcheck": cmd_modelcheck,
+    "obs": cmd_obs,
 }
 
 

@@ -1,13 +1,14 @@
-"""One registry for every check the repo's three analysis tools run.
+"""One registry for every check the repo's four analysis tools run.
 
 The static linter (SIM1xx), the runtime sanitizer (SAN2xx), the
-model-check spec cross-checker (MC301–MC304) and the model-check
-runtime invariants (MC31x) each grew their own code space; this module
-is the single place that enumerates all of them, so
+model-check spec cross-checker (MC301–MC304), the model-check runtime
+invariants (MC31x) and the observability self-checks (OBS4xx) each
+grew their own code space; this module is the single place that
+enumerates all of them, so
 
 * ``--list-rules`` prints the same registry from ``repro.lint``,
-  ``repro.sanitize`` and ``repro.modelcheck`` alike;
-* the three CLIs share one exit-code contract
+  ``repro.sanitize``, ``repro.modelcheck`` and ``repro.obs`` alike;
+* the four CLIs share one exit-code contract
   (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_USAGE`);
 * the static rule set the engine runs is assembled here (SIM rules
   plus the MC spec rules), so "lint the tree" always means the full
@@ -26,7 +27,7 @@ from typing import List, Optional, Tuple
 from repro.lint.rules import ALL_RULES, Rule
 
 #: Shared CLI exit-code contract for repro.lint / repro.sanitize /
-#: repro.modelcheck: clean, findings reported, usage error.
+#: repro.modelcheck / repro.obs: clean, findings reported, usage error.
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
@@ -36,6 +37,13 @@ EXIT_USAGE = 2
 MODELCHECK_RUNTIME_CODES = {
     "MC311": "established-displaced",
     "MC312": "stable-double-claim",
+}
+
+#: Observability self-check diagnostics (emitted by repro.obs at
+#: runtime about the instrumentation itself, not the protocol).
+OBS_RUNTIME_CODES = {
+    "OBS401": "metric-name-collision",
+    "OBS402": "unclosed-span",
 }
 
 _RUNTIME_DESCRIPTIONS = {
@@ -56,6 +64,11 @@ _RUNTIME_DESCRIPTIONS = {
              "a newcomer (paper section 3 safety guarantee)",
     "MC312": "a loss-free trace quiesced with two directories "
              "claiming the same address",
+    # OBS4xx — repro.obs instrumentation self-checks.
+    "OBS401": "a metric name re-registered with a conflicting type "
+              "or label-key set (would corrupt exposition)",
+    "OBS402": "a span still open when its scenario ended (a protocol "
+              "phase that began and never completed)",
 }
 
 
@@ -66,7 +79,7 @@ class RegistryEntry:
     code: str
     name: str
     kind: str  # "static" | "runtime"
-    tool: str  # "lint" | "sanitize" | "modelcheck"
+    tool: str  # "lint" | "sanitize" | "modelcheck" | "obs"
     description: str
     scope: Optional[frozenset] = None
 
@@ -123,11 +136,16 @@ def all_entries() -> Tuple[RegistryEntry, ...]:
             code=code, name=name, kind="runtime", tool="modelcheck",
             description=_RUNTIME_DESCRIPTIONS.get(code, ""),
         ))
+    for code, name in OBS_RUNTIME_CODES.items():
+        entries.append(RegistryEntry(
+            code=code, name=name, kind="runtime", tool="obs",
+            description=_RUNTIME_DESCRIPTIONS.get(code, ""),
+        ))
     return tuple(sorted(entries, key=lambda entry: entry.code))
 
 
 def render_registry() -> str:
-    """``--list-rules`` text, shared by all three CLIs."""
+    """``--list-rules`` text, shared by all four CLIs."""
     lines = []
     for entry in all_entries():
         if entry.kind == "static":

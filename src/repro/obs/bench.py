@@ -1,0 +1,186 @@
+"""Benchmark bridge: scheduler and allocation baselines for BENCH_obs.
+
+Two microbenchmarks back the layer's cost contract:
+
+* :func:`bench_scheduler` — events-per-second through (a) a scheduler
+  whose ``step`` is a replica of the pre-observability body (the
+  uninstrumented baseline, driven through the identical ``run`` loop),
+  (b) the real scheduler with no context attached (the disabled path:
+  one extra ``is not None`` check per event), and (c) the real
+  scheduler with a full :class:`ObsContext` attached.  The
+  disabled-vs-baseline delta is the "when-off" overhead the design
+  bounds at 2%.
+* :func:`bench_allocation` — wall-clock ``allocate()`` latency through
+  the instrumented wrapper at a representative occupancy.
+
+:func:`collect_baseline` bundles both with a steady-scenario metric
+snapshot into the JSON written to ``benchmarks/results/BENCH_obs.json``
+(see ``benchmarks/test_obs_baseline.py`` and ``repro obs --bench``).
+
+Wall-clock numbers are machine-dependent by nature; the baseline file
+records them for trend comparison on one machine, not for cross-machine
+assertions.  Only the *ratios* (overhead percentages) are meaningful
+targets.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.core.allocator import VisibleSet
+from repro.core.informed import InformedRandomAllocator
+from repro.obs.context import ObsContext
+from repro.sim.events import EventScheduler
+
+Wall = Callable[[], float]
+
+
+class _BaselineScheduler(EventScheduler):
+    """The pre-observability ``step`` body, on the real ``run`` loop.
+
+    Identical to :meth:`EventScheduler.step` minus the ``_obs`` hook
+    check, so timing this subclass against the real scheduler (both
+    driven through the inherited ``run``) isolates the cost of the one
+    added check — the "when-off" overhead of the observability layer.
+    """
+
+    def step(self) -> bool:
+        while self._heap:
+            when, __, handle = heapq.heappop(self._heap)
+            if handle.cancelled or handle.callback is None:
+                continue
+            self.clock.advance_to(when)
+            if self._monitor is not None:  # pragma: no cover - bench
+                self._monitor.on_fire(handle)
+            callback, handle.callback = handle.callback, None
+            callback()
+            self._events_run += 1
+            return True
+        return False
+
+
+def _prepared_scheduler(num_events: int, baseline: bool,
+                        observed: bool) -> EventScheduler:
+    scheduler = _BaselineScheduler() if baseline else EventScheduler()
+    if observed:
+        ObsContext(scenario="bench").attach_scheduler(scheduler)
+
+    def noop() -> None:
+        pass
+
+    for index in range(num_events):
+        scheduler.schedule_at(  # simlint: disable=discarded-handle
+            index * 1e-3, noop
+        )
+    return scheduler
+
+
+def _timed_drain(num_events: int, wall: Wall, baseline: bool = False,
+                 observed: bool = False) -> float:
+    """Seconds to drain ``num_events`` no-ops through ``run()``.
+
+    Scheduling happens outside the timed region; only the drain loop
+    is measured.
+    """
+    scheduler = _prepared_scheduler(num_events, baseline, observed)
+    begin = wall()
+    scheduler.run()
+    elapsed = wall() - begin
+    assert scheduler.events_run == num_events
+    return max(elapsed, 1e-9)
+
+
+def bench_scheduler(num_events: int = 50_000, repeats: int = 5,
+                    wall: Wall = time.perf_counter) -> Dict[str, Any]:
+    """Baseline vs disabled vs observed scheduler throughput.
+
+    The three variants run interleaved, round by round, so slow drift
+    (thermal, host load) penalises them equally; the min-time
+    estimator then discards noise that only ever adds time.
+    """
+    times = {"baseline": float("inf"), "disabled": float("inf"),
+             "observed": float("inf")}
+    for __ in range(repeats):
+        times["baseline"] = min(
+            times["baseline"], _timed_drain(num_events, wall,
+                                            baseline=True))
+        times["disabled"] = min(
+            times["disabled"], _timed_drain(num_events, wall))
+        times["observed"] = min(
+            times["observed"], _timed_drain(num_events, wall,
+                                            observed=True))
+    baseline = num_events / times["baseline"]
+    disabled = num_events / times["disabled"]
+    observed = num_events / times["observed"]
+    return {
+        "num_events": num_events,
+        "repeats": repeats,
+        "baseline_events_per_second": baseline,
+        "disabled_events_per_second": disabled,
+        "observed_events_per_second": observed,
+        "disabled_overhead_pct": 100.0 * (baseline / disabled - 1.0),
+        "observed_overhead_pct": 100.0 * (baseline / observed - 1.0),
+    }
+
+
+def bench_allocation(space_size: int = 512, occupied: int = 256,
+                     trials: int = 2_000, seed: int = 1998,
+                     wall: Wall = time.perf_counter) -> Dict[str, Any]:
+    """Instrumented ``allocate()`` latency at 50% visible occupancy."""
+    rng = np.random.default_rng(seed)
+    context = ObsContext(scenario="bench", wall=wall)
+    allocator = context.watch_allocator(
+        InformedRandomAllocator(space_size, rng)
+    )
+    addresses = rng.choice(space_size, size=occupied, replace=False)
+    visible = VisibleSet(addresses,
+                         np.full(occupied, 127, dtype=np.int64))
+    for __ in range(trials):
+        allocator.allocate(127, visible)
+    histogram = context.registry.get(
+        "alloc_latency_seconds", {"allocator": allocator.name}
+    )
+    return {
+        "space_size": space_size,
+        "occupied": occupied,
+        "trials": trials,
+        "mean_seconds": histogram.mean,
+        "p99_seconds": histogram.quantile(0.99),
+        "allocations_per_second": (
+            trials / max(histogram.sum, 1e-9)
+        ),
+    }
+
+
+def collect_baseline(seed: int = 1998,
+                     num_events: int = 50_000) -> Dict[str, Any]:
+    """The full BENCH_obs payload: microbenchmarks + steady snapshot."""
+    from repro.obs.scenarios import run_scenario
+
+    steady = run_scenario("steady", seed=seed)
+    report = steady.report()
+    scheduler_block = report["scheduler"]
+    return {
+        "bench": "obs",
+        "seed": seed,
+        "scheduler": bench_scheduler(num_events=num_events),
+        "allocation": bench_allocation(seed=seed),
+        "steady": {
+            "summary": steady.summary,
+            "events_run": scheduler_block["events_run"],
+            "events_per_wall_second": (
+                scheduler_block["events_per_wall_second"]
+            ),
+            "heap_depth_max": scheduler_block["heap_depth_max"],
+            "callback_latency_mean_seconds": (
+                scheduler_block["callback_latency_seconds"]["mean"]
+            ),
+            "cache_hit_rate": report["cache_hit_rate"],
+            "span_max_depth": report["spans"]["max_depth"],
+            "issues": report["findings"]["count"],
+        },
+    }

@@ -1,0 +1,182 @@
+"""``python -m repro.obs`` — run instrumented scenarios, emit metrics.
+
+Formats:
+
+* ``text`` (default) — scenario summary lines plus headline metrics;
+* ``json`` — the full metrics report per scenario (registry snapshot,
+  callback-latency histogram, span trees, findings);
+* ``prom`` — Prometheus text exposition (version 0.0.4) of every
+  scenario registry, each sample stamped with a ``scenario`` label;
+* ``github`` — OBS4xx findings as workflow annotations.
+
+Exit status 0 when every scenario ran with no OBS4xx issue, 1 when any
+issue was recorded, 2 on usage errors — the contract shared with
+``repro.lint``, ``repro.sanitize`` and ``repro.modelcheck``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.lint.registry import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    render_registry,
+)
+from repro.lint.report import render_github as lint_render_github
+from repro.obs.report import render_issues_text
+from repro.obs.scenarios import (
+    SCENARIO_NAMES,
+    ObsScenarioResult,
+    run_scenario,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="observability layer: run instrumented scenarios "
+                    "and report metrics, spans and profiling baselines",
+    )
+    parser.add_argument(
+        "scenarios", nargs="*", default=[],
+        help=f"scenarios to run: {', '.join(SCENARIO_NAMES)}, or "
+             f"'all' (default)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=[], metavar="NAME",
+        help="scenario to run (repeatable; merged with positionals)",
+    )
+    parser.add_argument("--format",
+                        choices=("text", "json", "prom", "github"),
+                        default="text")
+    parser.add_argument("--seed", type=int, default=1998,
+                        help="scenario seed")
+    parser.add_argument("--bench", action="store_true",
+                        help="collect the BENCH_obs baseline (scheduler "
+                             "overhead + allocation latency + steady "
+                             "snapshot) instead of scenario reports")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the report to this file")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="print the scenario registry and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the shared rule registry (static "
+                             "and runtime codes) and exit")
+    return parser
+
+
+def list_scenarios() -> str:
+    from repro.obs import scenarios as module
+
+    lines = []
+    for line in (module.__doc__ or "").splitlines():
+        stripped = line.strip()
+        if stripped.startswith("* "):
+            lines.append(stripped[2:])
+        elif lines and stripped and not stripped.startswith("*"):
+            lines[-1] += " " + stripped
+    return "\n".join(lines)
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+
+
+def _render_text(results: List[ObsScenarioResult]) -> str:
+    lines: List[str] = []
+    for result in results:
+        lines.append(result.summary)
+        probe = result.context.scheduler_probe
+        if probe is not None and probe.latency.count:
+            lines.append(
+                f"  callback latency: mean="
+                f"{probe.latency.mean * 1e6:.1f}us "
+                f"p99<={probe.latency.quantile(0.99) * 1e6:.1f}us "
+                f"over {probe.latency.count} events"
+            )
+        lines.append(render_issues_text(result.issues, result.name))
+    total = sum(len(result.issues) for result in results)
+    if total == 0:
+        lines.append(f"obs: {len(results)} scenario(s) clean")
+    else:
+        lines.append(f"obs: {total} issue(s) across "
+                     f"{len(results)} scenario(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_registry())
+        return EXIT_CLEAN
+    if args.list_scenarios:
+        print(list_scenarios())
+        return EXIT_CLEAN
+    if args.bench:
+        from repro.obs.bench import collect_baseline
+
+        payload = collect_baseline(seed=args.seed)
+        _emit(json.dumps(payload, indent=2, sort_keys=True), args.out)
+        return EXIT_CLEAN
+
+    requested = list(args.scenarios) + list(args.scenario)
+    if not requested:
+        requested = ["all"]
+    names: List[str] = []
+    for name in requested:
+        if name == "all":
+            names.extend(SCENARIO_NAMES)
+        else:
+            names.append(name)
+    results: List[ObsScenarioResult] = []
+    for name in names:
+        try:
+            results.append(run_scenario(name, seed=args.seed))
+        except ValueError as exc:
+            print(f"repro.obs: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    if args.format == "json":
+        findings = [
+            issue.to_finding(f"<obs:{result.name}>").to_dict()
+            for result in results for issue in result.issues
+        ]
+        document = {
+            "count": len(findings),
+            "findings": findings,
+            "reports": {result.name: result.report()
+                        for result in results},
+        }
+        _emit(json.dumps(document, indent=2, sort_keys=True), args.out)
+    elif args.format == "prom":
+        chunks = [
+            result.context.registry.render_prometheus(
+                extra_labels={"scenario": result.name}
+            )
+            for result in results
+        ]
+        _emit("".join(chunks).rstrip("\n"), args.out)
+    elif args.format == "github":
+        findings = [
+            issue.to_finding(f"<obs:{result.name}>")
+            for result in results for issue in result.issues
+        ]
+        output = lint_render_github(findings)
+        if output:
+            _emit(output, args.out)
+    else:
+        _emit(_render_text(results), args.out)
+    return (EXIT_CLEAN if all(result.clean for result in results)
+            else EXIT_FINDINGS)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

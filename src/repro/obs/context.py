@@ -1,0 +1,506 @@
+"""ObsContext — attach metrics, spans and profilers to a simulation.
+
+Mirrors :class:`repro.sanitize.context.SanitizerContext`: attachment
+is explicit and opt-in, and every hook point in the kernel is a single
+``is not None`` attribute check when no context is attached — the
+zero-cost-when-off contract.
+
+* :meth:`attach_scheduler` installs a :class:`SchedulerProbe` as the
+  scheduler's ``_obs`` hook: per-event wall-clock callback latency,
+  events-per-wallclock-second throughput, heap-depth high-water mark;
+* :meth:`attach_network` installs a :class:`NetworkProbe`: packet
+  counters, per-send fan-out, simulated delivery latency;
+* :meth:`watch_directory` hooks a directory end to end: announcement
+  counters, cache hit rates, per-allocator clash/defence/retreat
+  counters, allocation wall-clock latency, and wraps the protocol
+  phases (``listen`` → ``defend``/``retreat``/``proxy-defend``,
+  ``announce`` → ``allocate``) in nested spans;
+* :meth:`watch_allocator` wraps a bare allocator (allocator-only
+  experiments).
+
+The wall clock is read **only** inside this module, never in kernel
+code, and only for throughput/latency measurement — metric values
+derived from it are observability output, not simulation input, so
+runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    SIM_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import ObsIssue
+from repro.obs.spans import SpanTracker
+from repro.sim.trace import Tracer
+
+
+class SchedulerProbe:
+    """The scheduler's ``_obs`` hook: step timing and heap depth."""
+
+    __slots__ = ("_wall", "events", "scheduled", "latency",
+                 "heap_depth_max")
+
+    def __init__(self, registry: MetricsRegistry,
+                 wall: Callable[[], float]) -> None:
+        self._wall = wall
+        self.events: Counter = registry.counter(
+            "sim_events_total",
+            help_text="callbacks executed by EventScheduler.step",
+        )
+        self.scheduled: Counter = registry.counter(
+            "sim_events_scheduled_total",
+            help_text="events pushed onto the scheduler heap",
+        )
+        self.latency: Histogram = registry.histogram(
+            "sim_callback_latency_seconds", LATENCY_BUCKETS,
+            help_text="wall-clock latency of one scheduled callback",
+            unit="seconds",
+        )
+        self.heap_depth_max = 0
+
+    def on_schedule(self, when: float, depth: int) -> None:
+        self.scheduled.inc()
+        if depth > self.heap_depth_max:
+            self.heap_depth_max = depth
+
+    def observe_event(self, callback: Callable[[], Any],
+                      depth: int) -> None:
+        """Run one callback under the wall-clock latency probe."""
+        if depth > self.heap_depth_max:
+            self.heap_depth_max = depth
+        wall = self._wall
+        begin = wall()
+        try:
+            callback()
+        finally:
+            self.latency.observe(wall() - begin)
+            self.events.inc()
+
+
+class NetworkProbe:
+    """The network model's ``_obs`` hook: traffic and sim latency."""
+
+    __slots__ = ("_scheduler", "sent", "delivered", "fanout",
+                 "delivery_latency")
+
+    def __init__(self, registry: MetricsRegistry, scheduler) -> None:
+        self._scheduler = scheduler
+        self.sent: Counter = registry.counter(
+            "net_packets_sent_total",
+            help_text="multicast sends entering the network model",
+        )
+        self.delivered: Counter = registry.counter(
+            "net_packets_delivered_total",
+            help_text="per-receiver deliveries that reached a listener",
+        )
+        self.fanout: Histogram = registry.histogram(
+            "net_fanout_receivers", COUNT_BUCKETS,
+            help_text="deliveries scheduled per multicast send",
+        )
+        self.delivery_latency: Histogram = registry.histogram(
+            "net_delivery_latency_seconds", SIM_SECONDS_BUCKETS,
+            help_text="simulated send-to-delivery latency",
+            unit="seconds",
+        )
+
+    def on_send(self, packet, scheduled: int) -> None:
+        self.sent.inc()
+        self.fanout.observe(scheduled)
+
+    def on_deliver(self, receiver: int, packet) -> None:
+        self.delivered.inc()
+        self.delivery_latency.observe(
+            self._scheduler.now - packet.sent_at
+        )
+
+
+class CacheProbe:
+    """A session cache's ``_obs`` hook: hit/miss/delete/invalid."""
+
+    __slots__ = ("hits", "misses", "deletes", "invalid")
+
+    def __init__(self, registry: MetricsRegistry, node: int) -> None:
+        label = {"node": node}
+
+        def counter(result: str) -> Counter:
+            return registry.counter(
+                "sap_cache_observations_total",
+                labels={**label, "result": result},
+                help_text="SAP cache observe() outcomes "
+                          "(hit=refresh of a known entry)",
+            )
+
+        self.hits = counter("hit")
+        self.misses = counter("miss")
+        self.deletes = counter("delete")
+        self.invalid = counter("invalid")
+
+    def on_cache_hit(self) -> None:
+        self.hits.inc()
+
+    def on_cache_miss(self) -> None:
+        self.misses.inc()
+
+    def on_cache_delete(self) -> None:
+        self.deletes.inc()
+
+    def on_cache_invalid(self) -> None:
+        self.invalid.inc()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits.value + self.misses.value
+        return self.hits.value / total if total else 0.0
+
+
+class ClashProbe:
+    """A clash handler's ``_obs`` hook: per-phase protocol counters."""
+
+    __slots__ = ("clashes", "defences", "retreats", "proxies",
+                 "suppressed")
+
+    def __init__(self, registry: MetricsRegistry, node: int,
+                 allocator_name: str) -> None:
+        labels = {"node": node, "allocator": allocator_name}
+
+        def counter(name: str, help_text: str) -> Counter:
+            return registry.counter(name, labels=labels,
+                                    help_text=help_text)
+
+        self.clashes = counter(
+            "clash_clashes_total",
+            "address clashes observed by the clash handler",
+        )
+        self.defences = counter(
+            "clash_defences_total",
+            "phase-1 defences of an established/tie-break session",
+        )
+        self.retreats = counter(
+            "clash_retreats_total",
+            "phase-2 retreats to a fresh address",
+        )
+        self.proxies = counter(
+            "clash_proxy_defences_total",
+            "phase-3 third-party defences actually sent",
+        )
+        self.suppressed = counter(
+            "clash_suppressed_total",
+            "phase-3 defences suppressed by an earlier response",
+        )
+
+    def on_clash(self) -> None:
+        self.clashes.inc()
+
+    def on_defence(self) -> None:
+        self.defences.inc()
+
+    def on_retreat(self) -> None:
+        self.retreats.inc()
+
+    def on_proxy_defence(self) -> None:
+        self.proxies.inc()
+
+    def on_suppressed(self) -> None:
+        self.suppressed.inc()
+
+
+class ObsContext:
+    """Shared state for one observed run.
+
+    Args:
+        scenario: label used in reports and pseudo-paths.
+        wall: wall-clock source (injectable for tests); defaults to
+            :func:`time.perf_counter`.  Wall time is measurement
+            output only — it never feeds back into the simulation.
+        span_capacity: structured span-tree retention bound.
+    """
+
+    def __init__(self, scenario: str = "",
+                 wall: Optional[Callable[[], float]] = None,
+                 span_capacity: int = 10_000) -> None:
+        self.scenario = scenario
+        self.registry = MetricsRegistry()
+        self._wall = wall if wall is not None else time.perf_counter
+        self._span_capacity = span_capacity
+        self.tracer: Optional[Tracer] = None
+        self.spans: Optional[SpanTracker] = None
+        self.scheduler_probe: Optional[SchedulerProbe] = None
+        self.network_probe: Optional[NetworkProbe] = None
+        self._scheduler = None
+        self._networks: List[Any] = []
+        self._cache_probes: List[CacheProbe] = []
+        self._clash_probes: List[ClashProbe] = []
+        self._wall_start: Optional[float] = None
+        self._finish_issues: List[ObsIssue] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach_scheduler(self, scheduler):
+        """Profile a scheduler; also arms span tracing.  Returns it."""
+        self._scheduler = scheduler
+        self.tracer = Tracer(scheduler)
+        self.spans = SpanTracker(self.tracer,
+                                 max_retained=self._span_capacity)
+        self.scheduler_probe = SchedulerProbe(self.registry, self._wall)
+        scheduler._obs = self.scheduler_probe
+        self._wall_start = self._wall()
+        return scheduler
+
+    def attach_network(self, network):
+        """Count a network model's traffic; returns it."""
+        if self._scheduler is None:
+            self.attach_scheduler(network.scheduler)
+        self.network_probe = NetworkProbe(self.registry,
+                                          network.scheduler)
+        network._obs = self.network_probe
+        self._networks.append(network)
+        return network
+
+    def watch_directory(self, directory):
+        """Instrument a session directory end to end; returns it."""
+        if self._scheduler is None:
+            self.attach_scheduler(directory.scheduler)
+        node = directory.node
+        cache_probe = CacheProbe(self.registry, node)
+        directory.cache._obs = cache_probe
+        self._cache_probes.append(cache_probe)
+        if directory.clash_handler is not None:
+            clash_probe = ClashProbe(self.registry, node,
+                                     directory.allocator.name)
+            directory.clash_handler._obs = clash_probe
+            self._clash_probes.append(clash_probe)
+        self.watch_allocator(directory.allocator, node=node)
+        self._wrap_directory(directory)
+        return directory
+
+    def watch_allocator(self, allocator, node: Optional[int] = None):
+        """Wrap ``allocator.allocate`` with latency + span probes."""
+        if getattr(allocator, "_obs_watched", False):
+            return allocator
+        labels = {"allocator": allocator.name,
+                  "node": "-" if node is None else node}
+        allocations = self.registry.counter(
+            "alloc_allocations_total", labels=labels,
+            help_text="allocate() calls",
+        )
+        forced = self.registry.counter(
+            "alloc_forced_total", labels=labels,
+            help_text="allocations forced into a possibly-used address",
+        )
+        latency = self.registry.histogram(
+            "alloc_latency_seconds", LATENCY_BUCKETS,
+            labels={"allocator": allocator.name},
+            help_text="wall-clock latency of one allocate() call",
+            unit="seconds",
+        )
+        inner = allocator.allocate
+        spans = self.spans
+        wall = self._wall
+
+        def allocate(ttl, visible):
+            begin = wall()
+            if spans is not None:
+                with spans.span("allocate", node=node):
+                    result = inner(ttl, visible)
+            else:
+                result = inner(ttl, visible)
+            latency.observe(wall() - begin)
+            allocations.inc()
+            if result.forced:
+                forced.inc()
+            return result
+
+        allocator.allocate = allocate
+        allocator._obs_watched = True
+        return allocator
+
+    def _wrap_directory(self, directory) -> None:
+        """Span-wrap the protocol phases and count announcements.
+
+        Follows :func:`repro.sim.trace.trace_directory`: the packet
+        handler swap re-registers the network listener in place, so
+        delivery order is unchanged.  The spans nest through the
+        tracker's stack — ``defend``/``retreat``/``proxy-defend`` fire
+        inside ``listen``, ``allocate`` inside ``announce``.
+        """
+        spans = self.spans
+        assert spans is not None  # attach_scheduler ran first
+        node = directory.node
+        rx = self.registry.counter(
+            "sap_announcements_rx_total", labels={"node": node},
+            help_text="SAP packets accepted by the directory",
+        )
+        created = self.registry.counter(
+            "sap_sessions_created_total", labels={"node": node},
+            help_text="sessions created at this directory",
+        )
+
+        original_on_packet = directory._on_packet
+
+        def obs_on_packet(receiver, packet):
+            rx.inc()
+            with spans.span("listen", node=node):
+                original_on_packet(receiver, packet)
+
+        directory._on_packet = obs_on_packet
+        directory.network.unlisten(node, original_on_packet)
+        directory.network.listen(node, obs_on_packet)
+
+        original_create = directory.create_session
+
+        def obs_create_session(*args, **kwargs):
+            created.inc()
+            with spans.span("announce", node=node):
+                return original_create(*args, **kwargs)
+
+        directory.create_session = obs_create_session
+
+        original_defend = directory.defend
+
+        def obs_defend(own):
+            with spans.span("defend", node=node):
+                original_defend(own)
+
+        directory.defend = obs_defend
+
+        original_retreat = directory.retreat
+
+        def obs_retreat(own):
+            with spans.span("retreat", node=node):
+                original_retreat(own)
+
+        directory.retreat = obs_retreat
+
+        original_proxy = directory.proxy_defend
+
+        def obs_proxy_defend(entry):
+            with spans.span("proxy-defend", node=node):
+                original_proxy(entry)
+
+        directory.proxy_defend = obs_proxy_defend
+
+    # ------------------------------------------------------------------
+    # Finishing and reporting
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Snapshot end-of-run gauges and close out span checking.
+
+        Idempotent; scenario runners call it once after
+        ``scheduler.run`` returns.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if self._scheduler is not None:
+            self._finish_scheduler()
+        if self._networks:
+            lost = self.registry.counter(
+                "net_packets_lost_total",
+                help_text="sends dropped by the loss model",
+            )
+            lost.inc(sum(network.packets_lost
+                         for network in self._networks))
+        if self.spans is not None:
+            self._finish_issues.extend(
+                self.spans.check_closed(self.scenario)
+            )
+
+    def _finish_scheduler(self) -> None:
+        probe = self.scheduler_probe
+        assert probe is not None and self._wall_start is not None
+        elapsed = max(self._wall() - self._wall_start, 1e-9)
+        wall_gauge: Gauge = self.registry.gauge(
+            "sim_wall_seconds",
+            help_text="wall-clock seconds the observed run took",
+            unit="seconds",
+        )
+        wall_gauge.set(elapsed)
+        sim_gauge: Gauge = self.registry.gauge(
+            "sim_time_seconds",
+            help_text="final simulated clock value",
+            unit="seconds",
+        )
+        sim_gauge.set(self._scheduler.now)
+        rate: Gauge = self.registry.gauge(
+            "sim_events_per_wall_second",
+            help_text="scheduler throughput over the observed run",
+        )
+        rate.set(probe.events.value / elapsed)
+        depth: Gauge = self.registry.gauge(
+            "sim_heap_depth_max",
+            help_text="high-water mark of the scheduler heap",
+        )
+        depth.set(probe.heap_depth_max)
+
+    @property
+    def issues(self) -> List[ObsIssue]:
+        """All OBS4xx diagnostics recorded so far."""
+        return list(self.registry.issues) + list(self._finish_issues)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    @property
+    def events_per_wall_second(self) -> float:
+        metric = self.registry.get("sim_events_per_wall_second")
+        return metric.value if metric is not None else 0.0
+
+    def cache_hit_rate(self) -> float:
+        hits = sum(p.hits.value for p in self._cache_probes)
+        misses = sum(p.misses.value for p in self._cache_probes)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def report(self) -> Dict[str, Any]:
+        """The full JSON-able metrics report for this run."""
+        self.finish()
+        probe = self.scheduler_probe
+        scheduler_block: Dict[str, Any] = {}
+        if probe is not None:
+            scheduler_block = {
+                "events_run": int(probe.events.value),
+                "events_scheduled": int(probe.scheduled.value),
+                "events_per_wall_second": self.events_per_wall_second,
+                "heap_depth_max": probe.heap_depth_max,
+                "callback_latency_seconds": {
+                    "bounds": list(probe.latency.bounds),
+                    "counts": list(probe.latency.counts),
+                    "sum": probe.latency.sum,
+                    "count": probe.latency.count,
+                    "mean": probe.latency.mean,
+                    "p99": probe.latency.quantile(0.99),
+                },
+            }
+        issues = self.issues
+        return {
+            "scenario": self.scenario,
+            "scheduler": scheduler_block,
+            "cache_hit_rate": self.cache_hit_rate(),
+            "metrics": self.registry.as_dict(),
+            "spans": (self.spans.to_dict()
+                      if self.spans is not None else {}),
+            "findings": {
+                "count": len(issues),
+                "findings": [
+                    issue.to_finding(f"<obs:{self.scenario}>").to_dict()
+                    for issue in issues
+                ],
+            },
+        }
+
+    def __repr__(self) -> str:
+        label = self.scenario or "unnamed"
+        return (f"ObsContext({label!r}, metrics={len(self.registry)}, "
+                f"issues={len(self.issues)})")

@@ -1,0 +1,380 @@
+"""Metric primitives and the registry that owns them.
+
+A metric *family* is one name with one type, help string, unit and
+label-key set; a metric *child* is one (family, label-values) pair.
+Families keep Prometheus exposition well formed — emitting one name
+with two types is a scrape error — so re-registering a name with a
+conflicting type or label-key set records an **OBS401** issue instead
+of silently forking the family (the first registration wins).
+
+Everything here is allocation-light on the record path: ``Counter.inc``
+is one float add, ``Histogram.observe`` one bisect plus two adds.  The
+registry is only consulted at *registration* time; probes hold direct
+references to the child metrics they update.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.report import ObsIssue
+
+LabelValue = Union[str, int]
+Labels = Mapping[str, LabelValue]
+#: Canonical child key: label items sorted by key.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Wall-clock callback-latency buckets (seconds): sub-microsecond
+#: through 100 ms, roughly log-spaced, 1-2.5-5 per decade.
+LATENCY_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+)
+
+#: Simulated-time latency buckets (seconds): packet propagation and
+#: protocol timers live between 1 ms and a few minutes.
+SIM_SECONDS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Small-integer count buckets (e.g. multicast fan-out per send).
+COUNT_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                 256.0)
+
+
+def canonical_labels(labels: Optional[Labels]) -> LabelKey:
+    """Sorted, stringified label items — the child identity."""
+    if not labels:
+        return ()
+    return tuple(sorted(
+        (str(key), str(value)) for key, value in labels.items()
+    ))
+
+
+def _format_value(value: float) -> Union[int, float]:
+    """Integers stay integers in reports; floats stay floats."""
+    if float(value).is_integer():
+        return int(value)
+    return value
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (heap depth, rates)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (high-water marks)."""
+        if value > self._value:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus sum and count.
+
+    Bucket semantics match Prometheus: ``counts[i]`` holds
+    observations with ``value <= bounds[i]``; the implicit final
+    bucket is ``+Inf``.  Counts are stored non-cumulative and summed
+    at exposition time.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, bounds: Iterable[float],
+                 labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(bound) for bound in bounds)
+        if not self.bounds:
+            raise ValueError(f"histogram {name} needs >= 1 bucket bound")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram {name} bounds must be strictly increasing"
+            )
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Per-bucket cumulative counts, ending with the total."""
+        out: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (the bucket's upper bound).
+
+        Coarse by design — useful for "p99 callback latency" in
+        reports, not for precise statistics.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for index, count in enumerate(self.counts):
+            running += count
+            if running >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return float("inf")
+        return float("inf")
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+_KINDS = {"counter", "gauge", "histogram"}
+
+
+class _Family:
+    """One metric name: its type, metadata and children."""
+
+    __slots__ = ("name", "kind", "help", "unit", "label_keys",
+                 "children")
+
+    def __init__(self, name: str, kind: str, help_text: str, unit: str,
+                 label_keys: Tuple[str, ...]) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.unit = unit
+        self.label_keys = label_keys
+        self.children: Dict[LabelKey, Metric] = {}
+
+
+class MetricsRegistry:
+    """All metric families of one observed run.
+
+    Registration (``counter()`` / ``gauge()`` / ``histogram()``) is
+    idempotent per ``(name, labels)`` and returns the live metric
+    object, so hot-path probes register once and then update direct
+    references.  Conflicting re-registrations record OBS401 issues on
+    :attr:`issues` and return a detached metric that keeps the caller
+    working without corrupting the family.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self.issues: List[ObsIssue] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def counter(self, name: str, labels: Optional[Labels] = None,
+                help_text: str = "", unit: str = "") -> Counter:
+        return self._register("counter", name, labels, help_text, unit)
+
+    def gauge(self, name: str, labels: Optional[Labels] = None,
+              help_text: str = "", unit: str = "") -> Gauge:
+        return self._register("gauge", name, labels, help_text, unit)
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] = LATENCY_BUCKETS,
+                  labels: Optional[Labels] = None,
+                  help_text: str = "", unit: str = "") -> Histogram:
+        return self._register("histogram", name, labels, help_text,
+                              unit, bounds=tuple(bounds))
+
+    def _register(self, kind: str, name: str, labels: Optional[Labels],
+                  help_text: str, unit: str,
+                  bounds: Optional[Tuple[float, ...]] = None) -> Metric:
+        assert kind in _KINDS
+        child_key = canonical_labels(labels)
+        label_keys = tuple(key for key, __ in child_key)
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, unit, label_keys)
+            self._families[name] = family
+        else:
+            conflict = None
+            if family.kind != kind:
+                conflict = (f"registered as {family.kind}, "
+                            f"re-registered as {kind}")
+            elif family.label_keys != label_keys:
+                conflict = (f"label keys {list(family.label_keys)} vs "
+                            f"{list(label_keys)}")
+            if conflict is not None:
+                self.issues.append(ObsIssue(
+                    code="OBS401", rule="metric-name-collision",
+                    message=f"metric {name!r}: {conflict}",
+                ))
+                return self._detached(kind, name, child_key, bounds)
+        metric = family.children.get(child_key)
+        if metric is None:
+            metric = self._detached(kind, name, child_key, bounds)
+            family.children[child_key] = metric
+        return metric
+
+    @staticmethod
+    def _detached(kind: str, name: str, child_key: LabelKey,
+                  bounds: Optional[Tuple[float, ...]]) -> Metric:
+        if kind == "counter":
+            return Counter(name, child_key)
+        if kind == "gauge":
+            return Gauge(name, child_key)
+        return Histogram(name, bounds or LATENCY_BUCKETS, child_key)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str,
+            labels: Optional[Labels] = None) -> Optional[Metric]:
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.children.get(canonical_labels(labels))
+
+    def family_names(self) -> List[str]:
+        return sorted(self._families)
+
+    def __len__(self) -> int:
+        return sum(len(family.children)
+                   for family in self._families.values())
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, dict]:
+        """JSON-able snapshot: family name -> metadata + samples."""
+        out: Dict[str, dict] = {}
+        for name in self.family_names():
+            family = self._families[name]
+            samples = []
+            for child_key in sorted(family.children):
+                metric = family.children[child_key]
+                sample: Dict[str, object] = {
+                    "labels": dict(child_key),
+                }
+                if isinstance(metric, Histogram):
+                    sample["bounds"] = list(metric.bounds)
+                    sample["counts"] = list(metric.counts)
+                    sample["sum"] = metric.sum
+                    sample["count"] = metric.count
+                    sample["mean"] = metric.mean
+                else:
+                    sample["value"] = _format_value(metric.value)
+                samples.append(sample)
+            out[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "unit": family.unit,
+                "samples": samples,
+            }
+        return out
+
+    def render_prometheus(
+        self, extra_labels: Optional[Labels] = None
+    ) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Args:
+            extra_labels: labels stamped onto every sample (e.g.
+                ``{"scenario": "steady"}`` when several scenario
+                registries share one scrape).
+        """
+        extra = canonical_labels(extra_labels)
+        lines: List[str] = []
+        for name in self.family_names():
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for child_key in sorted(family.children):
+                metric = family.children[child_key]
+                base = extra + child_key
+                if isinstance(metric, Histogram):
+                    cumulative = metric.cumulative()
+                    for bound, count in zip(metric.bounds, cumulative):
+                        bucket = base + (("le", _le_repr(bound)),)
+                        lines.append(
+                            f"{name}_bucket{_label_str(bucket)} {count}"
+                        )
+                    inf = base + (("le", "+Inf"),)
+                    lines.append(
+                        f"{name}_bucket{_label_str(inf)} {metric.count}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_label_str(base)} {metric.sum!r}"
+                    )
+                    lines.append(
+                        f"{name}_count{_label_str(base)} {metric.count}"
+                    )
+                else:
+                    value = _format_value(metric.value)
+                    lines.append(f"{name}{_label_str(base)} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _le_repr(bound: float) -> str:
+    """``le`` label value: integral bounds without a trailing .0."""
+    if bound.is_integer():
+        return str(int(bound))
+    return repr(bound)
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _label_str(items: LabelKey) -> str:
+    if not items:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in items
+    )
+    return "{" + inner + "}"

@@ -1,0 +1,71 @@
+"""Observability issue model — the OBS4xx code space.
+
+An :class:`ObsIssue` is the observability analogue of a sanitizer
+:class:`~repro.sanitize.report.Violation`: a diagnostic about the
+*instrumentation* itself (a metric name registered twice with
+conflicting shapes, a span left open at scenario end), not about the
+simulated protocol.  The :meth:`ObsIssue.to_finding` bridge maps
+issues into the lint report model so ``repro obs --format github``
+and the JSON findings block speak the same schema as the other three
+tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.lint.engine import Finding
+from repro.lint.registry import OBS_RUNTIME_CODES
+
+#: The (code, rule) pairs the observability layer can emit — an alias
+#: of the shared registry's OBS4xx block, so ``--list-rules`` and the
+#: runtime emitter can never drift apart.
+ISSUE_CODES = OBS_RUNTIME_CODES
+
+
+@dataclass(frozen=True)
+class ObsIssue:
+    """One observability diagnostic at one simulated instant."""
+
+    code: str
+    rule: str
+    message: str
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if ISSUE_CODES.get(self.code) != self.rule:
+            raise ValueError(
+                f"unregistered obs issue {self.code}/{self.rule}"
+            )
+
+    def format(self) -> str:
+        return (f"t={self.time:.4f}: {self.code} [{self.rule}] "
+                f"{self.message}")
+
+    def to_finding(self, path: str) -> Finding:
+        """Map into the lint report model (pseudo-path, line 0)."""
+        return Finding(
+            path=path, line=0, col=0, code=self.code, rule=self.rule,
+            message=f"t={self.time:.4f}: {self.message}",
+        )
+
+
+def render_issues_text(issues: Sequence[ObsIssue],
+                       scenario: str = "") -> str:
+    """One line per issue plus a lint-style summary line."""
+    lines: List[str] = [issue.format() for issue in issues]
+    label = f"obs[{scenario}]" if scenario else "obs"
+    count = len(issues)
+    if count == 0:
+        lines.append(f"{label}: clean (0 issues)")
+    else:
+        by_rule: dict = {}
+        for issue in issues:
+            by_rule[issue.rule] = by_rule.get(issue.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{rule}={n}" for rule, n in sorted(by_rule.items())
+        )
+        noun = "issue" if count == 1 else "issues"
+        lines.append(f"{label}: {count} {noun} ({breakdown})")
+    return "\n".join(lines)

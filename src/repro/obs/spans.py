@@ -1,0 +1,231 @@
+"""Nested span tracing, layered on :class:`repro.sim.trace.Tracer`.
+
+A span is one named interval of *simulated* time with a parent — the
+protocol phases nest naturally (``listen`` around a received packet,
+``defend``/``retreat`` inside it; ``announce`` around a session
+creation, ``allocate`` inside it), so the span tree is the protocol's
+call structure annotated with timing.
+
+The existing tracer is the sink: every begin/end emits one
+:class:`~repro.sim.trace.TraceRecord` in the ``span`` category, so
+the timeline tools (``format_timeline``, category filters, capacity
+bounds) work on spans with no changes and existing consumers keep
+working unchanged.  The tracker additionally keeps a bounded
+structured tree for the JSON report.
+
+Span ids are sequential integers and all timestamps are simulated
+time, so span output is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.report import ObsIssue
+from repro.sim.trace import Tracer
+
+#: Trace category used for span begin/end records.
+SPAN_CATEGORY = "span"
+
+#: Structured-tree retention bound; spans past it still trace and
+#: count but are not kept as objects.
+DEFAULT_MAX_RETAINED = 10_000
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time within the span tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    node: Optional[int]
+    start: float
+    end: Optional[float] = None
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "category": self.category,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+        }
+        if self.children:
+            out["children"] = [child.to_dict()
+                               for child in self.children]
+        return out
+
+
+class _SpanContext:
+    """``with tracker.span(...):`` support."""
+
+    __slots__ = ("_tracker", "_span")
+
+    def __init__(self, tracker: "SpanTracker", span: Span) -> None:
+        self._tracker = tracker
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracker.end(self._span)
+
+
+class SpanTracker:
+    """Begin/end spans, maintain the parent stack, sink to a tracer.
+
+    Args:
+        tracer: the sink for begin/end records; its scheduler's clock
+            supplies all timestamps.
+        max_retained: structured-tree retention bound.  The begin/end
+            *records* still flow to the tracer past the bound (that
+            buffer has its own capacity policy); only the tree stops
+            growing.
+    """
+
+    def __init__(self, tracer: Tracer,
+                 max_retained: int = DEFAULT_MAX_RETAINED) -> None:
+        if max_retained <= 0:
+            raise ValueError(
+                f"max_retained must be positive: {max_retained}"
+            )
+        self.tracer = tracer
+        self.max_retained = max_retained
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+        self._roots: List[Span] = []
+        self.started = 0
+        self.finished = 0
+        self.dropped = 0
+        self.mismatched = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "phase",
+             node: Optional[int] = None, **data: Any) -> _SpanContext:
+        """Context manager: begin now, end on exit (even on error)."""
+        return _SpanContext(self, self.begin(name, category=category,
+                                             node=node, **data))
+
+    def begin(self, name: str, category: str = "phase",
+              node: Optional[int] = None, **data: Any) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            category=category,
+            node=node,
+            start=self.tracer.scheduler.now,
+        )
+        self.started += 1
+        if self.started <= self.max_retained:
+            if parent is None:
+                self._roots.append(span)
+            else:
+                parent.children.append(span)
+        else:
+            self.dropped += 1
+        self._stack.append(span)
+        self.tracer.emit(
+            SPAN_CATEGORY, f"begin {name}", node=node,
+            span=span.span_id, parent=span.parent_id or 0, **data,
+        )
+        return span
+
+    def end(self, span: Span) -> None:
+        """Close ``span``; tolerates (and counts) mis-nested ends."""
+        if span.end is not None:
+            self.mismatched += 1
+            return
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            # Out-of-order close: remove it wherever it sits so the
+            # stack stays usable; count the discipline violation.
+            self.mismatched += 1
+            self._stack.remove(span)
+        else:
+            self.mismatched += 1
+        span.end = self.tracer.scheduler.now
+        self.finished += 1
+        self.tracer.emit(
+            SPAN_CATEGORY, f"end {span.name}", node=span.node,
+            span=span.span_id, duration=round(span.duration or 0.0, 9),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Span]:
+        return list(self._roots)
+
+    def iter_spans(self) -> Iterator[Span]:
+        stack = list(reversed(self._roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def open_spans(self) -> List[Span]:
+        return [span for span in self.iter_spans() if span.open]
+
+    def max_depth(self) -> int:
+        if not self._roots:
+            return 0
+        return max(root.depth() for root in self._roots)
+
+    def nested_root_count(self) -> int:
+        """Roots that actually have children (true trees)."""
+        return sum(1 for root in self._roots if root.children)
+
+    def check_closed(self, scenario: str = "") -> List[ObsIssue]:
+        """OBS402 for every span still open (call at scenario end)."""
+        label = f" in scenario {scenario!r}" if scenario else ""
+        return [
+            ObsIssue(
+                code="OBS402", rule="unclosed-span",
+                message=(f"span #{span.span_id} {span.name!r} "
+                         f"(node={span.node}) still open at scenario "
+                         f"end{label}"),
+                time=span.start,
+            )
+            for span in self.open_spans()
+        ]
+
+    def to_dict(self, max_roots: int = 50) -> Dict[str, Any]:
+        """Bounded JSON snapshot of the span forest."""
+        roots = self._roots[:max_roots]
+        return {
+            "started": self.started,
+            "finished": self.finished,
+            "dropped": self.dropped,
+            "mismatched": self.mismatched,
+            "max_depth": self.max_depth(),
+            "nested_trees": self.nested_root_count(),
+            "roots_total": len(self._roots),
+            "roots": [root.to_dict() for root in roots],
+        }

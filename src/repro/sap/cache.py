@@ -55,6 +55,10 @@ class SessionCache:
             raise ValueError(f"timeout must be positive: {timeout}")
         self.timeout = timeout
         self._entries: Dict[Tuple[int, int], CacheEntry] = {}
+        #: Optional profiling probe (see :mod:`repro.obs`).  None in
+        #: normal operation; one attribute check per observe() when
+        #: observability is off.
+        self._obs = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -74,16 +78,24 @@ class SessionCache:
         """
         if message.msg_type is SapMessageType.DELETE:
             self._entries.pop(message.key(), None)
+            if self._obs is not None:
+                self._obs.on_cache_delete()
             return None
         entry = self._entries.get(message.key())
         if entry is not None:
             entry.last_heard = now
             entry.times_heard += 1
+            if self._obs is not None:
+                self._obs.on_cache_hit()
             return entry
         try:
             description = SessionDescription.parse(message.payload)
         except ValueError:
+            if self._obs is not None:
+                self._obs.on_cache_invalid()
             return None
+        if self._obs is not None:
+            self._obs.on_cache_miss()
         self._supersede(message.origin, description)
         entry = CacheEntry(
             message=message,

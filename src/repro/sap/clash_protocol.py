@@ -91,6 +91,10 @@ class ClashHandler:
         self.clashes_seen = 0
         self.defences_sent = 0
         self.retreats = 0
+        #: Optional profiling probe (see :mod:`repro.obs`).  None in
+        #: normal operation; one attribute check per protocol action
+        #: when observability is off.
+        self._obs = None
 
     @property
     def scheduler(self) -> EventScheduler:
@@ -120,6 +124,8 @@ class ClashHandler:
             if own_key == entry.message.key():
                 continue
             self.clashes_seen += 1
+            if self._obs is not None:
+                self._obs.on_clash()
             age = now - own.first_announced
             other_age = now - entry.first_heard
             if self._is_established(age):
@@ -138,6 +144,8 @@ class ClashHandler:
                 # Phase 2: we are the newcomer (or lost the tie-break);
                 # change address.
                 self.retreats += 1
+                if self._obs is not None:
+                    self._obs.on_retreat()
                 self.directory.retreat(own)
 
     def _defend(self, own, entry: CacheEntry, now: float) -> None:
@@ -146,6 +154,8 @@ class ClashHandler:
         if last is not None and now - last < self.policy.defend_interval:
             return
         self._last_defence[key] = now
+        if self._obs is not None:
+            self._obs.on_defence()
         self.directory.defend(own)
 
     def _check_third_party(self, entry: CacheEntry) -> None:
@@ -159,6 +169,8 @@ class ClashHandler:
             if self.directory.owns(old.message.key()):
                 continue  # phases 1/2 already handled it
             self.clashes_seen += 1
+            if self._obs is not None:
+                self._obs.on_clash()
             self._schedule_defence(old, entry)
 
     def _schedule_defence(self, old: CacheEntry, new: CacheEntry) -> None:
@@ -189,8 +201,12 @@ class ClashHandler:
         if old.last_heard > pending.old_last_heard:
             # Someone (originator or another third party) already
             # re-announced the old session: we are suppressed.
+            if self._obs is not None:
+                self._obs.on_suppressed()
             return
         self.defences_sent += 1
+        if self._obs is not None:
+            self._obs.on_proxy_defence()
         self.directory.proxy_defend(old)
 
     def cancel_all(self) -> int:

@@ -63,6 +63,10 @@ class EventScheduler:
         #: None in normal operation, so the only cost when sanitizers
         #: are off is one attribute check per schedule/fire.
         self._monitor: Optional[Any] = None
+        #: Optional profiling probe (see :mod:`repro.obs`).  Same
+        #: contract: None unless an ObsContext is attached, one
+        #: attribute check per schedule/fire when off.
+        self._obs: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -107,6 +111,8 @@ class EventScheduler:
             )
         handle = EventHandle(when, next(self._seq), callback)
         heapq.heappush(self._heap, (when, handle.seq, handle))
+        if self._obs is not None:
+            self._obs.on_schedule(when, len(self._heap))
         return handle
 
     def step(self) -> bool:
@@ -119,7 +125,10 @@ class EventScheduler:
             if self._monitor is not None:
                 self._monitor.on_fire(handle)
             callback, handle.callback = handle.callback, None
-            callback()
+            if self._obs is None:
+                callback()
+            else:
+                self._obs.observe_event(callback, len(self._heap))
             self._events_run += 1
             return True
         return False

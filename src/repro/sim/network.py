@@ -98,6 +98,9 @@ class NetworkModel:
         #: None in normal operation; one attribute check per send and
         #: delivery when sanitizers are off.
         self._monitor: Optional[Any] = None
+        #: Optional profiling probe (see :mod:`repro.obs`), same
+        #: None-when-off contract.
+        self._obs: Optional[Any] = None
         self._partition: Optional[frozenset] = None
         self.packets_sent = 0
         self.packets_delivered = 0
@@ -178,6 +181,8 @@ class NetworkModel:
                 total_delay += jitter_rng.uniform(0.0, self.jitter)
             self._schedule_delivery(receiver, packet, total_delay)
             scheduled += 1
+        if self._obs is not None:
+            self._obs.on_send(packet, scheduled)
         return scheduled
 
     def _schedule_delivery(self, receiver: int, packet: Packet,
@@ -188,6 +193,8 @@ class NetworkModel:
                 self.packets_delivered += 1
                 if self._monitor is not None:
                     self._monitor.on_deliver(receiver, packet)
+                if self._obs is not None:
+                    self._obs.on_deliver(receiver, packet)
                 for callback in list(callbacks):
                     callback(receiver, packet)
 

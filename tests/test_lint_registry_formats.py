@@ -1,9 +1,10 @@
 """The shared registry and the unified CLI surface.
 
 One registry enumerates every check across repro.lint (SIM1xx),
-repro.sanitize (SAN2xx) and repro.modelcheck (MC30x static, MC31x
-runtime); the three CLIs print the same ``--list-rules`` output,
-share the 0/1/2 exit-code contract, and all speak ``--format github``.
+repro.sanitize (SAN2xx), repro.modelcheck (MC30x static, MC31x
+runtime) and repro.obs (OBS4xx); the four CLIs print the same
+``--list-rules`` output, share the 0/1/2 exit-code contract, and all
+speak ``--format github``.
 """
 
 import pytest
@@ -15,7 +16,8 @@ class TestRegistry:
     def test_every_code_space_is_present(self):
         codes = {entry.code for entry in registry.all_entries()}
         assert {"SIM101", "SIM114", "MC301", "MC304", "MC311",
-                "MC312", "SAN204", "SAN231"} <= codes
+                "MC312", "SAN204", "SAN231", "OBS401",
+                "OBS402"} <= codes
 
     def test_codes_are_unique_and_sorted(self):
         entries = registry.all_entries()
@@ -27,7 +29,8 @@ class TestRegistry:
         for entry in registry.all_entries():
             assert entry.description, entry.code
             assert entry.kind in ("static", "runtime")
-            assert entry.tool in ("lint", "sanitize", "modelcheck")
+            assert entry.tool in ("lint", "sanitize", "modelcheck",
+                                  "obs")
 
     def test_static_rules_include_mc_spec_rules(self):
         names = {rule.name for rule in registry.static_rules()}
@@ -51,18 +54,20 @@ class TestUnifiedListRules:
         assert main(["--list-rules"]) == 0
         return capsys.readouterr().out
 
-    def test_all_three_clis_print_the_same_registry(self, capsys):
+    def test_all_four_clis_print_the_same_registry(self, capsys):
         from repro.lint.cli import main as lint_main
         from repro.modelcheck.cli import main as mc_main
+        from repro.obs.cli import main as obs_main
         from repro.sanitize.cli import main as san_main
 
         outputs = {
             self._list_rules_output(main, capsys)
-            for main in (lint_main, san_main, mc_main)
+            for main in (lint_main, san_main, mc_main, obs_main)
         }
         assert len(outputs) == 1
         output = outputs.pop()
-        for code in ("SIM101", "MC301", "MC311", "SAN204"):
+        for code in ("SIM101", "MC301", "MC311", "SAN204", "OBS401",
+                     "OBS402"):
             assert code in output
 
 
@@ -123,6 +128,12 @@ class TestExitCodeContract:
 
     def test_sanitize_usage_error(self, capsys):
         from repro.sanitize.cli import main
+
+        assert main(["no-such-scenario"]) == 2
+        capsys.readouterr()
+
+    def test_obs_usage_error(self, capsys):
+        from repro.obs.cli import main
 
         assert main(["no-such-scenario"]) == 2
         capsys.readouterr()

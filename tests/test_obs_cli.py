@@ -1,0 +1,103 @@
+"""The repro.obs CLI and its ``repro obs`` passthrough.
+
+Only the fast ``kernel`` scenario runs here; the heavier ``clash`` and
+``steady`` scenarios (and ``--bench``) are exercised by the benchmark
+suite and CI, not tier-1.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main as obs_main
+from repro.obs.scenarios import SCENARIO_NAMES
+
+
+class TestFormats:
+    def test_text_clean_run(self, capsys):
+        assert obs_main(["kernel"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("kernel: events=")
+        assert "callback latency: mean=" in out
+        assert "obs[kernel]: clean (0 issues)" in out
+        assert "obs: 1 scenario(s) clean" in out
+
+    def test_json_report(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        assert obs_main(["kernel", "--format", "json",
+                         "--out", str(out_file)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["count"] == 0
+        assert data["findings"] == []
+        report = data["reports"]["kernel"]
+        assert report["scheduler"]["events_per_wall_second"] > 0
+        assert report["scheduler"]["callback_latency_seconds"][
+            "count"] > 0
+        assert report["spans"]["nested_trees"] >= 1
+        assert "sim_events_total" in report["metrics"]
+        # --out wrote the same document to disk.
+        assert json.loads(out_file.read_text()) == data
+
+    def test_prom_exposition(self, capsys):
+        assert obs_main(["kernel", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sim_events_total counter" in out
+        assert "# TYPE sim_callback_latency_seconds histogram" in out
+        assert 'scenario="kernel"' in out
+        assert 'le="+Inf"' in out
+
+    def test_github_clean_run_prints_nothing(self, capsys):
+        assert obs_main(["kernel", "--format", "github"]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestScenarioSelection:
+    def test_scenario_flag_and_positional_merge(self, capsys):
+        assert obs_main(["--scenario", "kernel",
+                         "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert list(data["reports"]) == ["kernel"]
+
+    def test_seed_changes_nothing_structural(self, capsys):
+        assert obs_main(["kernel", "--seed", "7",
+                         "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["reports"]["kernel"]["scenario"] == "kernel"
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert obs_main(["bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestListings:
+    def test_list_scenarios_names_every_scenario(self, capsys):
+        assert obs_main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIO_NAMES:
+            assert f"``{name}``" in out
+
+    def test_list_rules_prints_shared_registry(self, capsys):
+        assert obs_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "OBS401" in out
+        assert "OBS402" in out
+        assert "SIM101" in out
+        assert "runtime/obs" in out
+
+
+class TestReproPassthrough:
+    def test_repro_obs_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["obs", "--scenario", "kernel",
+                           "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert list(data["reports"]) == ["kernel"]
+
+    @pytest.mark.parametrize("flag", ["--list-scenarios",
+                                      "--list-rules"])
+    def test_repro_obs_listings(self, capsys, flag):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["obs", flag]) == 0
+        assert capsys.readouterr().out

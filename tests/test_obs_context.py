@@ -1,0 +1,202 @@
+"""ObsContext probes exercised against small real simulations."""
+
+import numpy as np
+import pytest
+
+from repro.core.address_space import MulticastAddressSpace
+from repro.core.allocator import VisibleSet
+from repro.core.informed import InformedRandomAllocator
+from repro.obs import ObsContext
+from repro.sap.directory import SessionDirectory
+from repro.sap.announcer import FixedIntervalStrategy
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel
+
+SPACE = MulticastAddressSpace.abstract(8)
+NODES = 3
+
+
+def full_mesh(source, ttl):
+    return [(node, 0.01) for node in range(NODES)]
+
+
+class FakeWall:
+    """Deterministic wall clock: every reading advances one step."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def make_rig(context):
+    scheduler = context.attach_scheduler(EventScheduler())
+    network = context.attach_network(NetworkModel(scheduler, full_mesh))
+    directories = []
+    for node in range(NODES):
+        directory = SessionDirectory(
+            node, scheduler, network,
+            InformedRandomAllocator(SPACE.size,
+                                    np.random.default_rng(node)),
+            SPACE,
+            strategy_factory=lambda: FixedIntervalStrategy(5.0),
+            rng=np.random.default_rng(100 + node),
+        )
+        directories.append(context.watch_directory(directory))
+    return scheduler, network, directories
+
+
+@pytest.fixture()
+def observed_run():
+    """One small observed run: a session announced for 20 seconds."""
+    context = ObsContext(scenario="unit", wall=FakeWall())
+    scheduler, network, directories = make_rig(context)
+    directories[0].create_session("obs-test", ttl=127)
+    scheduler.run(until=20.0)
+    context.finish()
+    return context, scheduler, network, directories
+
+
+class TestSchedulerProbe:
+    def test_counts_and_times_every_event(self):
+        context = ObsContext(wall=FakeWall(step=0.001))
+        scheduler = context.attach_scheduler(EventScheduler())
+        for index in range(3):
+            scheduler.schedule_at(  # simlint: disable=discarded-handle
+                float(index), lambda: None
+            )
+        scheduler.run()
+        probe = context.scheduler_probe
+        assert probe.events.value == 3
+        assert probe.scheduled.value == 3
+        assert probe.heap_depth_max == 3
+        # FakeWall advances exactly one step between the two readings
+        # around each callback, so every observation is one step.
+        assert probe.latency.count == 3
+        assert probe.latency.sum == pytest.approx(0.003)
+
+    def test_events_match_scheduler_counter(self, observed_run):
+        context, scheduler, __, __dirs = observed_run
+        assert context.scheduler_probe.events.value == \
+            scheduler.events_run
+
+
+class TestNetworkProbe:
+    def test_traffic_counters_accumulate(self, observed_run):
+        context, __, network, __dirs = observed_run
+        probe = context.network_probe
+        assert probe.sent.value == network.packets_sent
+        assert probe.delivered.value == network.packets_delivered
+        assert probe.sent.value > 0
+        # Full mesh of three nodes: every send reaches the two peers.
+        assert probe.fanout.count == probe.sent.value
+        assert probe.fanout.mean == pytest.approx(2.0)
+        # Simulated delivery latency is the 10 ms mesh delay.
+        assert probe.delivery_latency.count == probe.delivered.value
+        assert probe.delivery_latency.mean == pytest.approx(0.01)
+
+
+class TestDirectoryProbes:
+    def test_cache_sees_misses_then_hits(self, observed_run):
+        context, __, __net, __dirs = observed_run
+        # 20 s of 5 s re-announcements: first observation per peer is
+        # a miss, every refresh after that a hit.
+        assert 0.0 < context.cache_hit_rate() < 1.0
+
+    def test_clash_handler_is_hooked(self, observed_run):
+        __, __sched, __net, directories = observed_run
+        for directory in directories:
+            assert directory.clash_handler._obs is not None
+            assert directory.cache._obs is not None
+
+    def test_announcement_and_session_counters(self, observed_run):
+        context, __, __net, __dirs = observed_run
+        created = context.registry.get("sap_sessions_created_total",
+                                       {"node": 0})
+        assert created.value == 1
+        rx = sum(
+            context.registry.get("sap_announcements_rx_total",
+                                 {"node": node}).value
+            for node in range(NODES)
+        )
+        assert rx > 0
+
+    def test_announce_span_nests_allocate(self, observed_run):
+        context, __, __net, __dirs = observed_run
+        announces = [root for root in context.spans.roots()
+                     if root.name == "announce"]
+        assert len(announces) == 1
+        assert [child.name for child in announces[0].children] == \
+            ["allocate"]
+        assert context.spans.nested_root_count() >= 1
+
+
+class TestWatchAllocator:
+    def test_forced_allocations_are_counted(self):
+        context = ObsContext(wall=FakeWall())
+        allocator = context.watch_allocator(
+            InformedRandomAllocator(4, np.random.default_rng(0))
+        )
+        full = VisibleSet(np.arange(4), np.full(4, 127))
+        result = allocator.allocate(127, full)
+        assert result.forced
+        allocator.allocate(127, VisibleSet.empty())
+        labels = {"allocator": allocator.name, "node": "-"}
+        registry = context.registry
+        assert registry.get("alloc_allocations_total", labels).value == 2
+        assert registry.get("alloc_forced_total", labels).value == 1
+        latency = registry.get("alloc_latency_seconds",
+                               {"allocator": allocator.name})
+        assert latency.count == 2
+
+    def test_watching_twice_does_not_double_count(self):
+        context = ObsContext(wall=FakeWall())
+        allocator = InformedRandomAllocator(4, np.random.default_rng(0))
+        context.watch_allocator(allocator)
+        context.watch_allocator(allocator)
+        allocator.allocate(127, VisibleSet.empty())
+        labels = {"allocator": allocator.name, "node": "-"}
+        assert context.registry.get("alloc_allocations_total",
+                                    labels).value == 1
+
+
+class TestFinishAndReport:
+    def test_finish_sets_run_gauges(self, observed_run):
+        context, scheduler, network, __dirs = observed_run
+        registry = context.registry
+        assert registry.get("sim_wall_seconds").value > 0
+        assert registry.get("sim_time_seconds").value == scheduler.now
+        assert context.events_per_wall_second > 0
+        assert registry.get("sim_heap_depth_max").value > 0
+        assert registry.get("net_packets_lost_total").value == \
+            network.packets_lost
+
+    def test_finish_is_idempotent(self, observed_run):
+        context, __, __net, __dirs = observed_run
+        before = context.registry.get("sim_wall_seconds").value
+        events = context.scheduler_probe.events.value
+        context.finish()
+        assert context.registry.get("sim_wall_seconds").value == before
+        assert context.scheduler_probe.events.value == events
+
+    def test_run_is_clean(self, observed_run):
+        context, __, __net, __dirs = observed_run
+        assert context.clean
+        assert context.issues == []
+
+    def test_report_shape(self, observed_run):
+        context, __, __net, __dirs = observed_run
+        report = context.report()
+        assert report["scenario"] == "unit"
+        block = report["scheduler"]
+        assert block["events_run"] > 0
+        assert block["events_per_wall_second"] > 0
+        latency = block["callback_latency_seconds"]
+        assert latency["count"] == block["events_run"]
+        assert len(latency["counts"]) == len(latency["bounds"]) + 1
+        assert report["findings"] == {"count": 0, "findings": []}
+        assert report["spans"]["started"] == context.spans.started
+        assert "sim_events_total" in report["metrics"]

@@ -1,0 +1,67 @@
+"""The zero-cost-when-off and observe-don't-steer contracts.
+
+Every kernel hook point carries a ``_obs`` attribute that is None by
+default (one attribute check per operation when observability is off),
+and attaching an observer must not change simulation behaviour: the
+determinism trace is byte-identical with and without it.
+"""
+
+import numpy as np
+
+from repro.core.address_space import MulticastAddressSpace
+from repro.core.informed import InformedRandomAllocator
+from repro.lint.determinism import run_scenario
+from repro.obs import ObsContext
+from repro.sap.cache import SessionCache
+from repro.sap.directory import SessionDirectory
+from repro.sim.events import EventScheduler
+from repro.sim.network import NetworkModel
+
+SEED = 1998
+
+
+class TestHooksOffByDefault:
+    def test_scheduler_hook_is_none(self):
+        assert EventScheduler()._obs is None
+
+    def test_network_hook_is_none(self):
+        network = NetworkModel(EventScheduler(),
+                               lambda source, ttl: [])
+        assert network._obs is None
+
+    def test_cache_hook_is_none(self):
+        assert SessionCache()._obs is None
+
+    def test_directory_stack_hooks_are_none(self):
+        scheduler = EventScheduler()
+        network = NetworkModel(scheduler, lambda source, ttl: [])
+        directory = SessionDirectory(
+            0, scheduler, network,
+            InformedRandomAllocator(8, np.random.default_rng(0)),
+            MulticastAddressSpace.abstract(8),
+        )
+        assert directory.clash_handler._obs is None
+        assert directory.cache._obs is None
+
+    def test_allocator_is_unwrapped_by_default(self):
+        allocator = InformedRandomAllocator(8, np.random.default_rng(0))
+        assert not getattr(allocator, "_obs_watched", False)
+        assert allocator.allocate.__name__ == "allocate"
+        assert allocator.allocate.__self__ is allocator
+
+
+class TestObserverDoesNotSteer:
+    def test_trace_is_byte_identical_with_observer(self):
+        bare = run_scenario(seed=SEED)
+        observed = run_scenario(seed=SEED, observer=ObsContext("kernel"))
+        assert observed == bare
+
+    def test_observer_recorded_the_run_it_did_not_change(self):
+        context = ObsContext("kernel")
+        trace = run_scenario(seed=SEED, observer=context)
+        context.finish()
+        # The footer counts events; the probe must agree with the run.
+        assert context.scheduler_probe.events.value > 0
+        assert context.spans.started > 0
+        assert context.clean
+        assert trace  # non-empty trace came back unchanged

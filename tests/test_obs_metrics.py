@@ -1,0 +1,153 @@
+"""Metric primitives, the registry, and both exposition formats."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    canonical_labels,
+)
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 3.0
+        gauge.set_max(10.0)
+        gauge.set_max(7.0)
+        assert gauge.value == 10.0
+
+    def test_histogram_bucket_placement(self):
+        histogram = Histogram("h", (1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        # value <= bound goes in that bucket; beyond all bounds in +Inf.
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.cumulative() == [2, 3, 4, 5]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.0)
+
+    def test_histogram_quantile_is_bucket_resolution(self):
+        histogram = Histogram("h", (1.0, 2.0, 4.0))
+        for __ in range(99):
+            histogram.observe(0.5)
+        histogram.observe(3.0)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 4.0
+        assert histogram.quantile(0.0) == 1.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match=">= 1 bucket"):
+            Histogram("h", ())
+
+    def test_canonical_labels_sorted_and_stringified(self):
+        assert canonical_labels({"b": 2, "a": "x"}) == (
+            ("a", "x"), ("b", "2"),
+        )
+        assert canonical_labels(None) == ()
+
+
+class TestRegistry:
+    def test_registration_is_idempotent_per_child(self):
+        registry = MetricsRegistry()
+        first = registry.counter("events", labels={"node": 1})
+        again = registry.counter("events", labels={"node": 1})
+        other = registry.counter("events", labels={"node": 2})
+        assert first is again
+        assert first is not other
+        assert len(registry) == 2
+        assert registry.get("events", {"node": 1}) is first
+        assert registry.get("missing") is None
+
+    def test_type_conflict_records_obs401(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        detached = registry.gauge("x")
+        assert registry.issues and registry.issues[0].code == "OBS401"
+        # First registration wins; the caller still gets a live metric.
+        assert registry.get("x") is counter
+        detached.set(5.0)
+        assert counter.value == 0.0
+
+    def test_label_key_conflict_records_obs401(self):
+        registry = MetricsRegistry()
+        registry.counter("y", labels={"node": 1})
+        registry.counter("y", labels={"site": 1})
+        assert [issue.code for issue in registry.issues] == ["OBS401"]
+        assert "label keys" in registry.issues[0].message
+
+    def test_as_dict_is_json_able(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", labels={"node": 0}).inc(3)
+        registry.histogram("lat", (0.1, 1.0)).observe(0.05)
+        snapshot = registry.as_dict()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["hits"]["type"] == "counter"
+        assert snapshot["hits"]["samples"][0]["value"] == 3
+        assert snapshot["lat"]["samples"][0]["counts"] == [1, 0, 0]
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", labels={"node": 1},
+                         help_text="events").inc(7)
+        registry.gauge("depth").set(3.5)
+        text = registry.render_prometheus()
+        assert "# HELP events_total events" in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{node="1"} 7' in text
+        assert "depth 3.5" in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", (0.5, 1.0))
+        for value in (0.2, 0.7, 9.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{le="0.5"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_extra_labels_stamped_on_every_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"node": 1}).inc()
+        registry.gauge("g").set(1)
+        text = registry.render_prometheus(
+            extra_labels={"scenario": "steady"}
+        )
+        assert 'c{scenario="steady",node="1"} 1' in text
+        assert 'g{scenario="steady"} 1' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"name": 'a"b\\c'}).inc()
+        text = registry.render_prometheus()
+        assert 'name="a\\"b\\\\c"' in text
+
+    def test_shared_bucket_constants_are_increasing(self):
+        for bounds in (LATENCY_BUCKETS, COUNT_BUCKETS):
+            assert list(bounds) == sorted(bounds)
+            assert len(set(bounds)) == len(bounds)

@@ -1,0 +1,139 @@
+"""Span tracing: nesting, the tracer sink, retention and OBS402."""
+
+import pytest
+
+from repro.obs.spans import SPAN_CATEGORY, SpanTracker
+from repro.sim.events import EventScheduler
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture()
+def tracker():
+    scheduler = EventScheduler()
+    return SpanTracker(Tracer(scheduler)), scheduler
+
+
+class TestNesting:
+    def test_parent_ids_follow_the_stack(self, tracker):
+        tracker, scheduler = tracker
+        outer = tracker.begin("listen", node=1)
+        inner = tracker.begin("defend", node=1)
+        assert inner.parent_id == outer.span_id
+        tracker.end(inner)
+        tracker.end(outer)
+        sibling = tracker.begin("announce")
+        assert sibling.parent_id is None
+        tracker.end(sibling)
+        assert [root.name for root in tracker.roots()] == \
+            ["listen", "announce"]
+        assert tracker.roots()[0].children[0] is inner
+        assert tracker.max_depth() == 2
+        assert tracker.nested_root_count() == 1
+
+    def test_context_manager_closes_on_error(self, tracker):
+        tracker, __ = tracker
+        with pytest.raises(RuntimeError):
+            with tracker.span("phase") as span:
+                raise RuntimeError("boom")
+        assert not span.open
+        assert tracker.open_spans() == []
+
+    def test_durations_use_simulated_time(self, tracker):
+        tracker, scheduler = tracker
+        span = tracker.begin("phase")
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.run()
+        tracker.end(span)
+        assert span.duration == 5.0
+
+
+class TestTracerSink:
+    def test_begin_and_end_emit_span_records(self, tracker):
+        tracker, __ = tracker
+        with tracker.span("allocate", node=3):
+            pass
+        records = tracker.tracer.records(category=SPAN_CATEGORY)
+        assert [record.message for record in records] == \
+            ["begin allocate", "end allocate"]
+        assert records[0].node == 3
+        assert records[0].data["span"] == records[1].data["span"]
+
+    def test_consumer_sees_only_span_category(self, tracker):
+        tracker, __ = tracker
+        seen = []
+        consumer = seen.append
+        tracker.tracer.attach_consumer(consumer,
+                                       categories=[SPAN_CATEGORY])
+        tracker.tracer.emit("rx", "noise")
+        with tracker.span("phase"):
+            pass
+        assert [record.category for record in seen] == \
+            [SPAN_CATEGORY, SPAN_CATEGORY]
+        tracker.tracer.detach_consumer(consumer)
+        with tracker.span("phase"):
+            pass
+        assert len(seen) == 2
+
+
+class TestDiscipline:
+    def test_double_end_counts_mismatched(self, tracker):
+        tracker, __ = tracker
+        span = tracker.begin("phase")
+        tracker.end(span)
+        tracker.end(span)
+        assert tracker.mismatched == 1
+        assert tracker.finished == 1
+
+    def test_out_of_order_end_keeps_stack_usable(self, tracker):
+        tracker, __ = tracker
+        outer = tracker.begin("outer")
+        inner = tracker.begin("inner")
+        tracker.end(outer)
+        assert tracker.mismatched == 1
+        follow = tracker.begin("follow")
+        assert follow.parent_id == inner.span_id
+        tracker.end(follow)
+        tracker.end(inner)
+        assert tracker.open_spans() == []
+
+    def test_retention_bound_drops_tree_not_records(self):
+        scheduler = EventScheduler()
+        tracker = SpanTracker(Tracer(scheduler), max_retained=2)
+        for index in range(4):
+            with tracker.span(f"s{index}"):
+                pass
+        assert tracker.started == 4
+        assert tracker.dropped == 2
+        assert len(tracker.roots()) == 2
+        # All eight begin/end records still reached the tracer.
+        assert len(tracker.tracer.records(category=SPAN_CATEGORY)) == 8
+
+    def test_max_retained_must_be_positive(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError, match="positive"):
+            SpanTracker(Tracer(scheduler), max_retained=0)
+
+
+class TestChecksAndSnapshots:
+    def test_check_closed_reports_obs402(self, tracker):
+        tracker, __ = tracker
+        closed = tracker.begin("closed")
+        tracker.end(closed)
+        tracker.begin("leaked", node=7)
+        issues = tracker.check_closed(scenario="steady")
+        assert len(issues) == 1
+        assert issues[0].code == "OBS402"
+        assert "'leaked'" in issues[0].message
+        assert "steady" in issues[0].message
+
+    def test_to_dict_is_bounded(self, tracker):
+        tracker, __ = tracker
+        for index in range(5):
+            with tracker.span(f"s{index}"):
+                pass
+        snapshot = tracker.to_dict(max_roots=2)
+        assert snapshot["started"] == 5
+        assert snapshot["roots_total"] == 5
+        assert len(snapshot["roots"]) == 2
+        assert snapshot["roots"][0]["name"] == "s0"
+        assert snapshot["roots"][0]["duration"] == 0.0
