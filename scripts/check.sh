@@ -33,6 +33,12 @@ echo "== repro.obs (instrumented scenarios, OBS4xx self-checks) =="
 # full metrics/bench artifacts are collected in CI's reports job.
 python -m repro.obs kernel steady
 
+echo "== repro.fleet (2-worker smoke sweep, FLT5xx diagnostics) =="
+# Exercises the whole parallel path — fork, pipes, checkpoint, merge
+# — and fails on any FLT5xx issue (exhausted retries, torn journals,
+# nondeterministic shard payloads).
+python -m repro.fleet demo --jobs 2
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests

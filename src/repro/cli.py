@@ -14,6 +14,7 @@ Exposes the library's main workflows without writing Python:
     python -m repro lint src --determinism
     python -m repro modelcheck smoke
     python -m repro obs --scenario steady --format json
+    python -m repro fleet fig5 --jobs 4 --checkpoint .fleet
 
 Every simulation is deterministic for a given ``--seed``; the ``lint``
 subcommand statically enforces the invariants that make that true, and
@@ -34,11 +35,7 @@ from repro.analysis.response_bounds import (
     exponential_expected_responses,
     uniform_expected_responses,
 )
-from repro.core.adaptive import AdaptiveIprmaAllocator
-from repro.core.hybrid import HybridIprmaAllocator
-from repro.core.informed import InformedRandomAllocator
-from repro.core.iprma import StaticIprmaAllocator
-from repro.core.random_alloc import RandomAllocator
+from repro.experiments.algorithms import ALGORITHM_FACTORIES
 from repro.experiments.allocation_run import fig5_run
 from repro.experiments.reporting import format_table
 from repro.experiments.request_response import (
@@ -56,19 +53,6 @@ from repro.topology.hopcount import hop_count_distribution, usage_table
 from repro.topology.mapfile import load_map, save_map
 from repro.topology.mbone import MboneParams, generate_mbone
 from repro.topology.stats import format_summary, summarize
-
-ALGORITHM_FACTORIES = {
-    "random": lambda n, rng: RandomAllocator(n, rng),
-    "informed": lambda n, rng: InformedRandomAllocator(n, rng),
-    "ipr3": lambda n, rng: StaticIprmaAllocator.three_band(n, rng),
-    "ipr7": lambda n, rng: StaticIprmaAllocator.seven_band(n, rng),
-    "aipr1": lambda n, rng: AdaptiveIprmaAllocator.aipr1(n, rng=rng),
-    "aipr2": lambda n, rng: AdaptiveIprmaAllocator.aipr2(n, rng=rng),
-    "aipr3": lambda n, rng: AdaptiveIprmaAllocator.aipr3(n, rng=rng),
-    "aipr4": lambda n, rng: AdaptiveIprmaAllocator.aipr4(n, rng=rng),
-    "aiprh": lambda n, rng: HybridIprmaAllocator(n, rng=rng),
-}
-
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -104,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--algorithms", nargs="+",
                       default=["random", "informed", "ipr3", "ipr7"],
                       choices=sorted(ALGORITHM_FACTORIES))
+    fig5.add_argument("--jobs", type=int, default=1,
+                      help="worker processes; >1 shards the grid "
+                           "through repro.fleet (same rows, same "
+                           "bytes)")
 
     steady = sub.add_parser("steady-state",
                             help="figs. 12/13 steady-state point")
@@ -117,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
     steady.add_argument("--trials", type=int, default=6)
     steady.add_argument("--same-site", action="store_true",
                         help="fig. 13's upper-bound replacement rule")
+    steady.add_argument("--jobs", type=int, default=1,
+                        help="worker processes; >1 shards the points "
+                             "through repro.fleet")
 
     rr = sub.add_parser("request-response",
                         help="figs. 15-19 suppression simulation")
@@ -194,6 +185,33 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--list-scenarios", action="store_true")
     obs.add_argument("--list-rules", action="store_true")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="parallel sweep execution with checkpoint/resume "
+             "(python -m repro.fleet)",
+    )
+    fleet.add_argument("sweeps", nargs="*", default=[])
+    fleet.add_argument("--sweep", action="append", default=[],
+                       metavar="NAME")
+    fleet.add_argument("--jobs", type=int, default=1)
+    fleet.add_argument("--fleet-seed", type=int, default=1998,
+                       help="master sweep seed")
+    fleet.add_argument("--format",
+                       choices=("text", "json", "github"),
+                       default="text")
+    fleet.add_argument("--checkpoint", metavar="DIR")
+    fleet.add_argument("--resume", action="store_true")
+    fleet.add_argument("--timeout", type=float)
+    fleet.add_argument("--retries", type=int)
+    fleet.add_argument("--backoff", type=float)
+    fleet.add_argument("--nodes", type=int)
+    fleet.add_argument("--trials", type=int)
+    fleet.add_argument("--bench", action="store_true",
+                       help="collect the BENCH_fleet baseline")
+    fleet.add_argument("--out", help="also write the report here")
+    fleet.add_argument("--list-sweeps", action="store_true")
+    fleet.add_argument("--list-rules", action="store_true")
+
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
     birthday = analyze_sub.add_parser("birthday")
@@ -245,13 +263,16 @@ def cmd_hopcount(args) -> int:
 
 
 def cmd_fig5(args) -> int:
-    topology = _load_topology(args)
-    scope_map = ScopeMap.from_topology(topology)
-    algorithms = {name: ALGORITHM_FACTORIES[name]
-                  for name in args.algorithms}
-    rows = fig5_run(scope_map, algorithms, args.sizes,
-                    ALL_DISTRIBUTIONS, trials=args.trials,
-                    seed=args.seed)
+    if args.jobs > 1:
+        rows = _fig5_rows_fleet(args)
+    else:
+        topology = _load_topology(args)
+        scope_map = ScopeMap.from_topology(topology)
+        algorithms = {name: ALGORITHM_FACTORIES[name]
+                      for name in args.algorithms}
+        rows = fig5_run(scope_map, algorithms, args.sizes,
+                        ALL_DISTRIBUTIONS, trials=args.trials,
+                        seed=args.seed)
     print(format_table(
         ["algorithm", "dist", "space", "allocations"],
         [(r.algorithm, r.distribution, r.space_size,
@@ -260,19 +281,85 @@ def cmd_fig5(args) -> int:
     return 0
 
 
-def cmd_steady_state(args) -> int:
-    topology = _load_topology(args)
-    scope_map = ScopeMap.from_topology(topology)
-    factory = ALGORITHM_FACTORIES[args.algorithm]
-    rows = []
-    for space in args.spaces:
-        value = allocations_at_half_clash(
-            scope_map, factory, space, DS4, trials=args.trials,
-            seed=args.seed, same_site_replacement=args.same_site,
+def _fig5_rows_fleet(args) -> list:
+    """The fig. 5 grid sharded across worker processes.
+
+    Cells derive their trial streams from the cell coordinates, so
+    these rows are byte-identical to the serial ``fig5_run`` path.
+    """
+    from repro.experiments.allocation_run import Fig5Row
+    from repro.fleet.runner import run_sweep
+    from repro.fleet.sweeps import fig5_sweep
+
+    spec = fig5_sweep(
+        seed=args.seed, nodes=args.nodes, sizes=args.sizes,
+        algorithms=args.algorithms,
+        distributions=[d.name for d in ALL_DISTRIBUTIONS],
+        trials=args.trials, max_allocations=None,
+        map_path=getattr(args, "map", None),
+    )
+    result = run_sweep(spec, jobs=args.jobs)
+    if not result.complete:
+        for issue in result.issues:
+            print(f"repro fig5: {issue.format()}", file=sys.stderr)
+        raise SystemExit(1)
+    return [
+        Fig5Row(
+            algorithm=row["algorithm"],
+            distribution=row["distribution"],
+            space_size=row["space_size"],
+            mean_allocations=row["mean_allocations"],
+            trials=row["trials"],
         )
-        rows.append((args.algorithm, space, value))
+        for row in result.aggregate()["rows"]
+    ]
+
+
+def cmd_steady_state(args) -> int:
+    if args.jobs > 1:
+        rows = _steady_rows_fleet(args)
+    else:
+        topology = _load_topology(args)
+        scope_map = ScopeMap.from_topology(topology)
+        factory = ALGORITHM_FACTORIES[args.algorithm]
+        rows = []
+        for space in args.spaces:
+            value = allocations_at_half_clash(
+                scope_map, factory, space, DS4, trials=args.trials,
+                seed=args.seed, same_site_replacement=args.same_site,
+            )
+            rows.append((args.algorithm, space, value))
     print(format_table(["algorithm", "space", "allocations@0.5"], rows))
     return 0
+
+
+def _steady_rows_fleet(args) -> list:
+    """The steady-state points sharded across worker processes.
+
+    The cells keep the legacy ``seed ^ crc32(algorithm)`` derivation,
+    so the table matches the serial path byte for byte.
+    """
+    from repro.fleet.runner import run_sweep
+    from repro.fleet.sweeps import steady_sweep
+
+    spec = steady_sweep(
+        seed=args.seed, nodes=args.nodes,
+        sizes=args.spaces, algorithms=(args.algorithm,),
+        distribution=DS4.name, trials=args.trials,
+        same_site=args.same_site, derive_seed=False,
+        map_path=getattr(args, "map", None),
+    )
+    result = run_sweep(spec, jobs=args.jobs)
+    if not result.complete:
+        for issue in result.issues:
+            print(f"repro steady-state: {issue.format()}",
+                  file=sys.stderr)
+        raise SystemExit(1)
+    return [
+        (row["algorithm"], row["space_size"],
+         row["allocations_at_half"])
+        for row in result.aggregate()["rows"]
+    ]
 
 
 def cmd_request_response(args) -> int:
@@ -348,6 +435,39 @@ def cmd_obs(args) -> int:
     if args.list_rules:
         argv.append("--list-rules")
     return obs_main(argv)
+
+
+def cmd_fleet(args) -> int:
+    from repro.fleet.cli import main as fleet_main
+
+    argv: List[str] = list(args.sweeps)
+    for name in args.sweep:
+        argv += ["--sweep", name]
+    argv += ["--format", args.format, "--seed", str(args.fleet_seed),
+             "--jobs", str(args.jobs)]
+    if args.checkpoint:
+        argv += ["--checkpoint", args.checkpoint]
+    if args.resume:
+        argv.append("--resume")
+    if args.timeout is not None:
+        argv += ["--timeout", str(args.timeout)]
+    if args.retries is not None:
+        argv += ["--retries", str(args.retries)]
+    if args.backoff is not None:
+        argv += ["--backoff", str(args.backoff)]
+    if args.nodes is not None:
+        argv += ["--nodes", str(args.nodes)]
+    if args.trials is not None:
+        argv += ["--trials", str(args.trials)]
+    if args.bench:
+        argv.append("--bench")
+    if args.out:
+        argv += ["--out", args.out]
+    if args.list_sweeps:
+        argv.append("--list-sweeps")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return fleet_main(argv)
 
 
 def cmd_analyze(args) -> int:
@@ -447,6 +567,7 @@ COMMANDS = {
     "lint": cmd_lint,
     "modelcheck": cmd_modelcheck,
     "obs": cmd_obs,
+    "fleet": cmd_fleet,
 }
 
 

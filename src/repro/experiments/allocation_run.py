@@ -81,6 +81,42 @@ class Fig5Row:
     trials: int
 
 
+def fig5_cell(
+    scope_map: ScopeMap,
+    factory: AllocatorFactory,
+    algo_name: str,
+    distribution: TtlDistribution,
+    space_size: int,
+    trials: int,
+    seed: int = 0,
+    max_allocations: Optional[int] = None,
+) -> Fig5Row:
+    """One fig. 5 (algorithm, distribution, space size) cell.
+
+    The per-trial RNG is derived from the cell coordinates, not from
+    any sweep-iteration state, so a cell computes the same row whether
+    it runs inside the serial :func:`fig5_run` loop or as one fleet
+    shard on a worker process.
+    """
+    results = []
+    for trial in range(trials):
+        rng = np.random.default_rng(
+            (seed, zlib.crc32(algo_name.encode()), space_size,
+             trial, len(distribution.values))
+        )
+        results.append(allocations_before_first_clash(
+            scope_map, factory, space_size, distribution,
+            rng, max_allocations=max_allocations,
+        ))
+    return Fig5Row(
+        algorithm=algo_name,
+        distribution=distribution.name,
+        space_size=space_size,
+        mean_allocations=float(np.mean(results)),
+        trials=trials,
+    )
+
+
 def fig5_run(
     scope_map: ScopeMap,
     algorithms: Dict[str, AllocatorFactory],
@@ -99,21 +135,59 @@ def fig5_run(
     for algo_name, factory in algorithms.items():
         for distribution in distributions:
             for space_size in space_sizes:
-                results = []
-                for trial in range(trials):
-                    rng = np.random.default_rng(
-                        (seed, zlib.crc32(algo_name.encode()), space_size,
-                         trial, len(distribution.values))
-                    )
-                    results.append(allocations_before_first_clash(
-                        scope_map, factory, space_size, distribution,
-                        rng, max_allocations=max_allocations,
-                    ))
-                rows.append(Fig5Row(
-                    algorithm=algo_name,
-                    distribution=distribution.name,
-                    space_size=space_size,
-                    mean_allocations=float(np.mean(results)),
-                    trials=trials,
+                rows.append(fig5_cell(
+                    scope_map, factory, algo_name, distribution,
+                    space_size, trials, seed=seed,
+                    max_allocations=max_allocations,
                 ))
     return rows
+
+
+def _cell_scope_map(params: dict) -> ScopeMap:
+    """Rebuild a topology scope map from JSON-safe shard params."""
+    from repro.topology.mapfile import load_map
+    from repro.topology.mbone import MboneParams, generate_mbone
+
+    if params.get("map"):
+        topology = load_map(params["map"])
+    else:
+        topology = generate_mbone(MboneParams(
+            total_nodes=int(params.get("nodes", 400)),
+            seed=int(params.get("topology_seed", params["seed"])),
+        ))
+    return ScopeMap.from_topology(topology)
+
+
+def fig5_cell_job(params: dict, rng: np.random.Generator,
+                  attempt: int) -> dict:
+    """Fleet shard job: one fig. 5 cell, rebuilt from JSON params.
+
+    The trial streams are keyed on the cell coordinates (exactly the
+    derivation :func:`fig5_cell` uses), so a fleet-sharded fig. 5 is
+    byte-identical to the serial sweep at any worker count; the
+    fleet-provided shard ``rng`` is deliberately unused here.
+    """
+    del rng, attempt  # results must depend on params alone
+    from repro.experiments.algorithms import algorithm_factory
+    from repro.experiments.ttl_distributions import distribution_by_name
+
+    scope_map = _cell_scope_map(params)
+    max_allocations = params.get("max_allocations")
+    row = fig5_cell(
+        scope_map,
+        algorithm_factory(params["algorithm"]),
+        params["algorithm"],
+        distribution_by_name(params["distribution"]),
+        int(params["space_size"]),
+        int(params["trials"]),
+        seed=int(params["seed"]),
+        max_allocations=(None if max_allocations is None
+                         else int(max_allocations)),
+    )
+    return {
+        "algorithm": row.algorithm,
+        "distribution": row.distribution,
+        "space_size": row.space_size,
+        "mean_allocations": row.mean_allocations,
+        "trials": row.trials,
+    }

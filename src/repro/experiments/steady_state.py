@@ -171,6 +171,38 @@ class SteadyStateRow:
     allocations_at_half: int
 
 
+def steady_cell(
+    scope_map: ScopeMap,
+    factory: AllocatorFactory,
+    algo_name: str,
+    space_size: int,
+    distribution: TtlDistribution,
+    trials: int = 10,
+    seed: int = 0,
+    same_site_replacement: bool = False,
+    derive_seed: bool = True,
+) -> SteadyStateRow:
+    """One fig. 12/13 (algorithm, space size) point.
+
+    Seeded from the cell coordinates alone (the sweep's historical
+    ``seed ^ crc32(algorithm)`` derivation), so the cell is
+    shard-relocatable: it computes the same row serially or on a
+    fleet worker.  ``derive_seed=False`` keeps the raw seed — the
+    ``repro steady-state`` CLI's historical behaviour — so its
+    sharded path reproduces the serial table byte for byte.
+    """
+    effective_seed = seed
+    if derive_seed:
+        effective_seed = seed ^ zlib.crc32(algo_name.encode())
+    value = allocations_at_half_clash(
+        scope_map, factory, space_size, distribution,
+        trials=trials,
+        seed=effective_seed,
+        same_site_replacement=same_site_replacement,
+    )
+    return SteadyStateRow(algo_name, space_size, value)
+
+
 def steady_state_sweep(
     scope_map: ScopeMap,
     algorithms: Dict[str, AllocatorFactory],
@@ -184,11 +216,40 @@ def steady_state_sweep(
     rows: List[SteadyStateRow] = []
     for algo_name, factory in algorithms.items():
         for space_size in space_sizes:
-            value = allocations_at_half_clash(
-                scope_map, factory, space_size, distribution,
-                trials=trials,
-                seed=seed ^ zlib.crc32(algo_name.encode()),
+            rows.append(steady_cell(
+                scope_map, factory, algo_name, space_size, distribution,
+                trials=trials, seed=seed,
                 same_site_replacement=same_site_replacement,
-            )
-            rows.append(SteadyStateRow(algo_name, space_size, value))
+            ))
     return rows
+
+
+def steady_cell_job(params: dict, rng: np.random.Generator,
+                    attempt: int) -> dict:
+    """Fleet shard job: one fig. 12/13 point from JSON-safe params.
+
+    Deterministic in the params alone — the fleet shard ``rng`` is
+    unused so sharded and serial sweeps agree byte for byte.
+    """
+    del rng, attempt
+    from repro.experiments.algorithms import algorithm_factory
+    from repro.experiments.allocation_run import _cell_scope_map
+    from repro.experiments.ttl_distributions import distribution_by_name
+
+    scope_map = _cell_scope_map(params)
+    row = steady_cell(
+        scope_map,
+        algorithm_factory(params["algorithm"]),
+        params["algorithm"],
+        int(params["space_size"]),
+        distribution_by_name(params.get("distribution", "ds4")),
+        trials=int(params.get("trials", 10)),
+        seed=int(params["seed"]),
+        same_site_replacement=bool(params.get("same_site", False)),
+        derive_seed=bool(params.get("derive_seed", True)),
+    )
+    return {
+        "algorithm": row.algorithm,
+        "space_size": row.space_size,
+        "allocations_at_half": row.allocations_at_half,
+    }

@@ -58,3 +58,20 @@ DS4 = TtlDistribution(
 )
 
 ALL_DISTRIBUTIONS = (DS1, DS2, DS3, DS4)
+
+
+def distribution_by_name(name: str) -> TtlDistribution:
+    """The registered distribution called ``name`` (``ds1``..``ds4``).
+
+    Sharded sweeps carry distributions as JSON-safe names; this is the
+    lookup worker processes use to rebuild them.
+
+    Raises:
+        ValueError: for an unknown distribution name.
+    """
+    for distribution in ALL_DISTRIBUTIONS:
+        if distribution.name == name:
+            return distribution
+    known = ", ".join(d.name for d in ALL_DISTRIBUTIONS)
+    raise ValueError(f"unknown TTL distribution {name!r}; "
+                     f"choose from {known}")

@@ -1,0 +1,66 @@
+"""repro.fleet — parallel, fault-tolerant sweep execution.
+
+Turns experiment sweeps into shardable job specs executed across a
+``multiprocessing`` worker pool with per-job timeouts, bounded retry
+with exponential backoff, and checkpointed JSONL results, so an
+interrupted sweep resumes from its last completed shard.
+
+The determinism contract: every shard derives its RNG from
+``derived_stream(f"fleet/<sweep>/shard-<index>", seed)`` — a function
+of the spec alone — so serial (``--jobs 1``) and parallel execution
+aggregate **byte-identically**, and a resumed run finishes with the
+same bytes a straight-through run produces.
+
+Layers:
+
+* :mod:`repro.fleet.spec` — sweep specs, shards, seed derivation;
+* :mod:`repro.fleet.jobs` — the named job registry (experiment cells
+  plus benchmark/fault drills);
+* :mod:`repro.fleet.checkpoint` — torn-write-tolerant JSONL journal;
+* :mod:`repro.fleet.executor` — inline reference executor and the
+  process pool (timeouts, kills, retries);
+* :mod:`repro.fleet.runner` — drive a sweep end to end, with
+  ``repro.obs`` telemetry and FLT5xx diagnostics;
+* :mod:`repro.fleet.sweeps` — the named sweep catalog;
+* :mod:`repro.fleet.cli` — ``python -m repro.fleet``.
+"""
+
+from repro.fleet.checkpoint import Checkpoint, CheckpointMismatch
+from repro.fleet.executor import (
+    InlineExecutor,
+    ProcessExecutor,
+    ShardOutcome,
+)
+from repro.fleet.jobs import get_job, job_names, register
+from repro.fleet.report import FleetIssue
+from repro.fleet.runner import FleetResult, FleetTelemetry, run_sweep
+from repro.fleet.spec import (
+    Shard,
+    SweepSpec,
+    make_shards,
+    shard_rng_for,
+    shard_stream,
+)
+from repro.fleet.sweeps import SWEEP_NAMES, build_sweep
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointMismatch",
+    "FleetIssue",
+    "FleetResult",
+    "FleetTelemetry",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "SWEEP_NAMES",
+    "Shard",
+    "ShardOutcome",
+    "SweepSpec",
+    "build_sweep",
+    "get_job",
+    "job_names",
+    "make_shards",
+    "register",
+    "run_sweep",
+    "shard_rng_for",
+    "shard_stream",
+]

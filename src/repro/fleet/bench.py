@@ -1,0 +1,106 @@
+"""The BENCH_fleet baseline: speedup, overhead and determinism.
+
+Three load shapes measure the executor from different angles:
+
+* **blocking** (the ``sleep`` job) — pure wall-clock waiting, so the
+  ideal speedup at ``jobs`` workers is ``jobs`` regardless of core
+  count; this is the number the >= 2x acceptance gate reads, since a
+  single-core CI box cannot show CPU-bound speedup.
+* **cpu_bound** (the ``burn`` job) — real compute; its speedup is
+  recorded for context but bounded by the host's cores.
+* **overhead** (the ``noop`` job) — per-shard cost of the inline path
+  versus a worker process round trip (fork + pipe + join).
+
+A final determinism probe asserts the headline contract: the demo
+sweep aggregates byte-identically at 1 worker and ``jobs`` workers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+from repro.fleet import wallclock
+from repro.fleet.runner import run_sweep
+from repro.fleet.spec import SweepSpec, make_shards
+from repro.fleet.sweeps import demo_sweep
+
+
+def _timed(spec: SweepSpec, jobs: int) -> Dict[str, Any]:
+    started = wallclock.perf_counter()
+    result = run_sweep(spec, jobs=jobs)
+    elapsed = wallclock.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "seconds": round(elapsed, 6),
+        "complete": result.complete,
+        "issues": len(result.issues),
+    }
+
+
+def _load_sweep(sweep_id: str, job: str, seed: int, shards: int,
+                params: Dict[str, Any]) -> SweepSpec:
+    return SweepSpec(
+        sweep_id=sweep_id, job=job, seed=seed,
+        shards=make_shards([dict(params) for __ in range(shards)]),
+        retries=0,
+    )
+
+
+def collect_baseline(seed: int = 1998, jobs: int = 4,
+                     shards: int = 8,
+                     sleep_seconds: float = 0.1,
+                     burn_iterations: int = 150_000,
+                     overhead_shards: int = 12) -> Dict[str, Any]:
+    """Collect the full BENCH_fleet payload (JSON-safe)."""
+    payload: Dict[str, Any] = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "jobs": jobs,
+            "shards": shards,
+        },
+    }
+
+    blocking = _load_sweep("bench-blocking", "sleep", seed, shards,
+                           {"seconds": sleep_seconds})
+    serial = _timed(blocking, 1)
+    parallel = _timed(blocking, jobs)
+    payload["blocking"] = {
+        "sleep_seconds": sleep_seconds,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(serial["seconds"]
+                         / max(parallel["seconds"], 1e-9), 3),
+    }
+
+    cpu = _load_sweep("bench-cpu", "burn", seed, shards,
+                      {"iterations": burn_iterations})
+    serial = _timed(cpu, 1)
+    parallel = _timed(cpu, jobs)
+    payload["cpu_bound"] = {
+        "iterations": burn_iterations,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(serial["seconds"]
+                         / max(parallel["seconds"], 1e-9), 3),
+    }
+
+    noop = _load_sweep("bench-noop", "noop", seed, overhead_shards,
+                       {})
+    inline = _timed(noop, 1)
+    pooled = _timed(noop, 2)
+    payload["overhead"] = {
+        "shards": overhead_shards,
+        "inline_per_shard": round(
+            inline["seconds"] / overhead_shards, 6),
+        "process_per_shard": round(
+            pooled["seconds"] / overhead_shards, 6),
+    }
+
+    demo = demo_sweep(seed=seed)
+    payload["determinism"] = {
+        "sweep": demo.sweep_id,
+        "identical": (run_sweep(demo, jobs=1).aggregate_json()
+                      == run_sweep(demo, jobs=jobs).aggregate_json()),
+    }
+    return payload

@@ -1,0 +1,198 @@
+"""Crash-tolerant JSONL checkpoints for sweep execution.
+
+Layout: line 1 is a **meta** row binding the file to one spec digest;
+every later line is one shard-attempt **row** (``status`` ``ok`` or
+``failed``).  Rows are appended and flushed as outcomes arrive, in
+completion order — which under parallel execution is *not* shard
+order; the merge step restores that.
+
+Torn writes: a crash (SIGKILL, power loss, full disk) can leave a
+partial final line, and nothing downstream may ever trust it.
+:meth:`Checkpoint.load` scans complete, parseable lines only, counts
+everything after the last good line as torn, and truncates the file
+back to that point so appends resume cleanly.  A torn tail therefore
+costs at most the re-execution of the shards whose rows it held —
+never a corrupted aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TextIO
+
+#: Checkpoint schema version (bumped on incompatible row changes).
+FORMAT_VERSION = 1
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint on disk belongs to a different sweep spec."""
+
+
+@dataclass
+class LoadedCheckpoint:
+    """What a (possibly repaired) checkpoint file contained.
+
+    Attributes:
+        completed: shard index -> payload of its first ``ok`` row.
+        failures: every ``failed`` row, in file order.
+        mismatched: shard indices with *conflicting* duplicate ``ok``
+            payloads — evidence of a nondeterministic job (FLT502).
+        torn_bytes: bytes discarded from the tail (0 = clean file).
+        rows: complete rows read (including the meta row).
+    """
+
+    completed: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    mismatched: List[int] = field(default_factory=list)
+    torn_bytes: int = 0
+    rows: int = 0
+
+
+def _scan(data: bytes) -> "tuple[List[dict], int]":
+    """Parse complete well-formed lines; return (rows, good_end).
+
+    ``good_end`` is the byte offset just past the last line that both
+    ended in a newline and parsed as JSON; everything after it is a
+    torn tail (a partial append, or garbage from a corrupted write).
+    """
+    rows: List[dict] = []
+    good_end = 0
+    start = 0
+    while True:
+        newline = data.find(b"\n", start)
+        if newline < 0:
+            break  # no terminator: the remainder (if any) is torn
+        line = data[start:newline].strip()
+        if line:
+            try:
+                row = json.loads(line)
+            except ValueError:
+                break  # undecodable: discard it and everything after
+            if not isinstance(row, dict):
+                break
+            rows.append(row)
+        good_end = newline + 1
+        start = newline + 1
+    return rows, good_end
+
+
+class Checkpoint:
+    """An append-only JSONL journal of shard outcomes for one sweep."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle: Optional[TextIO] = None
+
+    # ------------------------------------------------------------------
+    # Reading / repair
+    # ------------------------------------------------------------------
+    def load(self,
+             expected_digest: Optional[str] = None) -> LoadedCheckpoint:
+        """Read the journal, truncating any torn tail in place.
+
+        Args:
+            expected_digest: when given, the meta row must carry this
+                spec digest.
+
+        Raises:
+            CheckpointMismatch: wrong digest, or no meta row first.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return LoadedCheckpoint()
+        rows, good_end = _scan(data)
+        torn = len(data) - good_end
+        if torn:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
+        loaded = LoadedCheckpoint(torn_bytes=torn, rows=len(rows))
+        if not rows:
+            return loaded
+        meta = rows[0]
+        if meta.get("kind") != "meta":
+            raise CheckpointMismatch(
+                f"{self.path}: first row is not a meta row; not a "
+                f"fleet checkpoint"
+            )
+        if expected_digest is not None and \
+                meta.get("digest") != expected_digest:
+            raise CheckpointMismatch(
+                f"{self.path}: checkpoint digest "
+                f"{meta.get('digest')!r} does not match the sweep "
+                f"spec ({expected_digest!r}); refusing to merge rows "
+                f"from a different sweep"
+            )
+        mismatched = []
+        for row in rows[1:]:
+            if row.get("kind") != "row" or "shard" not in row:
+                continue
+            index = int(row["shard"])
+            if row.get("status") == "ok":
+                payload = row.get("payload")
+                if index in loaded.completed:
+                    if loaded.completed[index] != payload and \
+                            index not in mismatched:
+                        mismatched.append(index)
+                else:
+                    loaded.completed[index] = payload
+            else:
+                loaded.failures.append(row)
+        loaded.mismatched = sorted(mismatched)
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Start fresh: drop any previous journal for this path."""
+        self.close()
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+    def ensure_meta(self, sweep_id: str, job: str, seed: int,
+                    digest: str) -> None:
+        """Write the meta row if the file is new or empty."""
+        try:
+            empty = os.path.getsize(self.path) == 0
+        except OSError:
+            empty = True
+        if empty:
+            self.append({
+                "kind": "meta",
+                "version": FORMAT_VERSION,
+                "sweep": sweep_id,
+                "job": job,
+                "seed": seed,
+                "digest": digest,
+            })
+
+    def append(self, row: Dict[str, Any]) -> None:
+        """Append one row and flush it to the OS immediately.
+
+        One row = one line; the flush bounds what a crash can tear to
+        the final line, which :meth:`load` repairs.
+        """
+        if self._handle is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

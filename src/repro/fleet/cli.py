@@ -1,0 +1,221 @@
+"""``python -m repro.fleet`` — execute sharded sweeps in parallel.
+
+Formats:
+
+* ``text`` (default) — per-sweep execution summary plus FLT5xx issues;
+* ``json`` — full execution reports (spec, aggregate rows, metrics
+  snapshot, findings);
+* ``github`` — FLT5xx issues as workflow annotations, so CI surfaces
+  shard failures on the run page.
+
+Exit status 0 when every sweep completed with no FLT5xx issue, 1 when
+any issue was recorded, 2 on usage errors — the contract shared with
+``repro.lint``, ``repro.sanitize``, ``repro.modelcheck`` and
+``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.fleet.runner import FleetResult, run_sweep
+from repro.fleet.sweeps import (
+    SWEEP_DESCRIPTIONS,
+    SWEEP_NAMES,
+    _BUILDERS,
+    build_sweep,
+)
+from repro.lint.registry import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    render_registry,
+)
+from repro.lint.report import render_github as lint_render_github
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.fleet",
+        description="parallel sweep execution: shard experiment "
+                    "grids across worker processes with checkpoint/"
+                    "resume and deterministic seeding",
+    )
+    parser.add_argument(
+        "sweeps", nargs="*", default=[],
+        help=f"sweeps to run: {', '.join(SWEEP_NAMES)}, or 'all' "
+             f"(default: demo)",
+    )
+    parser.add_argument(
+        "--sweep", action="append", default=[], metavar="NAME",
+        help="sweep to run (repeatable; merged with positionals)",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = inline, the "
+                             "serial reference path)")
+    parser.add_argument("--seed", type=int, default=1998,
+                        help="master sweep seed")
+    parser.add_argument("--format",
+                        choices=("text", "json", "github"),
+                        default="text")
+    parser.add_argument("--checkpoint", metavar="DIR",
+                        help="journal directory; each sweep writes "
+                             "<DIR>/<sweep>.jsonl")
+    parser.add_argument("--resume", action="store_true",
+                        help="keep completed shards from existing "
+                             "journals instead of resetting them")
+    parser.add_argument("--timeout", type=float, metavar="SECONDS",
+                        help="per-attempt wall-clock budget "
+                             "(process executor only)")
+    parser.add_argument("--retries", type=int, metavar="N",
+                        help="re-attempts after a failed first try")
+    parser.add_argument("--backoff", type=float, metavar="SECONDS",
+                        help="base retry delay (doubles per attempt)")
+    parser.add_argument("--nodes", type=int, metavar="N",
+                        help="topology size for experiment sweeps")
+    parser.add_argument("--trials", type=int, metavar="N",
+                        help="trials per cell for experiment sweeps")
+    parser.add_argument("--start-method",
+                        choices=("fork", "spawn", "forkserver"),
+                        help="multiprocessing start method override")
+    parser.add_argument("--bench", action="store_true",
+                        help="collect the BENCH_fleet baseline "
+                             "(speedup + per-shard overhead) instead "
+                             "of sweep reports")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the report to this file")
+    parser.add_argument("--list-sweeps", action="store_true",
+                        help="print the sweep catalog and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the shared rule registry (static "
+                             "and runtime codes) and exit")
+    return parser
+
+
+def list_sweeps() -> str:
+    lines = []
+    for name in SWEEP_NAMES:
+        lines.append(f"{name:<8s} {SWEEP_DESCRIPTIONS[name]}")
+    return "\n".join(lines)
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+
+
+def _overrides_for(name: str,
+                   args: argparse.Namespace) -> Dict[str, Any]:
+    """CLI overrides the named sweep's builder actually accepts."""
+    accepted = set(
+        inspect.signature(_BUILDERS[name]).parameters
+    )
+    overrides: Dict[str, Any] = {}
+    if args.nodes is not None and "nodes" in accepted:
+        overrides["nodes"] = args.nodes
+    if args.trials is not None and "trials" in accepted:
+        overrides["trials"] = args.trials
+    # SweepSpec-level knobs flow through every builder's **common.
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    if args.retries is not None:
+        overrides["retries"] = args.retries
+    if args.backoff is not None:
+        overrides["backoff"] = args.backoff
+    return overrides
+
+
+def _render_text(results: List[FleetResult]) -> str:
+    lines: List[str] = []
+    for result in results:
+        lines.append(result.render_text())
+    total = sum(len(result.issues) for result in results)
+    if total == 0:
+        lines.append(f"fleet: {len(results)} sweep(s) clean")
+    else:
+        lines.append(f"fleet: {total} issue(s) across "
+                     f"{len(results)} sweep(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_registry())
+        return EXIT_CLEAN
+    if args.list_sweeps:
+        print(list_sweeps())
+        return EXIT_CLEAN
+    if args.bench:
+        from repro.fleet.bench import collect_baseline
+
+        jobs = args.jobs if args.jobs > 1 else 4
+        payload = collect_baseline(seed=args.seed, jobs=jobs)
+        _emit(json.dumps(payload, indent=2, sort_keys=True), args.out)
+        return EXIT_CLEAN
+
+    requested = list(args.sweeps) + list(args.sweep)
+    if not requested:
+        requested = ["demo"]
+    names: List[str] = []
+    for name in requested:
+        if name == "all":
+            names.extend(SWEEP_NAMES)
+        else:
+            names.append(name)
+
+    registry = MetricsRegistry()
+    results: List[FleetResult] = []
+    for name in names:
+        try:
+            overrides = (_overrides_for(name, args)
+                         if name in _BUILDERS else {})
+            spec = build_sweep(name, seed=args.seed, **overrides)
+            path = None
+            if args.checkpoint:
+                os.makedirs(args.checkpoint, exist_ok=True)
+                path = os.path.join(args.checkpoint,
+                                    f"{spec.sweep_id}.jsonl")
+            results.append(run_sweep(
+                spec, jobs=args.jobs, checkpoint=path,
+                resume=args.resume, registry=registry,
+                start_method=args.start_method,
+            ))
+        except ValueError as exc:
+            print(f"repro.fleet: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    if args.format == "json":
+        findings = [finding.to_dict()
+                    for result in results
+                    for finding in result.findings()]
+        document = {
+            "count": len(findings),
+            "findings": findings,
+            "reports": {result.spec.sweep_id: result.report()
+                        for result in results},
+        }
+        _emit(json.dumps(document, indent=2, sort_keys=True), args.out)
+    elif args.format == "github":
+        findings = [finding
+                    for result in results
+                    for finding in result.findings()]
+        output = lint_render_github(findings)
+        if output:
+            _emit(output, args.out)
+    else:
+        _emit(_render_text(results), args.out)
+    clean = all(not result.issues for result in results)
+    return EXIT_CLEAN if clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,320 @@
+"""Shard executors: inline reference path and the process pool.
+
+Both executors speak the same protocol: they take a
+:class:`~repro.fleet.spec.SweepSpec` plus the set of shard indices
+still pending, run each pending shard until it succeeds or exhausts
+its retry budget, and hand every attempt's
+:class:`ShardOutcome` to a sink callback *as it happens* — the sink
+owns checkpointing and telemetry, the executor owns scheduling.
+
+:class:`InlineExecutor` runs shards in-process, in index order.  It
+is the semantic reference: ``--jobs 1`` means this path, and the
+determinism tests assert the process pool aggregates byte-identically
+to it.
+
+:class:`ProcessExecutor` launches **one process per shard attempt**
+(the nipype/cluster-queue shape, not a reused worker pool).  That
+buys exact fault semantics: a timeout is a SIGKILL of one attempt's
+process, a crashed worker poisons nothing, and there is no state
+carried between attempts that could break seed determinism.  Results
+travel over a one-way pipe; a worker that dies without reporting
+(hard kill, segfault) is detected by EOF + exit code.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.fleet import wallclock
+from repro.fleet.jobs import get_job
+from repro.fleet.spec import SweepSpec, shard_stream, to_jsonable
+
+#: Structured failure reasons recorded in checkpoint rows.
+REASON_EXCEPTION = "exception"
+REASON_TIMEOUT = "timeout"
+REASON_KILLED = "killed"
+
+#: Environment override for the multiprocessing start method
+#: (``fork``/``spawn``/``forkserver``); mainly for tests and
+#: platforms where ``fork`` is unavailable.
+START_METHOD_ENV = "REPRO_FLEET_START_METHOD"
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One attempt's result, success or structured failure."""
+
+    index: int
+    attempt: int
+    status: str  # "ok" | "failed"
+    payload: Optional[Dict[str, Any]] = None
+    reason: str = ""  # REASON_* for failed attempts
+    error: str = ""
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_row(self) -> Dict[str, Any]:
+        """The checkpoint row for this attempt."""
+        row: Dict[str, Any] = {
+            "kind": "row",
+            "shard": self.index,
+            "attempt": self.attempt,
+            "status": self.status,
+            "duration": round(self.duration, 6),
+        }
+        if self.ok:
+            row["payload"] = self.payload
+        else:
+            row["reason"] = self.reason
+            row["error"] = self.error
+        return row
+
+
+OutcomeSink = Callable[[ShardOutcome], None]
+
+
+def run_attempt_inline(spec: SweepSpec, index: int,
+                       attempt: int) -> ShardOutcome:
+    """Run one shard attempt in this process.
+
+    The RNG is rebuilt from the seed-derivation contract on every
+    attempt, so retries and re-runs see the exact same stream.
+    """
+    shard = spec.shards[index]
+    started = wallclock.perf_counter()
+    try:
+        job = get_job(spec.job)
+        rng = shard_stream(spec.sweep_id, index, spec.seed)
+        payload = to_jsonable(job(dict(shard.params), rng, attempt))
+    except BaseException as exc:  # noqa: B036 - jobs may raise anything
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return ShardOutcome(
+            index=index, attempt=attempt, status="failed",
+            reason=REASON_EXCEPTION,
+            error=f"{type(exc).__name__}: {exc}",
+            duration=wallclock.perf_counter() - started,
+        )
+    return ShardOutcome(
+        index=index, attempt=attempt, status="ok", payload=payload,
+        duration=wallclock.perf_counter() - started,
+    )
+
+
+class InlineExecutor:
+    """Reference executor: shards in index order, in this process.
+
+    No timeout enforcement — a single process cannot interrupt its
+    own blocked job; that is the process executor's domain.
+    """
+
+    def __init__(self, sink: OutcomeSink) -> None:
+        self._sink = sink
+
+    def run(self, spec: SweepSpec, pending: List[int]) -> None:
+        for index in sorted(pending):
+            for attempt in range(spec.retries + 1):
+                outcome = run_attempt_inline(spec, index, attempt)
+                self._sink(outcome)
+                if outcome.ok:
+                    break
+
+
+def _worker_main(conn: Any, job_name: str, sweep_id: str, seed: int,
+                 index: int, params: Dict[str, Any],
+                 attempt: int) -> None:
+    """Child-process entry: run the job, report over the pipe."""
+    try:
+        job = get_job(job_name)
+        rng = shard_stream(sweep_id, index, seed)
+        payload = to_jsonable(job(dict(params), rng, attempt))
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: B036 - report, then die
+        try:
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            conn.send(("failed", detail))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """Bookkeeping for one in-flight worker process."""
+
+    index: int
+    attempt: int
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+    result: Optional[Tuple[str, Any]] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+class ProcessExecutor:
+    """Bounded pool of one-shot worker processes with timeouts.
+
+    Scheduling loop: keep up to ``jobs`` attempts in flight; wait on
+    their pipes (bounded by the nearest deadline); harvest whatever
+    finished; kill whatever blew its deadline; re-queue failures with
+    exponential backoff until the retry budget runs out.
+    """
+
+    def __init__(self, jobs: int, sink: OutcomeSink,
+                 telemetry: Optional[Any] = None,
+                 start_method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self._sink = sink
+        self._telemetry = telemetry
+        method = start_method or os.environ.get(START_METHOD_ENV)
+        if method is None:
+            methods = mp.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(method)
+        #: cumulative seconds workers spent busy (for utilization).
+        self.busy_seconds = 0.0
+
+    # -- launching -----------------------------------------------------
+    def _launch(self, spec: SweepSpec, index: int,
+                attempt: int) -> _Attempt:
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(send_conn, spec.job, spec.sweep_id, spec.seed,
+                  index, dict(spec.shards[index].params), attempt),
+            daemon=True,
+        )
+        process.start()
+        send_conn.close()  # child keeps its end; EOF means child died
+        now = wallclock.monotonic()
+        deadline = None
+        if spec.timeout is not None:
+            deadline = now + spec.timeout
+        return _Attempt(index=index, attempt=attempt, process=process,
+                        conn=recv_conn, started=now, deadline=deadline)
+
+    # -- harvesting ----------------------------------------------------
+    def _finish(self, spec: SweepSpec, flight: _Attempt,
+                status: str, *, payload: Any = None, reason: str = "",
+                error: str = "") -> ShardOutcome:
+        duration = wallclock.monotonic() - flight.started
+        self.busy_seconds += duration
+        flight.conn.close()
+        flight.process.join()
+        return ShardOutcome(
+            index=flight.index, attempt=flight.attempt, status=status,
+            payload=payload, reason=reason, error=error,
+            duration=duration,
+        )
+
+    def _harvest_ready(self, spec: SweepSpec,
+                       flight: _Attempt) -> ShardOutcome:
+        """The pipe is readable: a result, or EOF from a dead child."""
+        try:
+            kind, value = flight.conn.recv()
+        except (EOFError, OSError):
+            flight.process.join()
+            exitcode = flight.process.exitcode
+            return self._finish(
+                spec, flight, "failed", reason=REASON_KILLED,
+                error=f"worker died without reporting "
+                      f"(exitcode {exitcode})",
+            )
+        if kind == "ok":
+            return self._finish(spec, flight, "ok", payload=value)
+        return self._finish(spec, flight, "failed",
+                            reason=REASON_EXCEPTION, error=str(value))
+
+    def _harvest_expired(self, spec: SweepSpec,
+                         flight: _Attempt) -> ShardOutcome:
+        """Deadline passed: take a late result, else kill the worker."""
+        if flight.conn.poll():
+            return self._harvest_ready(spec, flight)
+        flight.process.kill()
+        flight.process.join()
+        return self._finish(
+            spec, flight, "failed", reason=REASON_TIMEOUT,
+            error=f"attempt exceeded timeout of {spec.timeout}s",
+        )
+
+    # -- the loop ------------------------------------------------------
+    def run(self, spec: SweepSpec, pending: List[int]) -> None:
+        #: (not-before time, shard index, attempt) ready to launch.
+        queue: List[Tuple[float, int, int]] = [
+            (0.0, index, 0) for index in sorted(pending)
+        ]
+        in_flight: List[_Attempt] = []
+        while queue or in_flight:
+            now = wallclock.monotonic()
+            # Launch while a slot is free and something is dispatchable.
+            queue.sort()
+            while len(in_flight) < self.jobs and queue and \
+                    queue[0][0] <= now:
+                __, index, attempt = queue.pop(0)
+                in_flight.append(self._launch(spec, index, attempt))
+            self._gauge("queue", len(queue))
+            self._gauge("busy", len(in_flight))
+            if not in_flight:
+                # All slots idle; sleep out the nearest backoff.
+                self._sleep_until(queue[0][0])
+                continue
+            wait_timeout = self._wait_timeout(queue, in_flight, now)
+            ready = mp_connection.wait(
+                [flight.conn for flight in in_flight],
+                timeout=wait_timeout,
+            )
+            ready_set = set(ready)
+            now = wallclock.monotonic()
+            still_flying: List[_Attempt] = []
+            for flight in in_flight:
+                outcome = None
+                if flight.conn in ready_set:
+                    outcome = self._harvest_ready(spec, flight)
+                elif flight.deadline is not None and \
+                        now >= flight.deadline:
+                    outcome = self._harvest_expired(spec, flight)
+                if outcome is None:
+                    still_flying.append(flight)
+                    continue
+                self._sink(outcome)
+                if not outcome.ok and outcome.attempt < spec.retries:
+                    delay = spec.backoff * (2 ** outcome.attempt)
+                    queue.append((wallclock.monotonic() + delay,
+                                  outcome.index, outcome.attempt + 1))
+            in_flight = still_flying
+
+    def _wait_timeout(self, queue: List[Tuple[float, int, int]],
+                      in_flight: List[_Attempt],
+                      now: float) -> Optional[float]:
+        """How long ``wait`` may block before a deadline/backoff acts."""
+        horizons = [flight.deadline for flight in in_flight
+                    if flight.deadline is not None]
+        if queue and len(in_flight) < self.jobs:
+            horizons.append(queue[0][0])
+        if not horizons:
+            return None
+        return max(0.0, min(horizons) - now)
+
+    def _sleep_until(self, when: float) -> None:
+        delay = when - wallclock.monotonic()
+        if delay > 0:
+            time.sleep(min(delay, 0.05))
+
+    def _gauge(self, which: str, value: int) -> None:
+        if self._telemetry is not None:
+            self._telemetry.observe_gauge(which, value)

@@ -1,0 +1,177 @@
+"""The job registry: named, importable shard functions.
+
+A job is ``fn(params, rng, attempt) -> payload``:
+
+* ``params`` — the shard's JSON-safe parameter mapping;
+* ``rng`` — the shard's derived stream (see
+  :func:`repro.fleet.spec.shard_stream`); deterministic in
+  (sweep id, shard index, seed) alone;
+* ``attempt`` — 0 for the first try, incremented per retry, so fault
+  drills can fail deterministically on early attempts;
+* payload — a JSON-safe mapping; it must depend only on ``params``,
+  ``rng`` and ``attempt``, never on wall time or host identity.
+
+Jobs are addressed by *name* because shard specs travel as JSON and
+worker processes must rebuild the callable after ``fork``/``spawn``;
+everything registered here is importable, so any start method works.
+
+Besides the experiment cells (fig. 5, figs. 12/13 steady state, the
+SAP-in-the-loop stack) the registry ships small drill jobs — sleep,
+burn, flaky, hang, kill-self — used by the fault-injection tests and
+the BENCH_fleet baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.experiments.allocation_run import fig5_cell_job
+from repro.experiments.sap_in_the_loop import sap_loop_cell_job
+from repro.experiments.steady_state import steady_cell_job
+
+JobFn = Callable[[Dict[str, Any], np.random.Generator, int],
+                 Dict[str, Any]]
+
+#: name -> callable; write-once per name (idempotent re-registration
+#: of the same function is allowed for re-imports).
+_REGISTRY: Dict[str, JobFn] = {}
+
+
+def register(name: str) -> Callable[[JobFn], JobFn]:
+    """Decorator: bind ``fn`` to ``name`` in the registry."""
+    def wrap(fn: JobFn) -> JobFn:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(
+                f"job {name!r} already registered to "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        _REGISTRY[name] = fn
+        return fn
+    return wrap
+
+
+def get_job(name: str) -> JobFn:
+    """The job registered under ``name``.
+
+    Raises:
+        ValueError: for an unknown job name.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown job {name!r}; registered: "
+            f"{', '.join(job_names())}"
+        ) from None
+
+
+def job_names() -> Tuple[str, ...]:
+    """All registered job names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------
+# Experiment cells (defined next to the experiments they shard).
+# ---------------------------------------------------------------------
+register("fig5-cell")(fig5_cell_job)
+register("steady-cell")(steady_cell_job)
+register("saploop-cell")(sap_loop_cell_job)
+
+
+# ---------------------------------------------------------------------
+# Drill jobs: benchmark load shapes and deterministic fault injectors.
+# ---------------------------------------------------------------------
+@register("demo-pi")
+def demo_pi(params: Dict[str, Any], rng: np.random.Generator,
+            attempt: int) -> Dict[str, Any]:
+    """Monte-Carlo pi from the shard stream — the seed-contract demo.
+
+    Optional ``sleep`` seconds simulate a blocking stage first (used
+    by the interrupt/resume drills to guarantee mid-sweep kills land
+    mid-sweep).
+    """
+    del attempt
+    sleep_seconds = float(params.get("sleep", 0.0))
+    if sleep_seconds > 0.0:
+        time.sleep(sleep_seconds)
+    samples = int(params.get("samples", 50_000))
+    points = rng.random((samples, 2))
+    inside = int(np.count_nonzero((points ** 2).sum(axis=1) <= 1.0))
+    return {"samples": samples, "inside": inside,
+            "pi_estimate": round(4.0 * inside / samples, 6)}
+
+
+@register("noop")
+def noop(params: Dict[str, Any], rng: np.random.Generator,
+         attempt: int) -> Dict[str, Any]:
+    """Empty job: measures pure per-shard dispatch overhead."""
+    del params, rng, attempt
+    return {}
+
+
+@register("sleep")
+def sleep_job(params: Dict[str, Any], rng: np.random.Generator,
+              attempt: int) -> Dict[str, Any]:
+    """Block for ``seconds`` — the I/O-bound benchmark load shape."""
+    del rng, attempt
+    seconds = float(params.get("seconds", 0.05))
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+@register("burn")
+def burn(params: Dict[str, Any], rng: np.random.Generator,
+         attempt: int) -> Dict[str, Any]:
+    """CPU-bound integer mill — the compute benchmark load shape."""
+    del rng, attempt
+    iterations = int(params.get("iterations", 200_000))
+    acc = int(params.get("init", 0))
+    for step in range(iterations):
+        acc = (acc * 1_000_003 + step) % 2_147_483_647
+    return {"iterations": iterations, "checksum": acc}
+
+
+@register("flaky")
+def flaky(params: Dict[str, Any], rng: np.random.Generator,
+          attempt: int) -> Dict[str, Any]:
+    """Raise on attempts ``< fail_attempts``, then succeed."""
+    del rng
+    fail_attempts = int(params.get("fail_attempts", 1))
+    if attempt < fail_attempts:
+        raise RuntimeError(
+            f"injected failure on attempt {attempt} "
+            f"(fails first {fail_attempts})"
+        )
+    return {"attempt": attempt}
+
+
+@register("hang")
+def hang(params: Dict[str, Any], rng: np.random.Generator,
+         attempt: int) -> Dict[str, Any]:
+    """Sleep past any sane deadline on attempts < ``hang_attempts``."""
+    del rng
+    hang_attempts = int(params.get("hang_attempts", 1_000_000))
+    if attempt < hang_attempts:
+        time.sleep(float(params.get("seconds", 3600.0)))
+    return {"attempt": attempt}
+
+
+@register("kill-self")
+def kill_self(params: Dict[str, Any], rng: np.random.Generator,
+              attempt: int) -> Dict[str, Any]:
+    """SIGKILL the worker on attempts < ``fail_attempts``.
+
+    The hardest failure mode: no exception, no message, just a dead
+    process the parent must detect from the exit code.
+    """
+    del rng
+    fail_attempts = int(params.get("fail_attempts", 1_000_000))
+    if attempt < fail_attempts:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"attempt": attempt}

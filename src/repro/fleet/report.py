@@ -1,0 +1,78 @@
+"""Fleet execution diagnostics (FLT5xx) and their rendering.
+
+Mirrors the ``repro.obs`` issue model: a :class:`FleetIssue` is a
+runtime diagnostic about *sweep execution* — a shard that exhausted
+its retries, evidence of a nondeterministic job, a repaired torn
+checkpoint — not a finding about the protocol under test.  Issues
+convert to the linter's :class:`~repro.lint.engine.Finding` model so
+``--format json`` and ``--format github`` reuse the shared renderers
+(and CI annotates shard failures exactly like lint findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.lint.engine import Finding
+from repro.lint.registry import FLEET_RUNTIME_CODES
+
+
+@dataclass(frozen=True)
+class FleetIssue:
+    """One FLT5xx diagnostic raised while executing a sweep."""
+
+    code: str
+    message: str
+    shard: int = -1  # -1: about the sweep/checkpoint as a whole
+
+    def __post_init__(self) -> None:
+        if self.code not in FLEET_RUNTIME_CODES:
+            raise ValueError(
+                f"unknown fleet code {self.code!r}; known: "
+                f"{sorted(FLEET_RUNTIME_CODES)}"
+            )
+
+    @property
+    def rule(self) -> str:
+        return FLEET_RUNTIME_CODES[self.code]
+
+    def format(self) -> str:
+        where = f"shard {self.shard}: " if self.shard >= 0 else ""
+        return f"{self.code} [{self.rule}] {where}{self.message}"
+
+    def to_finding(self, path: str) -> Finding:
+        """Adapt to the linter's model for the shared renderers.
+
+        ``path`` is a pseudo-path naming the sweep (``<fleet:demo>``);
+        the line number carries the shard index where one applies.
+        """
+        return Finding(
+            path=path,
+            line=max(self.shard, 0) + 1,
+            col=0,
+            code=self.code,
+            rule=self.rule,
+            message=self.message if self.shard < 0
+            else f"shard {self.shard}: {self.message}",
+        )
+
+
+def issues_to_findings(issues: Iterable[FleetIssue],
+                       sweep_id: str) -> List[Finding]:
+    """All issues as findings under the sweep's pseudo-path."""
+    path = f"<fleet:{sweep_id}>"
+    return [issue.to_finding(path) for issue in issues]
+
+
+def render_issues_text(issues: Iterable[FleetIssue],
+                       sweep_id: str = "") -> str:
+    """Human-readable issue list (the ``--format text`` tail)."""
+    rows = list(issues)
+    if not rows:
+        return "fleet: no execution issues"
+    prefix = f"fleet[{sweep_id}]: " if sweep_id else "fleet: "
+    lines = [f"{prefix}{len(rows)} execution issue(s)"]
+    for issue in rows:
+        lines.append(f"  {issue.format()}")
+    return "\n".join(lines)

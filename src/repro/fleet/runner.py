@@ -1,0 +1,303 @@
+"""Drive one sweep end to end: checkpoint, execute, merge, report.
+
+:func:`run_sweep` is the subsystem's front door.  It loads (or
+resets) the sweep's checkpoint, figures out which shards still need
+to run, executes them through the inline path (``jobs == 1``) or the
+process pool (``jobs >= 2``), journals every attempt, and folds the
+completed payloads into a deterministic aggregate via
+:func:`repro.experiments.reporting.merge_sharded_rows`.
+
+Execution telemetry flows through a ``repro.obs``
+:class:`~repro.obs.metrics.MetricsRegistry` (shards completed /
+retried / failed, attempt durations, queue depth and worker-busy
+high-water marks, utilization and effective-speedup gauges), and
+execution anomalies surface as FLT5xx :class:`FleetIssue` rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.reporting import merge_sharded_rows
+from repro.fleet import wallclock
+from repro.fleet.checkpoint import Checkpoint
+from repro.fleet.executor import (
+    InlineExecutor,
+    ProcessExecutor,
+    ShardOutcome,
+)
+from repro.fleet.report import (
+    FleetIssue,
+    issues_to_findings,
+    render_issues_text,
+)
+from repro.fleet.spec import SweepSpec, describe
+from repro.lint.engine import Finding
+from repro.obs.metrics import (
+    MetricsRegistry,
+    SIM_SECONDS_BUCKETS,
+)
+
+
+class FleetTelemetry:
+    """The sweep-execution metric family on an obs registry."""
+
+    def __init__(self, registry: MetricsRegistry, sweep_id: str,
+                 jobs: int) -> None:
+        labels = {"sweep": sweep_id}
+        self.completed = registry.counter(
+            "fleet_shards_completed_total", labels,
+            help_text="Shards that produced an ok row this run.")
+        self.retried = registry.counter(
+            "fleet_shards_retried_total", labels,
+            help_text="Failed attempts that were re-queued.")
+        self.failed = registry.counter(
+            "fleet_shards_failed_total", labels,
+            help_text="Shards that exhausted their retry budget.")
+        self.resumed = registry.counter(
+            "fleet_shards_resumed_total", labels,
+            help_text="Shards satisfied from the checkpoint, not run.")
+        self.truncated = registry.counter(
+            "fleet_checkpoint_truncated_total", labels,
+            help_text="Torn checkpoint tails repaired on load.")
+        self.attempts: Dict[str, Any] = {}
+        for status in ("ok", "failed"):
+            attempt_labels = dict(labels)
+            attempt_labels["status"] = status
+            self.attempts[status] = registry.counter(
+                "fleet_attempts_total", attempt_labels,
+                help_text="Shard attempts by outcome status.")
+        self.queue_depth = registry.gauge(
+            "fleet_queue_depth", labels,
+            help_text="High-water mark of shards awaiting a worker.")
+        self.workers_busy = registry.gauge(
+            "fleet_workers_busy", labels,
+            help_text="High-water mark of concurrently busy workers.")
+        self.utilization = registry.gauge(
+            "fleet_worker_utilization", labels,
+            help_text="busy-seconds / (elapsed * jobs), 0..1.")
+        self.speedup = registry.gauge(
+            "fleet_speedup", labels,
+            help_text="busy-seconds / elapsed: effective parallelism.")
+        self.jobs_gauge = registry.gauge(
+            "fleet_jobs", labels,
+            help_text="Worker slots this run was given.")
+        self.jobs_gauge.set(jobs)
+        self.shard_seconds = registry.histogram(
+            "fleet_shard_seconds", SIM_SECONDS_BUCKETS, labels,
+            help_text="Wall-clock duration of shard attempts.",
+            unit="seconds")
+
+    def observe_gauge(self, which: str, value: float) -> None:
+        """Executor hook: scheduling gauges as high-water marks."""
+        if which == "queue":
+            self.queue_depth.set_max(value)
+        elif which == "busy":
+            self.workers_busy.set_max(value)
+
+
+@dataclass
+class FleetResult:
+    """Everything one :func:`run_sweep` call produced."""
+
+    spec: SweepSpec
+    jobs: int
+    payloads: Dict[int, Dict[str, Any]]
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    issues: List[FleetIssue] = field(default_factory=list)
+    elapsed: float = 0.0
+    resumed: int = 0
+    torn_bytes: int = 0
+    registry: Optional[MetricsRegistry] = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.payloads) == len(self.spec.shards)
+
+    def aggregate(self) -> Dict[str, Any]:
+        """The sweep's deterministic merged result.
+
+        Rows are the per-shard payloads restored to shard order via
+        the stable merge; identical for any worker count, resume
+        history or completion order.
+        """
+        rows = merge_sharded_rows(sorted(self.payloads.items()))
+        return {
+            "sweep": self.spec.sweep_id,
+            "job": self.spec.job,
+            "seed": self.spec.seed,
+            "shards": len(self.spec.shards),
+            "rows": rows,
+        }
+
+    def aggregate_json(self) -> str:
+        """Canonical serialization; the byte-identity artifact."""
+        return json.dumps(self.aggregate(), indent=2, sort_keys=True)
+
+    def findings(self) -> List[Finding]:
+        return issues_to_findings(self.issues, self.spec.sweep_id)
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe execution report (``--format json``)."""
+        payload: Dict[str, Any] = {
+            "spec": describe(self.spec),
+            "jobs": self.jobs,
+            "complete": self.complete,
+            "completed_shards": len(self.payloads),
+            "resumed_shards": self.resumed,
+            "failed_rows": len(self.failures),
+            "torn_bytes": self.torn_bytes,
+            "elapsed_seconds": round(self.elapsed, 6),
+            "issues": [
+                {"code": issue.code, "rule": issue.rule,
+                 "shard": issue.shard, "message": issue.message}
+                for issue in self.issues
+            ],
+            "aggregate": self.aggregate(),
+        }
+        if self.registry is not None:
+            payload["metrics"] = self.registry.as_dict()
+        return payload
+
+    def summary(self) -> str:
+        status = "complete" if self.complete else "INCOMPLETE"
+        return (
+            f"sweep {self.spec.sweep_id}: {status}, "
+            f"{len(self.payloads)}/{len(self.spec.shards)} shards "
+            f"({self.resumed} resumed), jobs={self.jobs}, "
+            f"{len(self.issues)} issue(s), "
+            f"{self.elapsed:.3f}s"
+        )
+
+    def render_text(self) -> str:
+        lines = [self.summary()]
+        lines.append(render_issues_text(self.issues,
+                                        self.spec.sweep_id))
+        return "\n".join(lines)
+
+
+def run_sweep(spec: SweepSpec, jobs: int = 1,
+              checkpoint: Optional[str] = None,
+              resume: bool = False,
+              registry: Optional[MetricsRegistry] = None,
+              start_method: Optional[str] = None) -> FleetResult:
+    """Execute ``spec``, honouring a checkpoint when given.
+
+    Args:
+        spec: the sweep to run.
+        jobs: worker slots; 1 selects the inline reference executor.
+        checkpoint: JSONL journal path; required for ``resume``.
+        resume: keep completed shards from the journal instead of
+            resetting it.
+        registry: obs metrics registry to instrument (one is created
+            when omitted so telemetry is always recorded).
+        start_method: multiprocessing start method override.
+
+    Raises:
+        ValueError: bad ``jobs``, or ``resume`` without ``checkpoint``.
+        CheckpointMismatch: the journal belongs to a different spec.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    if resume and checkpoint is None:
+        raise ValueError("resume requires a checkpoint path")
+    if registry is None:
+        registry = MetricsRegistry()
+    telemetry = FleetTelemetry(registry, spec.sweep_id, jobs)
+
+    issues: List[FleetIssue] = []
+    payloads: Dict[int, Dict[str, Any]] = {}
+    failures: List[Dict[str, Any]] = []
+    torn_bytes = 0
+    resumed = 0
+
+    journal = Checkpoint(checkpoint) if checkpoint else None
+    try:
+        if journal is not None:
+            if not resume:
+                journal.reset()
+            loaded = journal.load(expected_digest=spec.digest())
+            torn_bytes = loaded.torn_bytes
+            if loaded.torn_bytes:
+                telemetry.truncated.inc()
+                issues.append(FleetIssue(
+                    code="FLT503",
+                    message=(
+                        f"truncated {loaded.torn_bytes} torn trailing "
+                        f"byte(s); affected shards will re-run"
+                    ),
+                ))
+            for index in loaded.mismatched:
+                issues.append(FleetIssue(
+                    code="FLT502", shard=index,
+                    message=(
+                        "checkpoint holds conflicting ok payloads "
+                        "for this shard; job output is not a pure "
+                        "function of its shard stream"
+                    ),
+                ))
+            known = {index for index in loaded.completed
+                     if 0 <= index < len(spec.shards)}
+            payloads.update({index: loaded.completed[index]
+                             for index in sorted(known)})
+            resumed = len(payloads)
+            telemetry.resumed.inc(resumed)
+            journal.ensure_meta(spec.sweep_id, spec.job, spec.seed,
+                                spec.digest())
+
+        pending = [shard.index for shard in spec.shards
+                   if shard.index not in payloads]
+
+        def sink(outcome: ShardOutcome) -> None:
+            row = outcome.to_row()
+            if journal is not None:
+                journal.append(row)
+            telemetry.attempts[outcome.status].inc()
+            telemetry.shard_seconds.observe(outcome.duration)
+            if outcome.ok:
+                if outcome.index not in payloads:
+                    payloads[outcome.index] = outcome.payload or {}
+                    telemetry.completed.inc()
+                return
+            failures.append(row)
+            if outcome.attempt < spec.retries:
+                telemetry.retried.inc()
+            else:
+                telemetry.failed.inc()
+                issues.append(FleetIssue(
+                    code="FLT501", shard=outcome.index,
+                    message=(
+                        f"failed on all {spec.retries + 1} "
+                        f"attempt(s); last: [{outcome.reason}] "
+                        f"{outcome.error}"
+                    ),
+                ))
+
+        started = wallclock.perf_counter()
+        busy_seconds = 0.0
+        if pending:
+            if jobs == 1:
+                InlineExecutor(sink).run(spec, pending)
+                busy_seconds = wallclock.perf_counter() - started
+            else:
+                pool = ProcessExecutor(jobs, sink,
+                                       telemetry=telemetry,
+                                       start_method=start_method)
+                pool.run(spec, pending)
+                busy_seconds = pool.busy_seconds
+        elapsed = wallclock.perf_counter() - started
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if elapsed > 0:
+        telemetry.utilization.set(
+            min(1.0, busy_seconds / (elapsed * jobs)))
+        telemetry.speedup.set(busy_seconds / elapsed)
+    return FleetResult(
+        spec=spec, jobs=jobs, payloads=payloads, failures=failures,
+        issues=issues, elapsed=elapsed, resumed=resumed,
+        torn_bytes=torn_bytes, registry=registry,
+    )

@@ -1,0 +1,176 @@
+"""Sweep specifications and the deterministic sharding contract.
+
+A sweep is a named grid of independent cells; each cell becomes one
+:class:`Shard` — an index plus a JSON-safe parameter mapping.  Two
+properties make shards relocatable across processes and runs:
+
+* **Seed derivation.**  A shard's RNG is
+  ``rng.derived_stream(f"fleet/<sweep-id>/shard-<index>", seed)`` —
+  keyed on the (sweep id, shard index) pair only, never on execution
+  order, worker identity or wall time.  Serial and parallel runs of
+  the same spec therefore aggregate byte-identically.
+* **Spec digest.**  The digest hashes the sweep id, job name, seed
+  and every shard's params.  Checkpoint files record it, so a resume
+  against a *different* spec is refused instead of silently merging
+  incompatible rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.rng import derived_stream
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays and tuples to plain JSON types.
+
+    Shard params and payloads must survive a JSON round trip without
+    changing, since the checkpoint is JSONL and aggregation compares
+    serialized bytes.
+
+    Raises:
+        TypeError: for values with no JSON-safe representation.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): to_jsonable(item)
+                for key, item in value.items()}
+    raise TypeError(
+        f"value of type {type(value).__name__} is not JSON-safe: "
+        f"{value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One schedulable cell of a sweep."""
+
+    index: int
+    params: Mapping[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"shard index must be >= 0: {self.index}")
+        # Freeze a JSON-safe copy so later mutation of the caller's
+        # dict cannot desynchronise digest and execution.
+        object.__setattr__(self, "params",
+                           to_jsonable(dict(self.params)))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A shardable sweep: id, job binding, seed and cells.
+
+    Attributes:
+        sweep_id: stable name; keys checkpoint files and shard RNGs.
+        job: registered job name (see :mod:`repro.fleet.jobs`).
+        seed: master seed every shard stream derives from.
+        shards: the cells, indexed ``0..len-1`` in aggregation order.
+        timeout: per-attempt wall-clock budget in seconds (enforced
+            by the process executor; ``None`` disables).
+        retries: re-attempts after a failed first try (total attempts
+            = ``retries + 1``).
+        backoff: base re-dispatch delay in seconds; attempt ``k``
+            waits ``backoff * 2**k`` before re-queueing.
+    """
+
+    sweep_id: str
+    job: str
+    seed: int
+    shards: Tuple[Shard, ...]
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.sweep_id:
+            raise ValueError("sweep_id must be non-empty")
+        if "/" in self.sweep_id:
+            raise ValueError(
+                f"sweep_id may not contain '/': {self.sweep_id!r}"
+            )
+        if not self.shards:
+            raise ValueError(f"sweep {self.sweep_id!r} has no shards")
+        indices = [shard.index for shard in self.shards]
+        if indices != list(range(len(self.shards))):
+            raise ValueError(
+                f"shard indices must be 0..{len(self.shards) - 1} in "
+                f"order, got {indices}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0: {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0: {self.backoff}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0: {self.timeout}")
+
+    def digest(self) -> str:
+        """A stable identity for (id, job, seed, shard params)."""
+        document = {
+            "sweep_id": self.sweep_id,
+            "job": self.job,
+            "seed": self.seed,
+            "shards": [dict(shard.params) for shard in self.shards],
+        }
+        blob = json.dumps(document, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def shard_stream(sweep_id: str, shard_index: int,
+                 seed: int) -> np.random.Generator:
+    """The shard's RNG: ``derived_stream`` keyed on (sweep, index).
+
+    This is the whole seed-derivation contract — no worker identity,
+    no completion order, no clock — so any executor reproduces the
+    same stream for the same shard.
+    """
+    return derived_stream(f"fleet/{sweep_id}/shard-{shard_index}",
+                          seed=seed)
+
+
+def make_shards(param_grid: Iterable[Mapping[str, Any]]
+                ) -> Tuple[Shard, ...]:
+    """Number a parameter grid into shards, in grid order."""
+    return tuple(Shard(index, dict(params))
+                 for index, params in enumerate(param_grid))
+
+
+def shard_rng_for(spec: SweepSpec, index: int) -> np.random.Generator:
+    """Convenience: the RNG for ``spec.shards[index]``."""
+    if not 0 <= index < len(spec.shards):
+        raise IndexError(
+            f"shard {index} out of range for sweep "
+            f"{spec.sweep_id!r} ({len(spec.shards)} shards)"
+        )
+    return shard_stream(spec.sweep_id, index, spec.seed)
+
+
+def describe(spec: SweepSpec) -> Dict[str, Any]:
+    """A JSON-safe summary of a spec (reports, ``--format json``)."""
+    return {
+        "sweep": spec.sweep_id,
+        "job": spec.job,
+        "seed": spec.seed,
+        "shards": len(spec.shards),
+        "timeout": spec.timeout,
+        "retries": spec.retries,
+        "backoff": spec.backoff,
+        "digest": spec.digest(),
+    }

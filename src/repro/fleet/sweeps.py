@@ -1,0 +1,189 @@
+"""Named sweep builders: the fleet CLI's scenario catalog.
+
+Each builder returns a :class:`~repro.fleet.spec.SweepSpec` whose
+shard grid is enumerated in a fixed, documented order — the same
+order the legacy serial loops used — so the merged rows line up with
+the paper figures row for row.
+
+``demo`` is the quick-start sweep (Monte-Carlo pi over the shard
+streams), ``fig5`` / ``steady`` / ``saploop`` shard the paper
+experiments, and ``chaos`` is a deliberately failing sweep used to
+exercise the retry/annotation machinery end to end.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.fleet.spec import SweepSpec, make_shards
+
+#: Builder registry, name -> builder(seed, **overrides).
+SWEEP_NAMES: Tuple[str, ...] = (
+    "demo", "fig5", "steady", "saploop", "chaos",
+)
+
+SWEEP_DESCRIPTIONS: Dict[str, str] = {
+    "demo": "Monte-Carlo pi over the shard streams (quick start)",
+    "fig5": "fig. 5 allocations-before-clash grid, one cell/shard",
+    "steady": "figs. 12/13 steady-state capacity, one point/shard",
+    "saploop": "SAP-in-the-loop (strategy, loss) grid, one cell/shard",
+    "chaos": "deliberately failing shards (retry/annotation drill)",
+}
+
+
+def demo_sweep(seed: int = 1998, shards: int = 6,
+               samples: int = 20_000,
+               sleep: float = 0.0, **common: Any) -> SweepSpec:
+    """Monte-Carlo pi: every payload is a pure function of its
+    shard stream, so this is the seed-contract demo."""
+    params: List[Dict[str, Any]] = []
+    for __ in range(shards):
+        cell: Dict[str, Any] = {"samples": samples}
+        if sleep > 0.0:
+            cell["sleep"] = sleep
+        params.append(cell)
+    return SweepSpec(sweep_id="demo", job="demo-pi", seed=seed,
+                     shards=make_shards(params), **common)
+
+
+def fig5_sweep(seed: int = 1998, nodes: int = 60,
+               sizes: Sequence[int] = (100, 200),
+               algorithms: Sequence[str] = ("random", "informed",
+                                            "ipr7"),
+               distributions: Sequence[str] = ("ds1", "ds4"),
+               trials: int = 2,
+               max_allocations: Optional[int] = 2_000,
+               map_path: Optional[str] = None,
+               **common: Any) -> SweepSpec:
+    """The fig. 5 grid, one (algorithm, distribution, size) cell per
+    shard, enumerated in the serial loop's algo->dist->size order.
+
+    ``max_allocations=None`` removes the per-trial cap and makes the
+    cells match the legacy serial ``fig5_run`` path exactly (that is
+    what ``repro fig5 --jobs N`` passes).
+    """
+    params = []
+    for algorithm in algorithms:
+        for distribution in distributions:
+            for size in sizes:
+                cell: Dict[str, Any] = {
+                    "algorithm": algorithm,
+                    "distribution": distribution,
+                    "space_size": int(size),
+                    "trials": int(trials),
+                    "seed": int(seed),
+                    "nodes": int(nodes),
+                    "topology_seed": int(seed),
+                }
+                if max_allocations is not None:
+                    cell["max_allocations"] = int(max_allocations)
+                if map_path:
+                    cell["map"] = map_path
+                params.append(cell)
+    return SweepSpec(sweep_id="fig5", job="fig5-cell", seed=seed,
+                     shards=make_shards(params), **common)
+
+
+def steady_sweep(seed: int = 1998, nodes: int = 60,
+                 sizes: Sequence[int] = (100, 200, 400),
+                 algorithms: Sequence[str] = ("random", "informed"),
+                 distribution: str = "ds4", trials: int = 4,
+                 same_site: bool = False,
+                 derive_seed: bool = True,
+                 map_path: Optional[str] = None,
+                 **common: Any) -> SweepSpec:
+    """The figs. 12/13 grid, one (algorithm, size) point per shard,
+    in the serial loop's algo->size order."""
+    params = []
+    for algorithm in algorithms:
+        for size in sizes:
+            cell: Dict[str, Any] = {
+                "algorithm": algorithm,
+                "space_size": int(size),
+                "distribution": distribution,
+                "trials": int(trials),
+                "seed": int(seed),
+                "nodes": int(nodes),
+                "topology_seed": int(seed),
+                "same_site": bool(same_site),
+                "derive_seed": bool(derive_seed),
+            }
+            if map_path:
+                cell["map"] = map_path
+            params.append(cell)
+    return SweepSpec(sweep_id="steady", job="steady-cell", seed=seed,
+                     shards=make_shards(params), **common)
+
+
+def saploop_sweep(seed: int = 1998, nodes: int = 40,
+                  strategies: Sequence[str] = ("fixed", "backoff"),
+                  losses: Sequence[float] = (0.0, 0.1),
+                  sessions: int = 2, space_size: int = 48,
+                  **common: Any) -> SweepSpec:
+    """The SAP-in-the-loop (strategy, loss) grid; each cell's config
+    seed is drawn from its fleet shard stream."""
+    params = []
+    for strategy in strategies:
+        for loss in losses:
+            params.append({
+                "strategy": strategy,
+                "loss": float(loss),
+                "nodes": int(nodes),
+                "topology_seed": int(seed),
+                "sessions": int(sessions),
+                "space_size": int(space_size),
+            })
+    return SweepSpec(sweep_id="saploop", job="saploop-cell",
+                     seed=seed, shards=make_shards(params), **common)
+
+
+def chaos_sweep(seed: int = 1998, shards: int = 4,
+                **common: Any) -> SweepSpec:
+    """A drill sweep where some shards fail beyond the retry budget.
+
+    Even shards succeed after one injected failure (exercising a
+    retry that recovers); odd shards fail on every attempt
+    (exercising FLT501 and the ``--format github`` annotations).
+    """
+    common.setdefault("retries", 1)
+    common.setdefault("backoff", 0.0)
+    params = []
+    for index in range(shards):
+        fail_attempts = 1 if index % 2 == 0 else 1_000
+        params.append({"fail_attempts": fail_attempts})
+    return SweepSpec(sweep_id="chaos", job="flaky", seed=seed,
+                     shards=make_shards(params), **common)
+
+
+_BUILDERS: Dict[str, Callable[..., SweepSpec]] = {
+    "demo": demo_sweep,
+    "fig5": fig5_sweep,
+    "steady": steady_sweep,
+    "saploop": saploop_sweep,
+    "chaos": chaos_sweep,
+}
+
+
+def build_sweep(name: str, seed: int = 1998,
+                **overrides: Any) -> SweepSpec:
+    """Build a named sweep.
+
+    Raises:
+        ValueError: for an unknown sweep name.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep {name!r}; known: "
+            f"{', '.join(SWEEP_NAMES)}"
+        ) from None
+    return builder(seed=seed, **overrides)

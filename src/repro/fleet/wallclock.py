@@ -1,0 +1,27 @@
+"""The fleet's only wall-clock access point.
+
+``repro.fleet`` sits inside the simlint ``SIM_PACKAGES`` scope, so
+the wall-clock rule (SIM103) applies to it: sweep *results* must
+never depend on the host clock.  The execution engine, however,
+legitimately needs real time for scheduling concerns — per-job
+deadlines, retry backoff and the speedup/utilization metrics.
+
+Routing every read through this module keeps the suppression surface
+to two audited call sites and makes the contract greppable: job code
+has no clock to read, so wall time can feed *when* a shard runs and
+*how long* it took, but never *what* it returns.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic() -> float:
+    """Deadline/backoff clock; never feeds shard payloads."""
+    return time.monotonic()  # simlint: disable=wall-clock
+
+
+def perf_counter() -> float:
+    """Duration clock for speedup metrics; never feeds payloads."""
+    return time.perf_counter()  # simlint: disable=wall-clock

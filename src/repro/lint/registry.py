@@ -1,14 +1,15 @@
-"""One registry for every check the repo's four analysis tools run.
+"""One registry for every check the repo's five analysis tools run.
 
 The static linter (SIM1xx), the runtime sanitizer (SAN2xx), the
 model-check spec cross-checker (MC301–MC304), the model-check runtime
-invariants (MC31x) and the observability self-checks (OBS4xx) each
-grew their own code space; this module is the single place that
-enumerates all of them, so
+invariants (MC31x), the observability self-checks (OBS4xx) and the
+fleet execution diagnostics (FLT5xx) each grew their own code space;
+this module is the single place that enumerates all of them, so
 
 * ``--list-rules`` prints the same registry from ``repro.lint``,
-  ``repro.sanitize``, ``repro.modelcheck`` and ``repro.obs`` alike;
-* the four CLIs share one exit-code contract
+  ``repro.sanitize``, ``repro.modelcheck``, ``repro.obs`` and
+  ``repro.fleet`` alike;
+* the five CLIs share one exit-code contract
   (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_USAGE`);
 * the static rule set the engine runs is assembled here (SIM rules
   plus the MC spec rules), so "lint the tree" always means the full
@@ -27,7 +28,8 @@ from typing import List, Optional, Tuple
 from repro.lint.rules import ALL_RULES, Rule
 
 #: Shared CLI exit-code contract for repro.lint / repro.sanitize /
-#: repro.modelcheck / repro.obs: clean, findings reported, usage error.
+#: repro.modelcheck / repro.obs / repro.fleet: clean, findings
+#: reported, usage error.
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
@@ -44,6 +46,14 @@ MODELCHECK_RUNTIME_CODES = {
 OBS_RUNTIME_CODES = {
     "OBS401": "metric-name-collision",
     "OBS402": "unclosed-span",
+}
+
+#: Fleet execution diagnostics (emitted by repro.fleet about sweep
+#: execution and checkpoints, not about the protocol under test).
+FLEET_RUNTIME_CODES = {
+    "FLT501": "shard-retries-exhausted",
+    "FLT502": "shard-result-mismatch",
+    "FLT503": "checkpoint-torn-write",
 }
 
 _RUNTIME_DESCRIPTIONS = {
@@ -69,6 +79,14 @@ _RUNTIME_DESCRIPTIONS = {
               "or label-key set (would corrupt exposition)",
     "OBS402": "a span still open when its scenario ended (a protocol "
               "phase that began and never completed)",
+    # FLT5xx — repro.fleet sweep-execution diagnostics.
+    "FLT501": "a shard that failed on every attempt (retry budget "
+              "exhausted; its cell is missing from the aggregate)",
+    "FLT502": "duplicate ok rows for one shard with different "
+              "payloads (the job is not a pure function of its "
+              "shard stream)",
+    "FLT503": "a torn trailing write found in a checkpoint on "
+              "resume (truncated in place; affected shards re-run)",
 }
 
 
@@ -79,7 +97,7 @@ class RegistryEntry:
     code: str
     name: str
     kind: str  # "static" | "runtime"
-    tool: str  # "lint" | "sanitize" | "modelcheck" | "obs"
+    tool: str  # "lint" | "sanitize" | "modelcheck" | "obs" | "fleet"
     description: str
     scope: Optional[frozenset] = None
 
@@ -141,11 +159,16 @@ def all_entries() -> Tuple[RegistryEntry, ...]:
             code=code, name=name, kind="runtime", tool="obs",
             description=_RUNTIME_DESCRIPTIONS.get(code, ""),
         ))
+    for code, name in FLEET_RUNTIME_CODES.items():
+        entries.append(RegistryEntry(
+            code=code, name=name, kind="runtime", tool="fleet",
+            description=_RUNTIME_DESCRIPTIONS.get(code, ""),
+        ))
     return tuple(sorted(entries, key=lambda entry: entry.code))
 
 
 def render_registry() -> str:
-    """``--list-rules`` text, shared by all four CLIs."""
+    """``--list-rules`` text, shared by all five CLIs."""
     lines = []
     for entry in all_entries():
         if entry.kind == "static":

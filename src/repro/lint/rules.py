@@ -21,10 +21,14 @@ RawFinding = Tuple[int, int, str]
 #: ``sanitize`` is included: the runtime sanitizers observe simulations
 #: in place, so nondeterminism there would corrupt sanitized traces.
 #: ``modelcheck`` likewise: state fingerprints and replay must be
-#: bit-identical across processes or restore() diverges.
+#: bit-identical across processes or restore() diverges.  ``fleet``
+#: likewise: sharded sweeps must aggregate byte-identically whatever
+#: the worker count, so its shard/job layer is held to the same
+#: determinism contract (its two audited wall-clock reads live in
+#: ``repro.fleet.wallclock`` and feed scheduling only).
 SIM_PACKAGES = frozenset(
     {"sim", "core", "sap", "experiments", "routing", "topology",
-     "sanitize", "modelcheck"}
+     "sanitize", "modelcheck", "fleet"}
 )
 
 #: Legacy module-global numpy RNG entry points (shared hidden state).

@@ -1,0 +1,145 @@
+"""The JSONL checkpoint: append, load, torn-tail repair, digests."""
+
+import json
+
+import pytest
+
+from repro.fleet.checkpoint import (
+    Checkpoint,
+    CheckpointMismatch,
+    LoadedCheckpoint,
+)
+
+
+def _meta(digest="d1"):
+    return {"kind": "meta", "version": 1, "sweep": "s", "job": "noop",
+            "seed": 1, "digest": digest}
+
+
+def _row(shard, status="ok", **extra):
+    row = {"kind": "row", "shard": shard, "attempt": 0,
+           "status": status}
+    if status == "ok":
+        row["payload"] = extra.pop("payload", {"v": shard})
+    else:
+        row.setdefault("reason", "exception")
+        row.setdefault("error", "boom")
+    row.update(extra)
+    return row
+
+
+class TestRoundTrip:
+    def test_missing_file_loads_empty(self, tmp_path):
+        loaded = Checkpoint(str(tmp_path / "none.jsonl")).load()
+        assert isinstance(loaded, LoadedCheckpoint)
+        assert loaded.rows == 0 and not loaded.completed
+
+    def test_append_then_load(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        with Checkpoint(path) as journal:
+            journal.append(_meta())
+            journal.append(_row(1))
+            journal.append(_row(0))
+            journal.append(_row(2, status="failed"))
+        loaded = Checkpoint(path).load(expected_digest="d1")
+        assert sorted(loaded.completed) == [0, 1]
+        assert loaded.completed[1] == {"v": 1}
+        assert len(loaded.failures) == 1
+        assert loaded.torn_bytes == 0
+
+    def test_first_ok_row_wins(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        with Checkpoint(path) as journal:
+            journal.append(_meta())
+            journal.append(_row(0, payload={"v": "first"}))
+            journal.append(_row(0, payload={"v": "first"}))
+        loaded = Checkpoint(path).load()
+        assert loaded.completed[0] == {"v": "first"}
+        assert loaded.mismatched == []
+
+    def test_conflicting_duplicates_reported(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        with Checkpoint(path) as journal:
+            journal.append(_meta())
+            journal.append(_row(0, payload={"v": "first"}))
+            journal.append(_row(0, payload={"v": "second"}))
+        loaded = Checkpoint(path).load()
+        assert loaded.mismatched == [0]
+        assert loaded.completed[0] == {"v": "first"}
+
+    def test_ensure_meta_only_writes_once(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        journal = Checkpoint(path)
+        journal.ensure_meta("s", "noop", 1, "d1")
+        journal.ensure_meta("s", "noop", 1, "d1")
+        journal.close()
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1
+
+    def test_reset_removes_file(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        journal = Checkpoint(str(path))
+        journal.append(_meta())
+        journal.reset()
+        assert not path.exists()
+        journal.reset()  # idempotent on a missing file
+
+
+class TestDigestBinding:
+    def test_digest_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        with Checkpoint(path) as journal:
+            journal.append(_meta(digest="other"))
+        with pytest.raises(CheckpointMismatch, match="digest"):
+            Checkpoint(path).load(expected_digest="d1")
+
+    def test_non_meta_first_row_refused(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        with Checkpoint(path) as journal:
+            journal.append(_row(0))
+        with pytest.raises(CheckpointMismatch, match="meta"):
+            Checkpoint(path).load()
+
+
+class TestTornTail:
+    def _journal(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        with Checkpoint(path) as journal:
+            journal.append(_meta())
+            journal.append(_row(0))
+        return path
+
+    def test_partial_last_line_truncated(self, tmp_path):
+        path = self._journal(tmp_path)
+        good_size = len(open(path, "rb").read())
+        with open(path, "a") as handle:
+            handle.write('{"kind": "row", "shard": 1, "sta')
+        loaded = Checkpoint(path).load()
+        assert loaded.torn_bytes > 0
+        assert sorted(loaded.completed) == [0]
+        # The file was repaired in place: a clean reload sees no tear.
+        assert len(open(path, "rb").read()) == good_size
+        assert Checkpoint(path).load().torn_bytes == 0
+
+    def test_undecodable_terminated_line_truncated(self, tmp_path):
+        path = self._journal(tmp_path)
+        with open(path, "a") as handle:
+            handle.write("{не json}\n")
+            handle.write(json.dumps(_row(1)) + "\n")
+        loaded = Checkpoint(path).load()
+        # Everything after the first bad line is discarded, even
+        # well-formed rows: order is the integrity boundary.
+        assert sorted(loaded.completed) == [0]
+        assert loaded.torn_bytes > 0
+
+    def test_appending_after_repair_is_clean(self, tmp_path):
+        path = self._journal(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"torn": ')
+        journal = Checkpoint(path)
+        journal.load()
+        journal.append(_row(1))
+        journal.close()
+        loaded = Checkpoint(path).load()
+        assert sorted(loaded.completed) == [0, 1]
+        assert loaded.torn_bytes == 0

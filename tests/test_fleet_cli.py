@@ -1,0 +1,125 @@
+"""The repro.fleet CLI and its repro-toplevel integration."""
+
+import json
+import os
+
+from repro.cli import main as repro_main
+from repro.fleet.cli import main as fleet_main
+
+
+class TestListings:
+    def test_list_rules_includes_fleet_codes(self, capsys):
+        assert fleet_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "FLT501" in out
+        assert "shard-retries-exhausted" in out
+        assert "runtime/fleet" in out
+
+    def test_list_sweeps(self, capsys):
+        assert fleet_main(["--list-sweeps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("demo", "fig5", "steady", "saploop", "chaos"):
+            assert name in out
+
+
+class TestExitContract:
+    def test_unknown_sweep_is_usage_error(self, capsys):
+        assert fleet_main(["no-such-sweep"]) == 2
+        assert "unknown sweep" in capsys.readouterr().err
+
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert fleet_main(["demo", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep demo: complete" in out
+        assert "no execution issues" in out
+
+    def test_chaos_sweep_exits_one(self, capsys):
+        assert fleet_main(["chaos", "--jobs", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "FLT501" in out
+
+
+class TestFormats:
+    def test_json_report_shape(self, tmp_path, capsys):
+        out_path = str(tmp_path / "fleet-report.json")
+        assert fleet_main(["demo", "--jobs", "2", "--format", "json",
+                           "--out", out_path]) == 0
+        capsys.readouterr()
+        document = json.load(open(out_path))
+        assert document["count"] == 0
+        report = document["reports"]["demo"]
+        assert report["complete"] is True
+        assert report["jobs"] == 2
+        assert len(report["aggregate"]["rows"]) == 6
+        assert "fleet_shards_completed_total" in report["metrics"]
+
+    def test_github_annotations_on_shard_failures(self, capsys):
+        assert fleet_main(["chaos", "--jobs", "2",
+                           "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error title=FLT501::" in out
+        assert "<fleet:chaos>" in out
+
+    def test_github_silent_when_clean(self, capsys):
+        assert fleet_main(["demo", "--format", "github"]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestCheckpointFlow:
+    def test_checkpoint_dir_and_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "journals")
+        assert fleet_main(["demo", "--jobs", "2",
+                           "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(ckpt, "demo.jsonl"))
+        assert fleet_main(["demo", "--jobs", "2",
+                           "--checkpoint", ckpt, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "(6 resumed)" in out
+
+    def test_resumed_bytes_match_straight_run(self, tmp_path,
+                                              capsys):
+        ckpt = str(tmp_path / "journals")
+        straight = str(tmp_path / "straight.json")
+        resumed = str(tmp_path / "resumed.json")
+        assert fleet_main(["demo", "--format", "json",
+                           "--out", straight]) == 0
+        assert fleet_main(["demo", "--jobs", "2",
+                           "--checkpoint", ckpt]) == 0
+        assert fleet_main(["demo", "--jobs", "2",
+                           "--checkpoint", ckpt, "--resume",
+                           "--format", "json",
+                           "--out", resumed]) == 0
+        capsys.readouterr()
+        one = json.load(open(straight))["reports"]["demo"]
+        two = json.load(open(resumed))["reports"]["demo"]
+        assert one["aggregate"] == two["aggregate"]
+
+
+class TestToplevelIntegration:
+    def test_repro_fleet_delegates(self, capsys):
+        assert repro_main(["fleet", "demo", "--jobs", "2"]) == 0
+        assert "sweep demo: complete" in capsys.readouterr().out
+
+    def test_repro_fleet_list_rules(self, capsys):
+        assert repro_main(["fleet", "--list-rules"]) == 0
+        assert "FLT502" in capsys.readouterr().out
+
+    def test_fig5_jobs_table_matches_serial(self, capsys):
+        argv = ["fig5", "--nodes", "40", "--sizes", "60",
+                "--trials", "1", "--algorithms", "random"]
+        assert repro_main(argv) == 0
+        serial = capsys.readouterr().out
+        assert repro_main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "random" in serial
+
+    def test_steady_jobs_table_matches_serial(self, capsys):
+        argv = ["steady-state", "--nodes", "40", "--algorithm",
+                "random", "--spaces", "60", "--trials", "1"]
+        assert repro_main(argv) == 0
+        serial = capsys.readouterr().out
+        assert repro_main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

@@ -1,0 +1,126 @@
+"""Fault injection: raising, hanging and SIGKILL'd workers.
+
+Each failure mode must produce a structured failure row, be retried
+up to the cap, and leave the checkpoint loadable — never corrupted.
+"""
+
+import pytest
+
+from repro.fleet.checkpoint import Checkpoint
+from repro.fleet.runner import run_sweep
+from repro.fleet.spec import SweepSpec, make_shards
+
+
+def _spec(job, params_list, **kwargs):
+    defaults = dict(sweep_id="faults", job=job, seed=3,
+                    shards=make_shards(params_list),
+                    retries=2, backoff=0.0)
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+def _checkpoint_is_sane(path, spec):
+    loaded = Checkpoint(path).load(expected_digest=spec.digest())
+    assert loaded.torn_bytes == 0
+    return loaded
+
+
+class TestRaisingWorker:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_recovers_after_injected_failures(self, tmp_path, jobs):
+        spec = _spec("flaky", [{"fail_attempts": 2}])
+        path = str(tmp_path / "c.jsonl")
+        result = run_sweep(spec, jobs=jobs, checkpoint=path)
+        assert result.complete
+        assert result.payloads[0] == {"attempt": 2}
+        assert [row["reason"] for row in result.failures] == [
+            "exception", "exception"]
+        assert result.issues == []
+        loaded = _checkpoint_is_sane(path, spec)
+        assert len(loaded.failures) == 2
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exhausted_retries_surface_flt501(self, tmp_path, jobs):
+        spec = _spec("flaky", [{"fail_attempts": 99}], retries=1)
+        path = str(tmp_path / "c.jsonl")
+        result = run_sweep(spec, jobs=jobs, checkpoint=path)
+        assert not result.complete
+        assert [issue.code for issue in result.issues] == ["FLT501"]
+        assert result.issues[0].shard == 0
+        # Both attempts journalled; error text preserved.
+        loaded = _checkpoint_is_sane(path, spec)
+        assert [row["attempt"] for row in loaded.failures] == [0, 1]
+        assert "injected failure" in loaded.failures[0]["error"]
+
+
+class TestTimeoutWorker:
+    def test_hang_is_killed_and_retried(self, tmp_path):
+        # Hangs on attempt 0, succeeds on attempt 1.
+        spec = _spec("hang", [{"hang_attempts": 1, "seconds": 60.0}],
+                     timeout=0.4, retries=2)
+        path = str(tmp_path / "c.jsonl")
+        result = run_sweep(spec, jobs=2, checkpoint=path)
+        assert result.complete
+        assert result.payloads[0] == {"attempt": 1}
+        assert [row["reason"] for row in result.failures] == [
+            "timeout"]
+        _checkpoint_is_sane(path, spec)
+
+    def test_always_hanging_shard_exhausts_budget(self, tmp_path):
+        spec = _spec("hang", [{"seconds": 60.0}], timeout=0.3,
+                     retries=1)
+        path = str(tmp_path / "c.jsonl")
+        result = run_sweep(spec, jobs=2, checkpoint=path)
+        assert not result.complete
+        assert [issue.code for issue in result.issues] == ["FLT501"]
+        assert "timeout" in result.issues[0].message
+        loaded = _checkpoint_is_sane(path, spec)
+        assert all(row["reason"] == "timeout"
+                   for row in loaded.failures)
+
+
+class TestKilledWorker:
+    def test_sigkill_detected_and_retried(self, tmp_path):
+        # SIGKILLs itself on attempt 0, succeeds on attempt 1.
+        spec = _spec("kill-self", [{"fail_attempts": 1}])
+        path = str(tmp_path / "c.jsonl")
+        result = run_sweep(spec, jobs=2, checkpoint=path)
+        assert result.complete
+        assert result.payloads[0] == {"attempt": 1}
+        assert [row["reason"] for row in result.failures] == [
+            "killed"]
+        assert "exitcode" in result.failures[0]["error"]
+        _checkpoint_is_sane(path, spec)
+
+    def test_mixed_sweep_isolates_the_failure(self, tmp_path):
+        # A dying shard must not poison its healthy neighbours.
+        spec = SweepSpec(
+            sweep_id="faults", job="kill-self", seed=3,
+            shards=make_shards([
+                {"fail_attempts": 0}, {"fail_attempts": 99},
+                {"fail_attempts": 0},
+            ]),
+            retries=1, backoff=0.0,
+        )
+        path = str(tmp_path / "c.jsonl")
+        result = run_sweep(spec, jobs=2, checkpoint=path)
+        assert sorted(result.payloads) == [0, 2]
+        assert [issue.shard for issue in result.issues] == [1]
+        loaded = _checkpoint_is_sane(path, spec)
+        assert sorted(loaded.completed) == [0, 2]
+
+
+class TestTelemetry:
+    def test_fault_metrics_recorded(self, tmp_path):
+        spec = _spec("flaky", [{"fail_attempts": 1},
+                               {"fail_attempts": 0}], retries=2)
+        result = run_sweep(spec, jobs=2)
+        metrics = result.registry.as_dict()
+
+        def value(name):
+            return metrics[name]["samples"][0]["value"]
+
+        assert value("fleet_shards_completed_total") == 2
+        assert value("fleet_shards_retried_total") == 1
+        assert value("fleet_shards_failed_total") == 0
+        assert value("fleet_workers_busy") >= 1

@@ -1,0 +1,140 @@
+"""Sweep specs, shard numbering and the seed-derivation contract."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.jobs import get_job, job_names, register
+from repro.fleet.spec import (
+    Shard,
+    SweepSpec,
+    describe,
+    make_shards,
+    shard_rng_for,
+    shard_stream,
+    to_jsonable,
+)
+from repro.sim.rng import derived_stream
+
+
+def _spec(**kwargs):
+    defaults = dict(
+        sweep_id="s", job="noop", seed=1,
+        shards=make_shards([{}, {}]),
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestToJsonable:
+    def test_numpy_scalars_and_arrays(self):
+        out = to_jsonable({"a": np.int64(3), "b": np.float64(0.5),
+                           "c": np.arange(3), "d": (1, 2)})
+        assert out == {"a": 3, "b": 0.5, "c": [0, 1, 2], "d": [1, 2]}
+        assert type(out["a"]) is int
+        assert type(out["b"]) is float
+
+    def test_rejects_unserializable(self):
+        with pytest.raises(TypeError, match="not JSON-safe"):
+            to_jsonable({"f": object()})
+
+
+class TestShardAndSpec:
+    def test_shard_params_frozen_against_caller_mutation(self):
+        params = {"x": 1}
+        shard = Shard(0, params)
+        params["x"] = 99
+        assert shard.params["x"] == 1
+
+    def test_indices_must_be_contiguous(self):
+        with pytest.raises(ValueError, match="shard indices"):
+            SweepSpec(sweep_id="s", job="noop", seed=1,
+                      shards=(Shard(0, {}), Shard(2, {})))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            _spec(sweep_id="")
+        with pytest.raises(ValueError, match="'/'"):
+            _spec(sweep_id="a/b")
+        with pytest.raises(ValueError, match="no shards"):
+            _spec(shards=())
+        with pytest.raises(ValueError, match="retries"):
+            _spec(retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            _spec(timeout=0.0)
+
+    def test_digest_sensitive_to_params_and_seed(self):
+        base = _spec()
+        assert base.digest() == _spec().digest()
+        assert base.digest() != _spec(seed=2).digest()
+        assert base.digest() != _spec(
+            shards=make_shards([{"x": 1}, {}])).digest()
+
+    def test_digest_ignores_execution_knobs(self):
+        # Timeout/retries change *how* a sweep runs, not *what* it
+        # computes; resuming with different knobs must be allowed.
+        assert _spec().digest() == _spec(timeout=5.0,
+                                         retries=9).digest()
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        json.dumps(describe(_spec()))
+
+
+class TestSeedContract:
+    def test_stream_keyed_on_sweep_and_index_only(self):
+        a = shard_stream("demo", 3, 42)
+        b = shard_stream("demo", 3, 42)
+        assert a.random() == b.random()
+
+    def test_stream_matches_derived_stream(self):
+        # The contract, spelled out: fleet/<sweep>/shard-<index>.
+        ours = shard_stream("demo", 3, 42)
+        ref = derived_stream("fleet/demo/shard-3", seed=42)
+        assert ours.random() == ref.random()
+
+    def test_streams_distinct_across_shards_and_sweeps(self):
+        draws = {
+            shard_stream(sweep, index, 42).random()
+            for sweep in ("a", "b")
+            for index in range(4)
+        }
+        assert len(draws) == 8
+
+    def test_shard_rng_for_bounds(self):
+        spec = _spec()
+        with pytest.raises(IndexError):
+            shard_rng_for(spec, 2)
+        assert (shard_rng_for(spec, 1).random()
+                == shard_stream("s", 1, 1).random())
+
+
+class TestJobRegistry:
+    def test_experiment_cells_registered(self):
+        names = job_names()
+        assert {"fig5-cell", "steady-cell", "saploop-cell",
+                "demo-pi", "noop", "sleep", "burn", "flaky",
+                "hang", "kill-self"} <= set(names)
+
+    def test_unknown_job(self):
+        with pytest.raises(ValueError, match="unknown job"):
+            get_job("no-such-job")
+
+    def test_conflicting_reregistration_rejected(self):
+        def other(params, rng, attempt):
+            return {}
+
+        with pytest.raises(ValueError, match="already registered"):
+            register("noop")(other)
+
+    def test_idempotent_reregistration_allowed(self):
+        fn = get_job("noop")
+        assert register("noop")(fn) is fn
+
+    def test_demo_pi_is_pure_in_its_stream(self):
+        job = get_job("demo-pi")
+        params = {"samples": 1000}
+        one = job(params, shard_stream("demo", 0, 7), 0)
+        two = job(params, shard_stream("demo", 0, 7), 3)
+        assert one == two
+        assert 2.0 < one["pi_estimate"] < 4.0
