@@ -39,6 +39,12 @@ echo "== repro.fleet (2-worker smoke sweep, FLT5xx diagnostics) =="
 # nondeterministic shard payloads).
 python -m repro.fleet demo --jobs 2
 
+echo "== repro.flow (whole-program RNG provenance & job purity) =="
+# Interprocedural pass: every draw on a fleet-job/experiment path
+# must trace to a keyed stream, and jobs must be pure. Cached by a
+# whole-tree digest, so an untouched tree re-checks in milliseconds.
+python -m repro.flow src
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests

@@ -15,6 +15,7 @@ Exposes the library's main workflows without writing Python:
     python -m repro modelcheck smoke
     python -m repro obs --scenario steady --format json
     python -m repro fleet fig5 --jobs 4 --checkpoint .fleet
+    python -m repro flow src --hotpaths-out flow-hotpaths.json
 
 Every simulation is deterministic for a given ``--seed``; the ``lint``
 subcommand statically enforces the invariants that make that true, and
@@ -211,6 +212,24 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--out", help="also write the report here")
     fleet.add_argument("--list-sweeps", action="store_true")
     fleet.add_argument("--list-rules", action="store_true")
+
+    flow = sub.add_parser(
+        "flow",
+        help="whole-program RNG-provenance, purity and hot-path "
+             "analyses (python -m repro.flow)",
+    )
+    flow.add_argument("paths", nargs="*", default=["src"])
+    flow.add_argument("--format", choices=("text", "json", "github"),
+                      default="text")
+    flow.add_argument("--select", action="append", metavar="RULE")
+    flow.add_argument("--ignore", action="append", metavar="RULE")
+    flow.add_argument("--strict", action="store_true",
+                      help="advisory findings also fail the run")
+    flow.add_argument("--hotpaths-out", metavar="FILE",
+                      help="write the ranked flow-hotpaths.json")
+    flow.add_argument("--no-cache", action="store_true",
+                      help="bypass the whole-tree flow cache")
+    flow.add_argument("--list-rules", action="store_true")
 
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
@@ -470,6 +489,26 @@ def cmd_fleet(args) -> int:
     return fleet_main(argv)
 
 
+def cmd_flow(args) -> int:
+    from repro.flow.cli import main as flow_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    for name in args.select or []:
+        argv += ["--select", name]
+    for name in args.ignore or []:
+        argv += ["--ignore", name]
+    if args.strict:
+        argv.append("--strict")
+    if args.hotpaths_out:
+        argv += ["--hotpaths-out", args.hotpaths_out]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return flow_main(argv)
+
+
 def cmd_analyze(args) -> int:
     if args.model == "birthday":
         p = clash_probability(args.space, args.allocations)
@@ -568,6 +607,7 @@ COMMANDS = {
     "modelcheck": cmd_modelcheck,
     "obs": cmd_obs,
     "fleet": cmd_fleet,
+    "flow": cmd_flow,
 }
 
 

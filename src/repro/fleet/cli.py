@@ -34,6 +34,7 @@ from repro.lint.registry import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_USAGE,
+    add_report_arguments,
     render_registry,
 )
 from repro.lint.report import render_github as lint_render_github
@@ -61,9 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "serial reference path)")
     parser.add_argument("--seed", type=int, default=1998,
                         help="master sweep seed")
-    parser.add_argument("--format",
-                        choices=("text", "json", "github"),
-                        default="text")
+    add_report_arguments(parser)
     parser.add_argument("--checkpoint", metavar="DIR",
                         help="journal directory; each sweep writes "
                              "<DIR>/<sweep>.jsonl")
@@ -92,9 +91,6 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the report to this file")
     parser.add_argument("--list-sweeps", action="store_true",
                         help="print the sweep catalog and exit")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the shared rule registry (static "
-                             "and runtime codes) and exit")
     return parser
 
 

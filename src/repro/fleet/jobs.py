@@ -99,7 +99,7 @@ def demo_pi(params: Dict[str, Any], rng: np.random.Generator,
     del attempt
     sleep_seconds = float(params.get("sleep", 0.0))
     if sleep_seconds > 0.0:
-        time.sleep(sleep_seconds)
+        time.sleep(sleep_seconds)  # simlint: disable=job-reads-wallclock (interrupt-drill stall; payload never reads the clock)
     samples = int(params.get("samples", 50_000))
     points = rng.random((samples, 2))
     inside = int(np.count_nonzero((points ** 2).sum(axis=1) <= 1.0))
@@ -121,7 +121,7 @@ def sleep_job(params: Dict[str, Any], rng: np.random.Generator,
     """Block for ``seconds`` — the I/O-bound benchmark load shape."""
     del rng, attempt
     seconds = float(params.get("seconds", 0.05))
-    time.sleep(seconds)
+    time.sleep(seconds)  # simlint: disable=job-reads-wallclock (sleeping IS this benchmark's load shape)
     return {"slept": seconds}
 
 
@@ -158,7 +158,7 @@ def hang(params: Dict[str, Any], rng: np.random.Generator,
     del rng
     hang_attempts = int(params.get("hang_attempts", 1_000_000))
     if attempt < hang_attempts:
-        time.sleep(float(params.get("seconds", 3600.0)))
+        time.sleep(float(params.get("seconds", 3600.0)))  # simlint: disable=job-reads-wallclock (deadline-drill: the hang is the point)
     return {"attempt": attempt}
 
 
@@ -173,5 +173,5 @@ def kill_self(params: Dict[str, Any], rng: np.random.Generator,
     del rng
     fail_attempts = int(params.get("fail_attempts", 1_000_000))
     if attempt < fail_attempts:
-        os.kill(os.getpid(), signal.SIGKILL)
+        os.kill(os.getpid(), signal.SIGKILL)  # simlint: disable=job-does-io (crash-drill: SIGKILLing ourselves is the test fixture)
     return {"attempt": attempt}

@@ -1,0 +1,176 @@
+"""Orchestrator: build the graph once, run all three analyses.
+
+``analyze_paths`` is the programmatic entry the CLI and the tier-1
+test share.  It applies ``# simlint: disable=<rule>`` suppressions
+(same syntax and parser as the linter; whole-program findings are
+suppressed at the line they are *reported* on), splits hard findings
+from advisory ones, and serves byte-identical reports from the
+whole-tree cache when nothing changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.flow.cache import (
+    DEFAULT_CACHE_FILE,
+    FlowCache,
+    tree_digest,
+)
+from repro.flow.graph import build_graph_from_sources
+from repro.flow.hotpath import analyze_hotpaths, render_hotpaths
+from repro.flow.provenance import analyze_provenance
+from repro.flow.purity import analyze_purity
+from repro.flow.rules import FLOW_RULE_NAMES
+from repro.lint.engine import (
+    Finding,
+    iter_python_files,
+    parse_suppressions,
+)
+
+
+@dataclass
+class FlowReport:
+    """Everything one run produces."""
+
+    findings: List[Finding]            # hard, unsuppressed
+    advisory: List[Finding]            # report-only, unsuppressed
+    hotpaths: Dict[str, Any]           # flow-hotpaths.json payload
+    suppressed: int = 0
+    stats: Dict[str, int] = field(default_factory=dict)
+    from_cache: bool = False
+
+    def exit_findings(self, strict: bool = False) -> List[Finding]:
+        if strict:
+            return self.findings + self.advisory
+        return self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": len(self.findings),
+            "findings": [f.to_dict() for f in self.findings],
+            "advisory_count": len(self.advisory),
+            "advisory": [f.to_dict() for f in self.advisory],
+            "suppressed": self.suppressed,
+            "stats": self.stats,
+            "hotpaths": self.hotpaths,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FlowReport":
+        return cls(
+            findings=[Finding(**f) for f in raw.get("findings", [])],
+            advisory=[Finding(**f) for f in raw.get("advisory", [])],
+            hotpaths=raw.get("hotpaths", {}),
+            suppressed=int(raw.get("suppressed", 0)),
+            stats=dict(raw.get("stats", {})),
+            from_cache=True,
+        )
+
+
+def _filter_rules(findings: Sequence[Finding],
+                  select: Optional[List[str]],
+                  ignore: Optional[List[str]]) -> List[Finding]:
+    out = list(findings)
+    if select:
+        chosen = set(select)
+        out = [f for f in out if f.rule in chosen]
+    if ignore:
+        dropped = set(ignore)
+        out = [f for f in out if f.rule not in dropped]
+    return out
+
+
+def validate_rule_names(select: Optional[List[str]],
+                        ignore: Optional[List[str]]) -> None:
+    """Raises ValueError on a name not in the FLOW rule table."""
+    known = set(FLOW_RULE_NAMES)
+    for name in (select or []) + (ignore or []):
+        if name not in known:
+            raise ValueError(
+                f"unknown rule {name!r}; known: "
+                f"{sorted(known)}"
+            )
+
+
+def analyze_sources(sources: Sequence[Tuple[str, str]]) -> FlowReport:
+    """Run the three analyses over ``(path, text)`` pairs."""
+    graph = build_graph_from_sources(sources)
+    provenance = analyze_provenance(graph)
+    purity = analyze_purity(graph)
+    hot = analyze_hotpaths(graph)
+
+    hard = list(provenance.findings) + list(purity.findings)
+    advisory: List[Finding] = list(hot.findings)
+    for items in purity.unresolved.values():
+        advisory.extend(items)
+
+    # Apply # simlint: disable suppressions at the reported line.
+    suppressions = {path: parse_suppressions(text)
+                    for path, text in sources}
+    suppressed = 0
+
+    def keep(finding: Finding) -> bool:
+        nonlocal suppressed
+        marks = suppressions.get(finding.path)
+        if marks is not None and marks.suppressed(finding.line,
+                                                  finding.rule):
+            suppressed += 1
+            return False
+        return True
+
+    hard = [f for f in hard if keep(f)]
+    advisory = [f for f in advisory if keep(f)]
+    hard.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    advisory.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    # Advisory hot sites mirror the suppression filter.
+    kept_lines = {(f.path, f.line, f.code) for f in advisory}
+    hot.sites = [s for s in hot.sites
+                 if (s.path, s.line, s.code) in kept_lines]
+
+    return FlowReport(
+        findings=hard,
+        advisory=advisory,
+        hotpaths=render_hotpaths(hot),
+        suppressed=suppressed,
+        stats={
+            "modules": len(graph.modules),
+            "functions": len(graph.functions),
+            "classes": len(graph.classes),
+            "fleet_jobs": len(graph.fleet_jobs),
+            "draw_sites": len(provenance.draw_sites),
+            "hot_roots": len(hot.roots),
+            "hot_sites_total": int(
+                hot and len(hot.sites) or 0),
+        },
+    )
+
+
+def analyze_paths(paths: Sequence[str],
+                  use_cache: bool = True,
+                  cache_file: str = DEFAULT_CACHE_FILE
+                  ) -> FlowReport:
+    """Analyze every ``.py`` under ``paths``.
+
+    Raises:
+        FileNotFoundError: if a named path does not exist.
+    """
+    sources: List[Tuple[str, str]] = []
+    for file_path in iter_python_files(paths):
+        text = Path(file_path).read_text(encoding="utf-8")
+        sources.append((file_path, text))
+
+    cache = FlowCache(cache_file) if use_cache else None
+    digest = tree_digest(sources)
+    if cache is not None:
+        cached = cache.lookup(digest)
+        if cached is not None:
+            return FlowReport.from_dict(cached)
+
+    report = analyze_sources(sources)
+    if cache is not None:
+        cache.store(digest, report.to_dict())
+    return report

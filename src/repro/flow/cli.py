@@ -1,0 +1,120 @@
+"""``python -m repro.flow`` — the whole-program analysis CLI.
+
+Same contract as the other five tools: exit 0 clean, 1 findings,
+2 usage error; ``--list-rules`` prints the shared registry;
+``--format github`` emits Actions annotations.  Flow-specific flags:
+``--strict`` promotes advisory FLOW615/62x findings to errors, and
+``--hotpaths-out`` writes the ranked ``flow-hotpaths.json`` work
+list for the array-backed-core refactor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.flow.analysis import (
+    _filter_rules,
+    analyze_paths,
+    validate_rule_names,
+)
+from repro.flow.cache import DEFAULT_CACHE_FILE
+from repro.flow.report import render_github, render_json, render_text
+from repro.lint.registry import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    add_report_arguments,
+    render_registry,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description=("whole-program call-graph and dataflow analyses: "
+                     "RNG provenance (FLOW60x), fleet-job purity "
+                     "(FLOW61x), hot-path complexity (FLOW62x)"),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    add_report_arguments(parser)
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="only report these rule names (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip these rule names (repeatable)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="advisory findings (FLOW615, FLOW62x) also fail the run",
+    )
+    parser.add_argument(
+        "--hotpaths-out", metavar="FILE",
+        help="write the ranked hot-path report (flow-hotpaths.json)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-analyze, ignoring the whole-tree cache",
+    )
+    parser.add_argument(
+        "--cache-file", default=DEFAULT_CACHE_FILE,
+        help=f"cache location (default: {DEFAULT_CACHE_FILE})",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_registry())
+        return EXIT_CLEAN
+
+    try:
+        validate_rule_names(args.select, args.ignore)
+        report = analyze_paths(
+            args.paths,
+            use_cache=not args.no_cache,
+            cache_file=args.cache_file,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro-flow: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    report.findings = _filter_rules(report.findings, args.select,
+                                    args.ignore)
+    report.advisory = _filter_rules(report.advisory, args.select,
+                                    args.ignore)
+
+    if args.hotpaths_out:
+        Path(args.hotpaths_out).write_text(
+            json.dumps(report.hotpaths, indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    if args.format == "json":
+        print(render_json(report))
+    elif args.format == "github":
+        output = render_github(report, strict=args.strict)
+        if output:
+            print(output)
+    else:
+        print(render_text(report, strict=args.strict))
+
+    if report.exit_findings(strict=args.strict):
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

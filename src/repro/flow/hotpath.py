@@ -1,0 +1,287 @@
+"""FLOW621–624: per-event complexity on the simulator's hot paths.
+
+The ROADMAP's top item — "Array-backed core: simulate millions of
+sessions" — needs to know exactly which per-event work is O(n) before
+anyone rewrites ``repro.core``.  This pass walks every function
+reachable from the event-handler roots (scheduler step, allocator
+``allocate``/``release``, cache ``observe``, world ``visible_at``)
+and flags work whose cost scales with live-session count *per event*:
+
+* **FLOW621 hot-linear-scan** — a loop or comprehension on a hot
+  path: O(n) per event, O(n²) per simulated second once n sessions
+  each generate events.
+* **FLOW622 hot-collection-rebuild** — list/dict/set/ndarray
+  construction from existing data per event (the ``VisibleSet``
+  rebuild pattern).
+* **FLOW623 hot-object-churn** — fresh object construction per event;
+  allocation pressure the array-backed core eliminates.
+* **FLOW624 hot-sort** — sorting per event; O(n log n) that should be
+  an incremental structure.
+
+All four are *advisory*: they rank real costs rather than assert
+absolutes, so they never fail the build unless ``--strict`` is given.
+The ranked output (``flow-hotpaths.json``) is the work list for the
+array-backed-core refactor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.flow.graph import (
+    CallGraph,
+    FunctionInfo,
+    dotted,
+    _walk_own_body,
+)
+from repro.lint.engine import Finding
+
+#: Event-handler entry points, matched by qualname suffix.
+HOT_ROOT_SUFFIXES = (
+    "EventScheduler.step",
+    "EventScheduler.schedule_at",
+    "SessionCache.observe",
+    "SessionCache.expire",
+    "AllocationWorld.visible_at",
+    "NetworkModel.send",
+    "NetworkModel.deliver",
+)
+
+#: Allocator protocol methods — every override is a hot root.
+_ALLOCATOR_CLASS = "repro.core.allocator.Allocator"
+_ALLOCATOR_METHODS = ("allocate", "release")
+
+_REBUILD_CALLS = frozenset({
+    "list", "dict", "set", "tuple", "frozenset",
+    "np.array", "np.asarray", "np.unique", "np.concatenate",
+    "np.stack", "np.vstack", "np.hstack", "np.setdiff1d",
+    "np.union1d", "np.intersect1d", "np.full", "np.zeros",
+    "np.ones", "np.arange", "np.fromiter",
+})
+
+_SORT_CALLS = frozenset({"sorted", "np.sort", "np.argsort",
+                         "np.lexsort"})
+
+
+@dataclass
+class HotSite:
+    """One flagged site, scored for the ranked report."""
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    function: str
+    root: str
+    depth: int
+    loop_depth: int
+    detail: str
+    score: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rank": 0,  # filled at render time
+            "code": self.code,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "function": self.function,
+            "root": self.root,
+            "call_depth": self.depth,
+            "loop_depth": self.loop_depth,
+            "detail": self.detail,
+            "score": round(self.score, 2),
+        }
+
+
+@dataclass
+class HotpathResult:
+    findings: List[Finding]
+    sites: List[HotSite] = field(default_factory=list)
+    roots: List[str] = field(default_factory=list)
+
+
+def hot_roots(graph: CallGraph) -> Dict[str, str]:
+    """qualname -> short root label."""
+    roots: Dict[str, str] = {}
+    for qualname in graph.functions:
+        for suffix in HOT_ROOT_SUFFIXES:
+            if qualname.endswith(suffix):
+                roots[qualname] = suffix
+    for method in _ALLOCATOR_METHODS:
+        for target in graph.method_targets(_ALLOCATOR_CLASS, method):
+            cls = target.rsplit(".", 2)[-2]
+            roots[target] = f"{cls}.{method}"
+    return roots
+
+
+_BASE_WEIGHT = {"FLOW621": 3.0, "FLOW622": 2.0,
+                "FLOW623": 1.0, "FLOW624": 3.0}
+
+
+def _score(code: str, depth: int, loop_depth: int) -> float:
+    proximity = max(1.0, 5.0 - depth)
+    return _BASE_WEIGHT[code] * (1.0 + loop_depth) * proximity
+
+
+def _loop_depths(func: FunctionInfo) -> Dict[int, int]:
+    """id(node) -> enclosing-loop count, own body only."""
+    depths: Dict[int, int] = {}
+
+    def visit(node: ast.AST, depth: int) -> None:
+        depths[id(node)] = depth
+        bump = depth
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            bump = depth + 1
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            visit(child, bump)
+
+    for stmt in func.body():
+        visit(stmt, 0)
+    return depths
+
+
+def _iter_text(node: ast.expr) -> str:
+    text = dotted(node)
+    if text:
+        return text
+    try:
+        return ast.unparse(node)[:60]
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+
+
+def analyze_hotpaths(graph: CallGraph) -> HotpathResult:
+    """Run FLOW621–624 over everything reachable from the hot roots."""
+    roots = hot_roots(graph)
+    depth_of = graph.reachable(list(roots), include_callbacks=True)
+
+    # Attribute each function to its nearest root for the report.
+    root_of: Dict[str, str] = {}
+    for root, label in roots.items():
+        for reached, depth in graph.reachable([root]).items():
+            best = depth_of.get(reached, depth)
+            if reached not in root_of or depth <= best:
+                root_of[reached] = label
+
+    sites: List[HotSite] = []
+    for qualname in sorted(depth_of):
+        func = graph.functions.get(qualname)
+        if func is None:
+            continue
+        depth = depth_of[qualname]
+        label = root_of.get(qualname, "?")
+        loops = _loop_depths(func)
+        module = graph.modules.get(func.module)
+        imports = module.imports if module else {}
+
+        def norm(text: str) -> str:
+            head = text.split(".")[0]
+            if imports.get(head) == "numpy":
+                return "np" + text[len(head):]
+            return text
+
+        for node in _walk_own_body(func):
+            loop_depth = loops.get(id(node), 0)
+            if isinstance(node, (ast.For, ast.While)):
+                iterable = (_iter_text(node.iter)
+                            if isinstance(node, ast.For) else
+                            "while-loop")
+                sites.append(HotSite(
+                    code="FLOW621", rule="hot-linear-scan",
+                    path=func.path, line=node.lineno,
+                    col=node.col_offset, function=qualname,
+                    root=label, depth=depth,
+                    loop_depth=max(0, loop_depth - 1),
+                    detail=f"loop over {iterable}",
+                    score=_score("FLOW621", depth,
+                                 max(0, loop_depth - 1)),
+                ))
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iterable = _iter_text(node.generators[0].iter)
+                sites.append(HotSite(
+                    code="FLOW621", rule="hot-linear-scan",
+                    path=func.path, line=node.lineno,
+                    col=node.col_offset, function=qualname,
+                    root=label, depth=depth, loop_depth=loop_depth,
+                    detail=f"comprehension over {iterable}",
+                    score=_score("FLOW621", depth, loop_depth),
+                ))
+            if not isinstance(node, ast.Call):
+                continue
+            text = norm(dotted(node.func) or "")
+            terminal = text.split(".")[-1]
+            if text in _SORT_CALLS or terminal == "sort":
+                sites.append(HotSite(
+                    code="FLOW624", rule="hot-sort",
+                    path=func.path, line=node.lineno,
+                    col=node.col_offset, function=qualname,
+                    root=label, depth=depth, loop_depth=loop_depth,
+                    detail=f"{text}() per event",
+                    score=_score("FLOW624", depth, loop_depth),
+                ))
+            elif (text in _REBUILD_CALLS and
+                  (node.args or node.keywords)):
+                sites.append(HotSite(
+                    code="FLOW622", rule="hot-collection-rebuild",
+                    path=func.path, line=node.lineno,
+                    col=node.col_offset, function=qualname,
+                    root=label, depth=depth, loop_depth=loop_depth,
+                    detail=f"{text}(...) rebuilt per event",
+                    score=_score("FLOW622", depth, loop_depth),
+                ))
+
+        # Object churn: constructor edges out of this function.
+        for site in graph.callees(qualname):
+            if site.kind != "constructor":
+                continue
+            name = site.callee_text.split(".")[-1]
+            if name.endswith(("Error", "Exception", "Warning")):
+                continue
+            loop_depth = 0
+            sites.append(HotSite(
+                code="FLOW623", rule="hot-object-churn",
+                path=func.path, line=site.line, col=site.col,
+                function=qualname, root=label, depth=depth,
+                loop_depth=loop_depth,
+                detail=f"constructs {name} per event",
+                score=_score("FLOW623", depth, loop_depth),
+            ))
+
+    sites.sort(key=lambda s: (-s.score, s.path, s.line, s.code))
+    findings = [
+        Finding(path=s.path, line=s.line, col=s.col, code=s.code,
+                rule=s.rule,
+                message=(f"{s.detail} in {s.function} "
+                         f"(hot root {s.root}, call depth "
+                         f"{s.depth})"))
+        for s in sites
+    ]
+    return HotpathResult(findings=findings, sites=sites,
+                         roots=sorted(roots))
+
+
+def render_hotpaths(result: HotpathResult,
+                    limit: Optional[int] = 40) -> Dict[str, Any]:
+    """The ``flow-hotpaths.json`` payload: ranked, capped, explicit
+    about what was dropped."""
+    ranked = result.sites[:limit] if limit else list(result.sites)
+    payload = {
+        "roots": result.roots,
+        "total_sites": len(result.sites),
+        "listed_sites": len(ranked),
+        "dropped_sites": len(result.sites) - len(ranked),
+        "sites": [],
+    }
+    for rank, site in enumerate(ranked, start=1):
+        entry = site.to_dict()
+        entry["rank"] = rank
+        payload["sites"].append(entry)
+    return payload

@@ -1,0 +1,387 @@
+"""FLOW611–615: purity proofs for fleet-registry jobs.
+
+The fleet's serial==parallel==resumed invariant (BENCH_fleet, the
+run-twice drills) holds only if a job's payload is a pure function of
+``(params, rng, attempt)``.  The dynamic harness *tests* that for the
+inputs it happens to run; this pass *proves* the obvious failure modes
+absent for every function reachable from every registered job:
+
+* **FLOW611 job-mutates-global** — assignment through a ``global``
+  declaration, to a class attribute, or into a module-level container:
+  cross-shard state that makes results order-dependent.
+* **FLOW612 job-reads-wallclock** — ``time.time``/``monotonic``/
+  ``perf_counter``/``sleep``, ``datetime.now`` …: payloads must not
+  depend on when the shard ran (sleeping is tolerated only in the
+  fault drills, with a justified suppression).
+* **FLOW613 job-does-io** — ``open``, ``os.*`` process/file calls,
+  ``socket``, ``subprocess`` …: all shard I/O belongs to the runner's
+  checkpoint API, not the job body.
+* **FLOW614 job-captures-mutable** — a closure on the job's call graph
+  writes through a free variable: enclosing state survives the call
+  and leaks between shards run in-process.
+* **FLOW615 job-unresolved-call** — the soundness escape hatch: a
+  reachable call the graph cannot resolve (first-class function
+  values, ``getattr`` dispatch).  Purity past that edge is assumed,
+  not proved, so the sites are reported — advisory by default.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.flow.graph import (
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    dotted,
+    _walk_own_body,
+)
+from repro.lint.engine import Finding
+
+#: Wall-clock reads (and blocking waits, which smuggle in wall time).
+WALLCLOCK_CALLS = (
+    "time.time", "time.time_ns", "time.monotonic",
+    "time.monotonic_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.sleep", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today",
+)
+
+#: Filesystem / process / network effects.  The fleet checkpoint API
+#: (repro.fleet.checkpoint) is the sanctioned exception and lives on
+#: the runner side, so any of these inside a job body is a finding.
+IO_CALL_PREFIXES = (
+    "os.remove", "os.unlink", "os.makedirs", "os.mkdir", "os.rmdir",
+    "os.rename", "os.replace", "os.kill", "os.system", "os.popen",
+    "os.getpid", "os.urandom", "os.environ", "os.putenv",
+    "shutil.", "socket.", "subprocess.", "urllib.", "http.",
+    "requests.",
+)
+
+#: Methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "remove",
+    "discard", "pop", "popitem", "clear", "setdefault",
+})
+
+#: Pure-enough call prefixes the FLOW615 escape hatch need not report.
+_BENIGN_UNRESOLVED = (
+    "np.", "numpy.", "math.", "json.dumps", "json.loads", "len",
+    "int", "float", "str", "bool", "round", "abs", "min", "max",
+    "sum", "sorted", "range", "enumerate", "zip", "isinstance",
+    "list", "dict", "set", "tuple", "frozenset", "print", "repr",
+    "format", "hasattr", "iter", "next", "divmod", "cls", "super",
+    "del",
+)
+
+#: Method terminals that read/transform without observable effects
+#: (dict/str lookups, numpy array math, rng draws — the latter are
+#: the provenance analysis's responsibility, not purity's).
+_BENIGN_TERMINALS = frozenset({
+    "get", "items", "keys", "values", "copy", "astype", "tolist",
+    "mean", "std", "reshape", "flatten", "argmin", "argmax", "take",
+    "searchsorted", "cumsum", "nonzero", "any", "all", "join",
+    "split", "strip", "startswith", "endswith", "format", "encode",
+    "decode", "lower", "upper", "replace", "index", "count", "sample",
+    "random", "integers", "choice", "shuffle", "permutation",
+    "normal", "uniform", "exponential", "poisson", "binomial",
+    "geometric", "standard_normal",
+})
+
+
+@dataclass
+class PurityResult:
+    findings: List[Finding]
+    #: advisory FLOW615 sites, job -> unresolved call descriptions
+    unresolved: Dict[str, List[Finding]] = field(default_factory=dict)
+
+
+def _module_globals(module: ModuleInfo) -> Set[str]:
+    """Names bound at module top level (the shared mutable surface)."""
+    names: Set[str] = set()
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return names
+
+
+def _local_names(func: FunctionInfo) -> Set[str]:
+    out = set(func.params)
+    for node in _walk_own_body(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        out.add(leaf.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                out.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    out.add(leaf.id)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for leaf in ast.walk(item.optional_vars):
+                        if isinstance(leaf, ast.Name):
+                            out.add(leaf.id)
+    return out
+
+
+def _resolve_text(module: Optional[ModuleInfo], text: str) -> str:
+    if module is None or not text:
+        return text
+    head = text.split(".")[0]
+    if head in module.imports:
+        return module.imports[head] + text[len(head):]
+    return text
+
+
+def _check_function(graph: CallGraph, func: FunctionInfo,
+                    job_labels: str) -> Tuple[List[Finding],
+                                              List[Finding]]:
+    """(hard findings, advisory FLOW615 findings) for one function."""
+    findings: List[Finding] = []
+    advisory: List[Finding] = []
+    module = graph.modules.get(func.module)
+    globals_here = _module_globals(module) if module else set()
+    locals_here = _local_names(func)
+    declared_global: Set[str] = set()
+
+    for node in _walk_own_body(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    for node in _walk_own_body(func):
+        # -- FLOW611: stores escaping the call frame ------------------
+        store_targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            store_targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            store_targets = [node.target]
+        for target in store_targets:
+            base = target
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if not isinstance(base, ast.Name):
+                continue
+            name = base.id
+            if isinstance(target, ast.Name):
+                if name in declared_global:
+                    findings.append(Finding(
+                        path=func.path, line=node.lineno,
+                        col=node.col_offset, code="FLOW611",
+                        rule="job-mutates-global",
+                        message=(f"{func.qualname} assigns global "
+                                 f"{name!r} on a path from "
+                                 f"{job_labels}"),
+                    ))
+                continue
+            if name in ("self", "cls"):
+                if name == "cls" or "classmethod" in func.decorators:
+                    findings.append(Finding(
+                        path=func.path, line=node.lineno,
+                        col=node.col_offset, code="FLOW611",
+                        rule="job-mutates-global",
+                        message=(f"{func.qualname} mutates class "
+                                 f"attribute through {name!r} on a "
+                                 f"path from {job_labels}"),
+                    ))
+                continue
+            if name in locals_here:
+                continue
+            if name in globals_here or name in declared_global:
+                findings.append(Finding(
+                    path=func.path, line=node.lineno,
+                    col=node.col_offset, code="FLOW611",
+                    rule="job-mutates-global",
+                    message=(f"{func.qualname} writes into "
+                             f"module-level {name!r} on a path from "
+                             f"{job_labels}"),
+                ))
+            elif graph.class_by_name.get(name):
+                findings.append(Finding(
+                    path=func.path, line=node.lineno,
+                    col=node.col_offset, code="FLOW611",
+                    rule="job-mutates-global",
+                    message=(f"{func.qualname} mutates class "
+                             f"attribute {name}.… on a path from "
+                             f"{job_labels}"),
+                ))
+
+        if not isinstance(node, ast.Call):
+            continue
+        text = dotted(node.func) or ""
+        resolved = _resolve_text(module, text)
+
+        # -- FLOW611: in-place mutation of module-level containers ----
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS):
+            recv = node.func.value
+            recv_base = recv
+            while isinstance(recv_base, (ast.Subscript,
+                                         ast.Attribute)):
+                recv_base = recv_base.value
+            if isinstance(recv_base, ast.Name) and (
+                    recv_base.id in globals_here
+                    and recv_base.id not in locals_here):
+                findings.append(Finding(
+                    path=func.path, line=node.lineno,
+                    col=node.col_offset, code="FLOW611",
+                    rule="job-mutates-global",
+                    message=(f"{func.qualname} calls mutating "
+                             f".{node.func.attr}() on module-level "
+                             f"{recv_base.id!r} on a path from "
+                             f"{job_labels}"),
+                ))
+
+        # -- FLOW612: wall clock --------------------------------------
+        if resolved in WALLCLOCK_CALLS or text in WALLCLOCK_CALLS:
+            findings.append(Finding(
+                path=func.path, line=node.lineno, col=node.col_offset,
+                code="FLOW612", rule="job-reads-wallclock",
+                message=(f"{func.qualname} calls {text}() on a path "
+                         f"from {job_labels}; payloads must not "
+                         f"depend on wall time"),
+            ))
+
+        # -- FLOW613: I/O ---------------------------------------------
+        if text == "open" and "open" not in locals_here:
+            findings.append(Finding(
+                path=func.path, line=node.lineno, col=node.col_offset,
+                code="FLOW613", rule="job-does-io",
+                message=(f"{func.qualname} opens a file on a path "
+                         f"from {job_labels}; shard I/O belongs to "
+                         f"the runner's checkpoint API"),
+            ))
+        else:
+            for prefix in IO_CALL_PREFIXES:
+                hit = (resolved.startswith(prefix)
+                       or resolved == prefix.rstrip("."))
+                if hit:
+                    findings.append(Finding(
+                        path=func.path, line=node.lineno,
+                        col=node.col_offset, code="FLOW613",
+                        rule="job-does-io",
+                        message=(f"{func.qualname} calls {text}() on "
+                                 f"a path from {job_labels}; shard "
+                                 f"I/O belongs to the runner's "
+                                 f"checkpoint API"),
+                    ))
+                    break
+
+        # -- FLOW614: writes through captured names -------------------
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and isinstance(node.func.value, ast.Name)):
+            name = node.func.value.id
+            if name in func.free_names and name not in locals_here:
+                findings.append(Finding(
+                    path=func.path, line=node.lineno,
+                    col=node.col_offset, code="FLOW614",
+                    rule="job-captures-mutable",
+                    message=(f"{func.qualname} mutates captured "
+                             f"enclosing variable {name!r} on a path "
+                             f"from {job_labels}; closure state "
+                             f"leaks between shards"),
+                ))
+
+    # FLOW614 (store form): x[...] = / x += through a free name.
+    for node in _walk_own_body(func):
+        targets: Iterable[ast.expr] = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = (node.target,)
+        for target in targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name):
+                name = target.value.id
+                if name in func.free_names \
+                        and name not in locals_here:
+                    findings.append(Finding(
+                        path=func.path, line=node.lineno,
+                        col=node.col_offset, code="FLOW614",
+                        rule="job-captures-mutable",
+                        message=(f"{func.qualname} writes into "
+                                 f"captured enclosing variable "
+                                 f"{name!r} on a path from "
+                                 f"{job_labels}"),
+                    ))
+
+    # FLOW615: unresolved reachable calls (advisory escape hatch).
+    for site in graph.callees(func.qualname):
+        if site.targets or site.kind in ("callback", "constructor"):
+            continue
+        text = site.callee_text
+        terminal = text.split(".")[-1]
+        if text.startswith(tuple(_BENIGN_UNRESOLVED)) \
+                or text in _BENIGN_UNRESOLVED \
+                or terminal in _BENIGN_UNRESOLVED \
+                or terminal in _BENIGN_TERMINALS:
+            continue
+        # Exception constructors raise; they do not do I/O.
+        if terminal[:1].isupper() and terminal.endswith(
+                ("Error", "Exception", "Warning", "Interrupt")):
+            continue
+        # Mutating a container bound to a (non-parameter) local stays
+        # inside the call frame — pure for our purposes.
+        head = text.split(".")[0]
+        if terminal in _MUTATING_METHODS and head in locals_here \
+                and head not in func.params:
+            continue
+        # Bare CamelCase calls are (unindexed) constructors — their
+        # __init__ side effects are covered when the class is known.
+        if terminal[:1].isupper() and "_" not in terminal:
+            continue
+        resolved = _resolve_text(module, text)
+        if resolved.startswith(("numpy.", "math.", "collections.",
+                                "itertools.", "dataclasses.",
+                                "typing.", "heapq.", "bisect.")):
+            continue
+        advisory.append(Finding(
+            path=func.path, line=site.line, col=site.col,
+            code="FLOW615", rule="job-unresolved-call",
+            message=(f"{func.qualname} calls {text}() which the "
+                     f"call graph cannot resolve; purity past this "
+                     f"edge is assumed, not proved"),
+        ))
+    return findings, advisory
+
+
+def analyze_purity(graph: CallGraph) -> PurityResult:
+    """Prove (or refute) purity for every registered fleet job."""
+    findings: List[Finding] = []
+    unresolved: Dict[str, List[Finding]] = {}
+    seen: Dict[Tuple[str, int, int, str], Finding] = {}
+
+    job_of_func: Dict[str, Set[str]] = {}
+    for job_name, qualname in sorted(graph.fleet_jobs.items()):
+        for reached in graph.reachable([qualname]):
+            job_of_func.setdefault(reached, set()).add(job_name)
+
+    for qualname, jobs in sorted(job_of_func.items()):
+        func = graph.functions.get(qualname)
+        if func is None:
+            continue
+        labels = "fleet-job:" + ",".join(sorted(jobs)[:3])
+        hard, advisory = _check_function(graph, func, labels)
+        for finding in hard:
+            key = (finding.path, finding.line, finding.col,
+                   finding.code)
+            if key not in seen:
+                seen[key] = finding
+                findings.append(finding)
+        if advisory:
+            bucket = unresolved.setdefault(sorted(jobs)[0], [])
+            bucket.extend(advisory)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return PurityResult(findings=findings, unresolved=unresolved)

@@ -1,0 +1,81 @@
+"""Renderers for flow reports: text, JSON, GitHub annotations.
+
+Hard findings render exactly like the linter's (same ``Finding``
+shape, same ``::error`` annotations).  Advisory findings are extra:
+text gets a separate ranked section, JSON gets ``advisory`` plus the
+``hotpaths`` payload, GitHub gets ``::notice`` lines so the Actions
+UI surfaces them without failing the check.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.flow.analysis import FlowReport
+from repro.lint.report import render_github as _github_errors
+
+
+def render_text(report: FlowReport, strict: bool = False) -> str:
+    lines: List[str] = [f.format() for f in report.findings]
+    hot = report.hotpaths
+    count = len(report.findings)
+    if count == 0:
+        lines.append("repro-flow: clean (0 findings)")
+    else:
+        noun = "finding" if count == 1 else "findings"
+        lines.append(f"repro-flow: {count} {noun}")
+    if report.advisory:
+        label = "errors under --strict" if strict else "report-only"
+        lines.append(f"advisory ({len(report.advisory)} sites, "
+                     f"{label}):")
+        ranked = hot.get("sites", [])[:10]
+        for site in ranked:
+            lines.append(
+                f"  #{site['rank']:>2} {site['path']}:{site['line']} "
+                f"{site['code']} {site['detail']} "
+                f"[root {site['root']}, score {site['score']}]"
+            )
+        shown = len(ranked)
+        if not ranked:
+            # No hot sites (e.g. only FLOW615): show the findings.
+            for finding in report.advisory[:10]:
+                lines.append("  " + finding.format())
+            shown = min(10, len(report.advisory))
+        rest = len(report.advisory) - shown
+        if rest > 0:
+            lines.append(f"  ... and {rest} more "
+                         f"(--format json for all)")
+    if report.suppressed:
+        lines.append(f"suppressed: {report.suppressed}")
+    if report.stats:
+        lines.append(
+            "graph: {modules} modules, {functions} functions, "
+            "{fleet_jobs} fleet jobs, {draw_sites} draw sites, "
+            "{hot_roots} hot roots".format(**{
+                key: report.stats.get(key, 0)
+                for key in ("modules", "functions", "fleet_jobs",
+                            "draw_sites", "hot_roots")
+            })
+        )
+    if report.from_cache:
+        lines.append("(cached: tree unchanged)")
+    return "\n".join(lines)
+
+
+def render_json(report: FlowReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_github(report: FlowReport, strict: bool = False) -> str:
+    lines: List[str] = []
+    hard = _github_errors(report.findings)
+    if hard:
+        lines.append(hard)
+    for finding in report.advisory:
+        message = f"{finding.code} [{finding.rule}] {finding.message}"
+        directive = "error" if strict else "notice"
+        lines.append(f"::{directive} file={finding.path},"
+                     f"line={max(finding.line, 1)},"
+                     f"col={finding.col}::{message}")
+    return "\n".join(lines)

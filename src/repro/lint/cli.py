@@ -27,6 +27,7 @@ from repro.lint.registry import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_USAGE,
+    add_report_arguments,
     get_static_rules,
     render_registry,
 )
@@ -40,15 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories (default: src)")
-    parser.add_argument("--format", choices=("text", "json", "github"),
-                        default="text")
+    add_report_arguments(parser)
     parser.add_argument("--select", nargs="+", metavar="RULE",
                         help="run only these rules")
     parser.add_argument("--ignore", nargs="+", metavar="RULE",
                         help="skip these rules")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the shared rule registry (static "
-                             "and runtime codes) and exit")
     parser.add_argument("--no-cache", action="store_true",
                         help="relint every file, ignoring and not "
                              "updating the incremental cache")

@@ -106,7 +106,7 @@ def run_scenario(seed: int = 1998, num_sites: int = 6,
             observer.watch_directory(directory)
         directories.append(directory)
 
-    workload = streams.get("workload")
+    workload = streams.get("lint.workload")
 
     def make_creation(directory: SessionDirectory, name: str, ttl: int,
                       lifetime: Optional[float]):

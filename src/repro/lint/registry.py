@@ -1,35 +1,40 @@
-"""One registry for every check the repo's five analysis tools run.
+"""One registry for every check the repo's six analysis tools run.
 
 The static linter (SIM1xx), the runtime sanitizer (SAN2xx), the
 model-check spec cross-checker (MC301–MC304), the model-check runtime
-invariants (MC31x), the observability self-checks (OBS4xx) and the
-fleet execution diagnostics (FLT5xx) each grew their own code space;
-this module is the single place that enumerates all of them, so
+invariants (MC31x), the observability self-checks (OBS4xx), the
+fleet execution diagnostics (FLT5xx) and the whole-program flow
+analyses (FLOW6xx) each grew their own code space; this module is the
+single place that enumerates all of them, so
 
 * ``--list-rules`` prints the same registry from ``repro.lint``,
-  ``repro.sanitize``, ``repro.modelcheck``, ``repro.obs`` and
-  ``repro.fleet`` alike;
-* the five CLIs share one exit-code contract
-  (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_USAGE`);
+  ``repro.sanitize``, ``repro.modelcheck``, ``repro.obs``,
+  ``repro.fleet`` and ``repro.flow`` alike;
+* the six CLIs share one exit-code contract
+  (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_USAGE`)
+  and one reporting surface (:func:`add_report_arguments`);
 * the static rule set the engine runs is assembled here (SIM rules
   plus the MC spec rules), so "lint the tree" always means the full
-  static contract.
+  static contract.  FLOW6xx rules are listed here but run from
+  :mod:`repro.flow.analysis` — they need the whole program, not one
+  file at a time.
 
 Import direction: ``lint.rules`` and ``lint.engine`` stay free of
-modelcheck imports; this module sits above both and is what the CLIs
-consume.
+modelcheck/flow imports; this module sits above both and is what the
+CLIs consume.
 """
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.lint.rules import ALL_RULES, Rule
 
 #: Shared CLI exit-code contract for repro.lint / repro.sanitize /
-#: repro.modelcheck / repro.obs / repro.fleet: clean, findings
-#: reported, usage error.
+#: repro.modelcheck / repro.obs / repro.fleet / repro.flow: clean,
+#: findings reported, usage error.
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
@@ -97,9 +102,31 @@ class RegistryEntry:
     code: str
     name: str
     kind: str  # "static" | "runtime"
-    tool: str  # "lint" | "sanitize" | "modelcheck" | "obs" | "fleet"
+    tool: str  # lint | sanitize | modelcheck | obs | fleet | flow
     description: str
     scope: Optional[frozenset] = None
+    advisory: bool = False
+
+
+def add_report_arguments(
+        parser: argparse.ArgumentParser,
+        formats: Sequence[str] = ("text", "json", "github"),
+        default: str = "text") -> None:
+    """The reporting flags every tool CLI shares.
+
+    Each of the six CLIs used to wire ``--format``/``--list-rules``
+    by hand, six slightly different ways; this is the one place the
+    contract lives now.  Tools with an extra format (obs adds
+    ``prom``) pass their own ``formats``.
+    """
+    parser.add_argument(
+        "--format", choices=tuple(formats), default=default,
+        help="output format (github emits Actions annotations)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the full cross-tool rule registry and exit",
+    )
 
 
 def static_rules() -> Tuple[Rule, ...]:
@@ -133,7 +160,8 @@ def get_static_rules(select: Optional[List[str]] = None,
 
 
 def all_entries() -> Tuple[RegistryEntry, ...]:
-    """Every check across the three tools, in code order."""
+    """Every check across the six tools, in code order."""
+    from repro.flow.rules import FLOW_RULES
     from repro.sanitize.report import VIOLATION_CODES
 
     entries = [
@@ -164,11 +192,16 @@ def all_entries() -> Tuple[RegistryEntry, ...]:
             code=code, name=name, kind="runtime", tool="fleet",
             description=_RUNTIME_DESCRIPTIONS.get(code, ""),
         ))
+    for code, name, advisory, description in FLOW_RULES:
+        entries.append(RegistryEntry(
+            code=code, name=name, kind="static", tool="flow",
+            description=description, advisory=advisory,
+        ))
     return tuple(sorted(entries, key=lambda entry: entry.code))
 
 
 def render_registry() -> str:
-    """``--list-rules`` text, shared by all five CLIs."""
+    """``--list-rules`` text, shared by all six CLIs."""
     lines = []
     for entry in all_entries():
         if entry.kind == "static":
@@ -177,6 +210,8 @@ def render_registry() -> str:
             origin = f"static/{entry.tool} [{where}]"
         else:
             origin = f"runtime/{entry.tool}"
+        if entry.advisory:
+            origin += " (advisory)"
         lines.append(f"{entry.code} {entry.name:<26s} {origin}")
         lines.append(f"        {entry.description}")
     return "\n".join(lines)

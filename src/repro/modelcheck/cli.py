@@ -21,6 +21,7 @@ from repro.lint.registry import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_USAGE,
+    add_report_arguments,
     render_registry,
 )
 from repro.modelcheck.explorer import (
@@ -60,13 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--keep-going", action="store_true",
                         help="exhaust the space instead of stopping "
                              "at the first (minimal) violation")
-    parser.add_argument("--format", choices=("text", "json", "github"),
-                        default="text")
+    add_report_arguments(parser)
     parser.add_argument("--list-scenarios", action="store_true",
                         help="print the scenario registry and exit")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the shared rule registry (static "
-                             "and runtime codes) and exit")
     return parser
 
 

@@ -25,6 +25,7 @@ from repro.lint.registry import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_USAGE,
+    add_report_arguments,
     render_registry,
 )
 from repro.lint.report import render_github as lint_render_github
@@ -51,9 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", action="append", default=[], metavar="NAME",
         help="scenario to run (repeatable; merged with positionals)",
     )
-    parser.add_argument("--format",
-                        choices=("text", "json", "prom", "github"),
-                        default="text")
+    add_report_arguments(parser,
+                         formats=("text", "json", "prom", "github"))
     parser.add_argument("--seed", type=int, default=1998,
                         help="scenario seed")
     parser.add_argument("--bench", action="store_true",
@@ -64,9 +64,6 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the report to this file")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="print the scenario registry and exit")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the shared rule registry (static "
-                             "and runtime codes) and exit")
     return parser
 
 

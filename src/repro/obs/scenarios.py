@@ -149,7 +149,7 @@ def _run_steady(seed: int, num_sites: int = 8, space_size: int = 16,
         context.watch_directory(directory)
         directories.append(directory)
 
-    workload = streams.get("workload")
+    workload = streams.get("obs.workload")
 
     def make_creation(directory: SessionDirectory, name: str,
                       lifetime: Optional[float]):

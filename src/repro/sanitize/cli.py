@@ -14,6 +14,7 @@ from repro.lint.registry import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_USAGE,
+    add_report_arguments,
     render_registry,
 )
 from repro.lint.report import render_github as lint_render_github
@@ -36,15 +37,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"scenarios to run: {', '.join(SCENARIO_NAMES)}, or "
              f"'all' (default)",
     )
-    parser.add_argument("--format", choices=("text", "json", "github"),
-                        default="text")
+    add_report_arguments(parser)
     parser.add_argument("--seed", type=int, default=1998,
                         help="scenario seed")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="print the scenario registry and exit")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the shared rule registry (static "
-                             "and runtime codes) and exit")
     return parser
 
 
