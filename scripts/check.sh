@@ -45,6 +45,12 @@ echo "== repro.flow (whole-program RNG provenance & job purity) =="
 # whole-tree digest, so an untouched tree re-checks in milliseconds.
 python -m repro.flow src
 
+echo "== repro.units (semantic units & value-range bounds proofs) =="
+# Abstract interpretation over the same call graph: no Addr/SlotIndex
+# or SimTime/Duration mix-ups, and every index the checker can decide
+# stays inside 0..size-1.  Shares the flow cache discipline.
+python -m repro.units src
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests
@@ -53,8 +59,8 @@ else
 fi
 
 if command -v mypy >/dev/null 2>&1; then
-    echo "== mypy (sim, core, lint) =="
-    mypy src/repro/sim src/repro/core src/repro/lint
+    echo "== mypy (whole src/repro tree) =="
+    mypy src/repro
 else
     echo "== mypy not installed; skipping (pip install -e '.[dev]') =="
 fi

@@ -16,6 +16,7 @@ Exposes the library's main workflows without writing Python:
     python -m repro obs --scenario steady --format json
     python -m repro fleet fig5 --jobs 4 --checkpoint .fleet
     python -m repro flow src --hotpaths-out flow-hotpaths.json
+    python -m repro units src --strict
 
 Every simulation is deterministic for a given ``--seed``; the ``lint``
 subcommand statically enforces the invariants that make that true, and
@@ -230,6 +231,23 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--no-cache", action="store_true",
                       help="bypass the whole-tree flow cache")
     flow.add_argument("--list-rules", action="store_true")
+
+    units = sub.add_parser(
+        "units",
+        help="semantic-unit checking and value-range bounds proofs "
+             "(python -m repro.units)",
+    )
+    units.add_argument("paths", nargs="*", default=["src"])
+    units.add_argument("--format", choices=("text", "json", "github"),
+                       default="text")
+    units.add_argument("--select", action="append", metavar="RULE")
+    units.add_argument("--ignore", action="append", metavar="RULE")
+    units.add_argument("--strict", action="store_true",
+                       help="advisory proof obligations also fail "
+                            "the run")
+    units.add_argument("--no-cache", action="store_true",
+                       help="bypass the whole-tree units cache")
+    units.add_argument("--list-rules", action="store_true")
 
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
@@ -509,6 +527,24 @@ def cmd_flow(args) -> int:
     return flow_main(argv)
 
 
+def cmd_units(args) -> int:
+    from repro.units.cli import main as units_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    for name in args.select or []:
+        argv += ["--select", name]
+    for name in args.ignore or []:
+        argv += ["--ignore", name]
+    if args.strict:
+        argv.append("--strict")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return units_main(argv)
+
+
 def cmd_analyze(args) -> int:
     if args.model == "birthday":
         p = clash_probability(args.space, args.allocations)
@@ -608,6 +644,7 @@ COMMANDS = {
     "obs": cmd_obs,
     "fleet": cmd_fleet,
     "flow": cmd_flow,
+    "units": cmd_units,
 }
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.units.types import Addr, Count, SlotIndex
+
 #: First IPv4 multicast address.
 MULTICAST_BASE = 0xE0000000  # 224.0.0.0
 #: One past the last IPv4 multicast address.
@@ -24,7 +26,7 @@ MULTICAST_END = 0xF0000000   # 240.0.0.0
 MULTICAST_TOTAL = MULTICAST_END - MULTICAST_BASE
 
 
-def ip_to_int(dotted: str) -> int:
+def ip_to_int(dotted: str) -> Addr:
     """Parse dotted-quad IPv4 into an int.
 
     Raises:
@@ -42,7 +44,7 @@ def ip_to_int(dotted: str) -> int:
     return value
 
 
-def int_to_ip(value: int) -> str:
+def int_to_ip(value: Addr) -> str:
     """Format an int as dotted-quad IPv4."""
     if not 0 <= value < 2 ** 32:
         raise ValueError(f"IPv4 value out of range: {value}")
@@ -60,8 +62,8 @@ class MulticastAddressSpace:
         name: human-readable label.
     """
 
-    base: int
-    size: int
+    base: Addr
+    size: Count
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -93,7 +95,7 @@ class MulticastAddressSpace:
         return cls(MULTICAST_BASE, MULTICAST_TOTAL, name="ipv4-multicast")
 
     @classmethod
-    def abstract(cls, size: int) -> "MulticastAddressSpace":
+    def abstract(cls, size: Count) -> "MulticastAddressSpace":
         """An anonymous space of ``size`` addresses for simulations.
 
         Placed inside the sdr dynamic range when it fits, otherwise at
@@ -105,16 +107,44 @@ class MulticastAddressSpace:
     # ------------------------------------------------------------------
     # Index <-> address mapping
     # ------------------------------------------------------------------
-    def contains_index(self, index: int) -> bool:
+    def contains_index(self, index: SlotIndex) -> bool:
         return 0 <= index < self.size
 
-    def index_to_ip(self, index: int) -> str:
-        """Dotted-quad address for dense index ``index``."""
+    def contains_address(self, addr: Addr) -> bool:
+        """True when ``addr`` falls inside this block."""
+        return self.base <= addr < self.base + self.size
+
+    def index_to_address(self, index: SlotIndex) -> Addr:
+        """Absolute 32-bit address for dense index ``index``.
+
+        The int-level twin of :meth:`index_to_ip` — the array-backed
+        core works in ints and only formats dotted quads at the edge.
+
+        Raises:
+            IndexError: if ``index`` is outside ``0..size-1``.
+        """
         if not self.contains_index(index):
             raise IndexError(f"index {index} outside space of {self.size}")
-        return int_to_ip(self.base + index)
+        return self.base + index
 
-    def ip_to_index(self, dotted: str) -> int:
+    def address_to_index(self, addr: Addr) -> SlotIndex:
+        """Dense index for an absolute 32-bit address.
+
+        Raises:
+            ValueError: if the address is outside this block.
+        """
+        index = addr - self.base
+        if not self.contains_index(index):
+            raise ValueError(
+                f"{int_to_ip(addr)} is outside {self.name or 'block'}"
+            )
+        return index
+
+    def index_to_ip(self, index: SlotIndex) -> str:
+        """Dotted-quad address for dense index ``index``."""
+        return int_to_ip(self.index_to_address(index))
+
+    def ip_to_index(self, dotted: str) -> SlotIndex:
         """Dense index for a dotted-quad address.
 
         Raises:

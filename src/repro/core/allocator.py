@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.session import Session
 from repro.sim.rng import derived_stream
+from repro.units.types import Count, SlotIndex, Ttl
 
 
 @dataclass
@@ -57,12 +58,12 @@ class VisibleSet:
         """Sorted unique addresses in use (any TTL)."""
         return np.unique(self.addresses)
 
-    def in_address_range(self, lo: int, hi: int) -> "VisibleSet":
+    def in_address_range(self, lo: SlotIndex, hi: SlotIndex) -> "VisibleSet":
         """Subset with ``lo <= address < hi``."""
         mask = (self.addresses >= lo) & (self.addresses < hi)
         return VisibleSet(self.addresses[mask], self.ttls[mask])
 
-    def with_ttl_at_least(self, ttl: int) -> "VisibleSet":
+    def with_ttl_at_least(self, ttl: Ttl) -> "VisibleSet":
         """Subset with ``ttl >= ttl`` (Deterministic Adaptive IPRMA)."""
         mask = self.ttls >= ttl
         return VisibleSet(self.addresses[mask], self.ttls[mask])
@@ -80,7 +81,7 @@ class AllocationResult:
             to pick among possibly-used ones (a likely clash).
     """
 
-    address: int
+    address: SlotIndex
     band: Optional[int] = None
     informed: bool = True
     forced: bool = False
@@ -97,7 +98,7 @@ class Allocator(abc.ABC):
     #: short name used in experiment output ("R", "IR", "IPR 3-band"...)
     name: str = "base"
 
-    def __init__(self, space_size: int,
+    def __init__(self, space_size: Count,
                  rng: Optional[np.random.Generator] = None) -> None:
         if space_size <= 0:
             raise ValueError(f"space_size must be positive: {space_size}")
@@ -108,11 +109,12 @@ class Allocator(abc.ABC):
         self.forced_allocations = 0
 
     @abc.abstractmethod
-    def allocate(self, ttl: int, visible: VisibleSet) -> AllocationResult:
+    def allocate(self, ttl: Ttl, visible: VisibleSet) -> AllocationResult:
         """Pick an address for a new session with scope ``ttl``."""
 
-    def declared_ranges(self, ttl: int,
-                        visible: VisibleSet) -> List[Tuple[int, int]]:
+    def declared_ranges(self, ttl: Ttl,
+                        visible: VisibleSet
+                        ) -> List[Tuple[SlotIndex, SlotIndex]]:
         """The half-open address ranges ``allocate`` may pick from.
 
         This is the allocator's *declared* partition geometry for a
@@ -123,11 +125,12 @@ class Allocator(abc.ABC):
         """
         return [(0, self.space_size)]
 
-    def _check_ttl(self, ttl: int) -> None:
+    def _check_ttl(self, ttl: Ttl) -> None:
         if not 1 <= ttl <= 255:
             raise ValueError(f"ttl {ttl} outside [1, 255]")
 
-    def _informed_pick(self, visible: VisibleSet, lo: int, hi: int,
+    def _informed_pick(self, visible: VisibleSet, lo: SlotIndex,
+                       hi: SlotIndex,
                        band: Optional[int] = None) -> AllocationResult:
         """Informed-random choice within ``[lo, hi)``.
 
@@ -151,8 +154,8 @@ class Allocator(abc.ABC):
                                 forced=False)
 
 
-def nth_free_address(used_sorted: np.ndarray, r: int, lo: int,
-                     hi: int) -> int:
+def nth_free_address(used_sorted: np.ndarray, r: Count, lo: SlotIndex,
+                     hi: SlotIndex) -> SlotIndex:
     """The ``r``-th (0-based) address of ``[lo, hi)`` not in use.
 
     Args:

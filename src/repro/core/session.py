@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.units.types import Duration, SimTime, SlotIndex, Ttl
+
 _session_ids = itertools.count(1)
 
 
@@ -30,12 +32,12 @@ class Session:
         description: optional attached description (e.g. SDP).
     """
 
-    address: int
-    ttl: int
+    address: SlotIndex
+    ttl: Ttl
     source: int
     session_id: int = 0
-    created_at: float = 0.0
-    lifetime: Optional[float] = None
+    created_at: SimTime = 0.0
+    lifetime: Optional[Duration] = None
     description: Any = None
 
     def __post_init__(self) -> None:
@@ -46,7 +48,7 @@ class Session:
         if self.session_id == 0:
             self.session_id = next(_session_ids)
 
-    def expires_at(self) -> Optional[float]:
+    def expires_at(self) -> Optional[SimTime]:
         """Absolute expiry time, or None for indefinite sessions."""
         if self.lifetime is None:
             return None

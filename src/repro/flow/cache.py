@@ -24,11 +24,12 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.flow.rules import FLOW_RULES
+from repro.lint.registry import CACHE_FILES
 
 #: Bumped whenever the on-disk schema or the analyses change shape.
 CACHE_FORMAT = 1
 
-DEFAULT_CACHE_FILE = ".repro-flow-cache.json"
+DEFAULT_CACHE_FILE = CACHE_FILES["flow"]
 
 
 def rules_signature() -> str:

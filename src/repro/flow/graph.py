@@ -1014,3 +1014,26 @@ def function_scope(graph: CallGraph,
     if module is None:
         return _LocalScope()
     return _Resolver(graph)._locals_of(module, func)
+
+
+#: Last built graph, keyed by tree digest (one-entry memo).
+_SHARED_GRAPH: Optional[Tuple[str, CallGraph]] = None
+
+
+def shared_graph(sources: Sequence[Tuple[str, str]]) -> CallGraph:
+    """Build-or-reuse one :class:`CallGraph` per identical tree.
+
+    The flow and units analyses need the same whole-program graph;
+    when both run in one process (tests, combined gates) the second
+    request costs a digest pass instead of a full re-parse.  Both
+    clients treat the graph as read-only, so sharing is safe.
+    """
+    global _SHARED_GRAPH
+    from repro.flow.cache import tree_digest
+
+    digest = tree_digest(sources)
+    if _SHARED_GRAPH is not None and _SHARED_GRAPH[0] == digest:
+        return _SHARED_GRAPH[1]
+    graph = build_graph_from_sources(sources)
+    _SHARED_GRAPH = (digest, graph)
+    return graph

@@ -26,14 +26,14 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.lint.engine import Finding, iter_python_files, lint_source
-from repro.lint.registry import ruleset_signature
+from repro.lint.registry import CACHE_FILES, ruleset_signature
 from repro.lint.rules import Rule
 
 #: Bumped whenever the on-disk cache schema changes.
 CACHE_FORMAT = 1
 
 #: Default cache location, relative to the working directory.
-DEFAULT_CACHE_FILE = ".repro-lint-cache.json"
+DEFAULT_CACHE_FILE = CACHE_FILES["lint"]
 
 
 def _content_hash(text: str) -> str:

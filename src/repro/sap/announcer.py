@@ -19,6 +19,7 @@ import numpy as np
 from repro.analysis.announcement import ExponentialBackoffSchedule
 from repro.sim.events import EventHandle, EventScheduler
 from repro.sim.rng import derived_stream
+from repro.units.types import Duration, SimTime
 
 
 class AnnouncementStrategy(abc.ABC):
@@ -26,7 +27,7 @@ class AnnouncementStrategy(abc.ABC):
 
     @abc.abstractmethod
     def next_interval(self, announcements_sent: int,
-                      sessions_known: int) -> float:
+                      sessions_known: int) -> Duration:
         """Seconds until the next announcement.
 
         Args:
@@ -40,13 +41,13 @@ class AnnouncementStrategy(abc.ABC):
 class FixedIntervalStrategy(AnnouncementStrategy):
     """Constant re-announcement interval (sdr's classic 10 minutes)."""
 
-    def __init__(self, interval: float = 600.0) -> None:
+    def __init__(self, interval: Duration = 600.0) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive: {interval}")
         self.interval = interval
 
     def next_interval(self, announcements_sent: int,
-                      sessions_known: int) -> float:
+                      sessions_known: int) -> Duration:
         return self.interval
 
 
@@ -58,7 +59,7 @@ class ExponentialBackoffStrategy(AnnouncementStrategy):
         self.schedule = schedule or ExponentialBackoffSchedule()
 
     def next_interval(self, announcements_sent: int,
-                      sessions_known: int) -> float:
+                      sessions_known: int) -> Duration:
         gaps = self.schedule.intervals(max(1, announcements_sent))
         return gaps[-1]
 
@@ -76,7 +77,7 @@ class BandwidthLimitedStrategy(AnnouncementStrategy):
 
     def __init__(self, bandwidth_bps: float = 4000.0,
                  packet_bytes: int = 512,
-                 min_interval: float = 5.0) -> None:
+                 min_interval: Duration = 5.0) -> None:
         if bandwidth_bps <= 0 or packet_bytes <= 0 or min_interval <= 0:
             raise ValueError("bandwidth, packet size and minimum "
                              "interval must be positive")
@@ -85,7 +86,7 @@ class BandwidthLimitedStrategy(AnnouncementStrategy):
         self.min_interval = min_interval
 
     def next_interval(self, announcements_sent: int,
-                      sessions_known: int) -> float:
+                      sessions_known: int) -> Duration:
         fair_share = (max(1, sessions_known) * self.packet_bytes * 8.0
                       / self.bandwidth_bps)
         return max(self.min_interval, fair_share)
@@ -122,7 +123,7 @@ class Announcer:
         )
         self.jitter_fraction = jitter_fraction
         self.announcements_sent = 0
-        self.started_at: Optional[float] = None
+        self.started_at: Optional[SimTime] = None
         self._pending: Optional[EventHandle] = None
         self._running = False
 

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.allocator import VisibleSet
 from repro.sap.messages import SapMessage, SapMessageType
 from repro.sap.sdp import SessionDescription
+from repro.units.types import Duration, SimTime, SlotIndex, Ttl
 
 #: Default: an entry missing this many seconds of announcements dies.
 DEFAULT_TIMEOUT = 3600.0
@@ -37,20 +38,20 @@ class CacheEntry:
 
     message: SapMessage
     description: Optional[SessionDescription]
-    address_index: Optional[int] = None
-    first_heard: float = 0.0
-    last_heard: float = 0.0
+    address_index: Optional[SlotIndex] = None
+    first_heard: SimTime = 0.0
+    last_heard: SimTime = 0.0
     times_heard: int = 1
 
     @property
-    def ttl(self) -> int:
+    def ttl(self) -> Ttl:
         return self.description.ttl if self.description else 255
 
 
 class SessionCache:
     """Announcement cache keyed by (origin, message id hash)."""
 
-    def __init__(self, timeout: float = DEFAULT_TIMEOUT) -> None:
+    def __init__(self, timeout: Duration = DEFAULT_TIMEOUT) -> None:
         if timeout <= 0:
             raise ValueError(f"timeout must be positive: {timeout}")
         self.timeout = timeout
@@ -63,8 +64,8 @@ class SessionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def observe(self, message: SapMessage, now: float,
-                address_index: Optional[int] = None
+    def observe(self, message: SapMessage, now: SimTime,
+                address_index: Optional[SlotIndex] = None
                 ) -> Optional[CacheEntry]:
         """Record a received SAP message.
 
@@ -120,7 +121,7 @@ class SessionCache:
         for key in stale:
             del self._entries[key]
 
-    def expire(self, now: float) -> int:
+    def expire(self, now: SimTime) -> int:
         """Drop entries not refreshed within the timeout; returns count."""
         stale = [key for key, entry in self._entries.items()
                  if now - entry.last_heard > self.timeout]
@@ -134,7 +135,8 @@ class SessionCache:
     def lookup(self, origin: int, msg_id_hash: int) -> Optional[CacheEntry]:
         return self._entries.get((origin, msg_id_hash))
 
-    def entries_for_address(self, address_index: int) -> List[CacheEntry]:
+    def entries_for_address(self,
+                            address_index: SlotIndex) -> List[CacheEntry]:
         """Cached announcements using a given group address."""
         return [entry for entry in self._entries.values()
                 if entry.address_index == address_index]

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.units.types import SimTime
+
 
 class SimClock:
     """A monotonically non-decreasing simulated clock.
@@ -19,7 +21,7 @@ class SimClock:
 
     __slots__ = ("_now", "_monitor")
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: SimTime = 0.0) -> None:
         if start < 0:
             raise ValueError(f"clock cannot start at negative time {start!r}")
         self._now = float(start)
@@ -29,11 +31,11 @@ class SimClock:
         self._monitor: Optional[Any] = None
 
     @property
-    def now(self) -> float:
+    def now(self) -> SimTime:
         """Current simulated time in seconds."""
         return self._now
 
-    def advance_to(self, when: float) -> None:
+    def advance_to(self, when: SimTime) -> None:
         """Move the clock forward to ``when``.
 
         Raises:

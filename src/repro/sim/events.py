@@ -12,6 +12,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
+from repro.units.types import Duration, SimTime
 
 Callback = Callable[[], Any]
 
@@ -21,7 +22,8 @@ class EventHandle:
 
     __slots__ = ("when", "seq", "callback", "cancelled")
 
-    def __init__(self, when: float, seq: int, callback: Callback) -> None:
+    def __init__(self, when: SimTime, seq: int,
+                 callback: Callback) -> None:
         self.when = when
         self.seq = seq
         self.callback: Optional[Callback] = callback
@@ -54,7 +56,7 @@ class EventScheduler:
         [1.5]
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: SimTime = 0.0) -> None:
         self.clock = SimClock(start)
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
@@ -69,7 +71,7 @@ class EventScheduler:
         self._obs: Optional[Any] = None
 
     @property
-    def now(self) -> float:
+    def now(self) -> SimTime:
         """Current simulated time in seconds."""
         return self.clock.now
 
@@ -93,7 +95,7 @@ class EventScheduler:
         live.sort(key=lambda handle: (handle.when, handle.seq))
         return live
 
-    def schedule(self, delay: float, callback: Callback) -> EventHandle:
+    def schedule(self, delay: Duration, callback: Callback) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             if self._monitor is not None:
@@ -101,7 +103,7 @@ class EventScheduler:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         return self.schedule_at(self.now + delay, callback)
 
-    def schedule_at(self, when: float, callback: Callback) -> EventHandle:
+    def schedule_at(self, when: SimTime, callback: Callback) -> EventHandle:
         """Schedule ``callback`` at absolute time ``when``."""
         if when < self.now:
             if self._monitor is not None:
@@ -133,7 +135,7 @@ class EventScheduler:
             return True
         return False
 
-    def run(self, until: Optional[float] = None,
+    def run(self, until: Optional[SimTime] = None,
             max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until``, or ``max_events``.
 
@@ -163,7 +165,7 @@ class EventScheduler:
             if self._monitor is not None:
                 self._monitor.on_run_exit()
 
-    def _next_pending_time(self) -> Optional[float]:
+    def _next_pending_time(self) -> Optional[SimTime]:
         while self._heap:
             when, __, handle = self._heap[0]
             if handle.cancelled:

@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.sim.events import EventScheduler
 from repro.sim.rng import RandomStreams
+from repro.units.types import Duration, SimTime, Ttl
 
 # A routing oracle: (source, ttl) -> iterable of (receiver, delay_seconds).
 ReceiverMap = Callable[[int, int], Iterable[Tuple[int, float]]]
@@ -33,7 +34,7 @@ class LinkModel:
         loss: probability that a packet crossing the link is dropped.
     """
 
-    delay: float
+    delay: Duration
     loss: float = 0.0
 
     def __post_init__(self) -> None:
@@ -57,9 +58,9 @@ class Packet:
 
     source: int
     group: int
-    ttl: int
+    ttl: Ttl
     payload: Any = None
-    sent_at: float = field(default=0.0)
+    sent_at: SimTime = field(default=0.0)
 
 
 class NetworkModel:
@@ -186,7 +187,7 @@ class NetworkModel:
         return scheduled
 
     def _schedule_delivery(self, receiver: int, packet: Packet,
-                           delay: float) -> None:
+                           delay: Duration) -> None:
         def deliver() -> None:
             callbacks = self._listeners.get(receiver)
             if callbacks:

@@ -1,0 +1,22 @@
+"""repro.units — semantic-unit & value-range abstract interpreter.
+
+The seventh tool on the shared rule registry: it seeds a lattice of
+``Addr`` / ``SlotIndex`` / ``Ttl`` / ``ScopeMask`` / ``SimTime`` /
+``Duration`` / ``SeedInt`` / ``Count`` from the
+:mod:`repro.units.types` annotations, propagates it flow-sensitively
+over the :mod:`repro.flow` call graph (UNIT701–705), and runs an
+interval-domain value-range analysis proving subscripts, bitmap
+shifts and index↔address conversions stay in ``0..size-1``
+(UNIT711–714).  See ``DESIGN.md`` §13.
+"""
+
+from repro.units.types import (  # noqa: F401
+    Addr,
+    Count,
+    Duration,
+    ScopeMask,
+    SeedInt,
+    SimTime,
+    SlotIndex,
+    Ttl,
+)

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.units``."""
+
+import sys
+
+from repro.units.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

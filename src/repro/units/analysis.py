@@ -1,11 +1,12 @@
-"""Orchestrator: build the graph once, run all three analyses.
+"""Orchestrator: build/reuse the flow graph, run the interpreter.
 
 ``analyze_paths`` is the programmatic entry the CLI and the tier-1
 test share.  It applies ``# simlint: disable=<rule>`` suppressions
 (same syntax and parser as the linter; whole-program findings are
-suppressed at the line they are *reported* on), splits hard findings
-from advisory ones, and serves byte-identical reports from the
-whole-tree cache when nothing changed.
+suppressed at the line they are *reported* on), splits hard UNIT701–
+713 findings from advisory UNIT714 proof obligations, and serves
+byte-identical reports from the whole-tree cache when nothing
+changed.
 """
 
 from __future__ import annotations
@@ -14,30 +15,27 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.flow.cache import (
-    DEFAULT_CACHE_FILE,
-    FlowCache,
-    tree_digest,
-)
 from repro.flow.graph import shared_graph
-from repro.flow.hotpath import analyze_hotpaths, render_hotpaths
-from repro.flow.provenance import analyze_provenance
-from repro.flow.purity import analyze_purity
-from repro.flow.rules import FLOW_RULE_NAMES
 from repro.lint.engine import (
     Finding,
     iter_python_files,
     parse_suppressions,
 )
+from repro.units.cache import (
+    DEFAULT_CACHE_FILE,
+    tree_digest,
+    units_cache,
+)
+from repro.units.engine import analyze_units
+from repro.units.rules import UNIT_RULE_NAMES
 
 
 @dataclass
-class FlowReport:
+class UnitsReport:
     """Everything one run produces."""
 
     findings: List[Finding]            # hard, unsuppressed
-    advisory: List[Finding]            # report-only, unsuppressed
-    hotpaths: Dict[str, Any]           # flow-hotpaths.json payload
+    advisory: List[Finding]            # UNIT714 obligations
     suppressed: int = 0
     stats: Dict[str, int] = field(default_factory=dict)
     from_cache: bool = False
@@ -55,15 +53,13 @@ class FlowReport:
             "advisory": [f.to_dict() for f in self.advisory],
             "suppressed": self.suppressed,
             "stats": self.stats,
-            "hotpaths": self.hotpaths,
         }
 
     @classmethod
-    def from_dict(cls, raw: Dict[str, Any]) -> "FlowReport":
+    def from_dict(cls, raw: Dict[str, Any]) -> "UnitsReport":
         return cls(
             findings=[Finding(**f) for f in raw.get("findings", [])],
             advisory=[Finding(**f) for f in raw.get("advisory", [])],
-            hotpaths=raw.get("hotpaths", {}),
             suppressed=int(raw.get("suppressed", 0)),
             stats=dict(raw.get("stats", {})),
             from_cache=True,
@@ -85,27 +81,23 @@ def _filter_rules(findings: Sequence[Finding],
 
 def validate_rule_names(select: Optional[List[str]],
                         ignore: Optional[List[str]]) -> None:
-    """Raises ValueError on a name not in the FLOW rule table."""
-    known = set(FLOW_RULE_NAMES)
+    """Raises ValueError on a name not in the UNIT rule table."""
+    known = set(UNIT_RULE_NAMES)
     for name in (select or []) + (ignore or []):
         if name not in known:
             raise ValueError(
-                f"unknown rule {name!r}; known: "
-                f"{sorted(known)}"
+                f"unknown rule {name!r}; known: {sorted(known)}"
             )
 
 
-def analyze_sources(sources: Sequence[Tuple[str, str]]) -> FlowReport:
-    """Run the three analyses over ``(path, text)`` pairs."""
+def analyze_sources(sources: Sequence[Tuple[str, str]]
+                    ) -> UnitsReport:
+    """Run the abstract interpreter over ``(path, text)`` pairs."""
     graph = shared_graph(sources)
-    provenance = analyze_provenance(graph)
-    purity = analyze_purity(graph)
-    hot = analyze_hotpaths(graph)
+    result = analyze_units(graph)
 
-    hard = list(provenance.findings) + list(purity.findings)
-    advisory: List[Finding] = list(hot.findings)
-    for items in purity.unresolved.values():
-        advisory.extend(items)
+    hard = list(result.findings)
+    advisory = list(result.obligations)
 
     # Apply # simlint: disable suppressions at the reported line.
     suppressions = {path: parse_suppressions(text)
@@ -126,33 +118,21 @@ def analyze_sources(sources: Sequence[Tuple[str, str]]) -> FlowReport:
     hard.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     advisory.sort(key=lambda f: (f.path, f.line, f.col, f.code))
 
-    # Advisory hot sites mirror the suppression filter.
-    kept_lines = {(f.path, f.line, f.code) for f in advisory}
-    hot.sites = [s for s in hot.sites
-                 if (s.path, s.line, s.code) in kept_lines]
+    stats = dict(result.stats)
+    stats["modules"] = len(graph.modules)
 
-    return FlowReport(
+    return UnitsReport(
         findings=hard,
         advisory=advisory,
-        hotpaths=render_hotpaths(hot),
         suppressed=suppressed,
-        stats={
-            "modules": len(graph.modules),
-            "functions": len(graph.functions),
-            "classes": len(graph.classes),
-            "fleet_jobs": len(graph.fleet_jobs),
-            "draw_sites": len(provenance.draw_sites),
-            "hot_roots": len(hot.roots),
-            "hot_sites_total": int(
-                hot and len(hot.sites) or 0),
-        },
+        stats=stats,
     )
 
 
 def analyze_paths(paths: Sequence[str],
                   use_cache: bool = True,
                   cache_file: str = DEFAULT_CACHE_FILE
-                  ) -> FlowReport:
+                  ) -> UnitsReport:
     """Analyze every ``.py`` under ``paths``.
 
     Raises:
@@ -163,12 +143,12 @@ def analyze_paths(paths: Sequence[str],
         text = Path(file_path).read_text(encoding="utf-8")
         sources.append((file_path, text))
 
-    cache = FlowCache(cache_file) if use_cache else None
+    cache = units_cache(cache_file) if use_cache else None
     digest = tree_digest(sources)
     if cache is not None:
         cached = cache.lookup(digest)
         if cached is not None:
-            return FlowReport.from_dict(cached)
+            return UnitsReport.from_dict(cached)
 
     report = analyze_sources(sources)
     if cache is not None:

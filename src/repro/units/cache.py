@@ -1,0 +1,31 @@
+"""Whole-tree cache for the units analysis.
+
+UNIT7xx findings are whole-program facts (an annotation or call edge
+files away can create or destroy one), so this reuses the flow
+cache's tree-digest machinery with a units-specific rule signature:
+any edit anywhere is a miss, an untouched tree is a hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.flow.cache import FlowCache, tree_digest  # noqa: F401
+from repro.lint.registry import CACHE_FILES
+from repro.units.rules import UNIT_RULES
+
+#: Bumped whenever the analysis or the on-disk schema changes shape.
+CACHE_FORMAT = 1
+
+DEFAULT_CACHE_FILE = CACHE_FILES["units"]
+
+
+def rules_signature() -> str:
+    """Identity of the UNIT rule table (and analysis version)."""
+    payload = repr((CACHE_FORMAT, UNIT_RULES))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def units_cache(path: str) -> FlowCache:
+    """A FlowCache keyed by the *units* rule signature."""
+    return FlowCache(path, signature=rules_signature())

@@ -1,0 +1,109 @@
+"""``python -m repro.units`` — the unit & bounds proof CLI.
+
+Same contract as the other six tools: exit 0 clean, 1 findings,
+2 usage error; ``--list-rules`` prints the shared registry;
+``--format github`` emits Actions annotations.  ``--strict``
+promotes advisory UNIT714 proof obligations to errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.registry import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    add_report_arguments,
+    render_registry,
+)
+from repro.units.analysis import (
+    _filter_rules,
+    analyze_paths,
+    validate_rule_names,
+)
+from repro.units.cache import DEFAULT_CACHE_FILE
+from repro.units.report import (
+    render_github,
+    render_json,
+    render_text,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-units",
+        description=("whole-program semantic-unit checking "
+                     "(UNIT701–705) and value-range bounds proofs "
+                     "(UNIT711–714) over the flow call graph"),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    add_report_arguments(parser)
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="only report these rule names (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip these rule names (repeatable)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="advisory UNIT714 obligations also fail the run",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-analyze, ignoring the whole-tree cache",
+    )
+    parser.add_argument(
+        "--cache-file", default=DEFAULT_CACHE_FILE,
+        help=f"cache location (default: {DEFAULT_CACHE_FILE})",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_registry())
+        return EXIT_CLEAN
+
+    try:
+        validate_rule_names(args.select, args.ignore)
+        report = analyze_paths(
+            args.paths,
+            use_cache=not args.no_cache,
+            cache_file=args.cache_file,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro-units: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    report.findings = _filter_rules(report.findings, args.select,
+                                    args.ignore)
+    report.advisory = _filter_rules(report.advisory, args.select,
+                                    args.ignore)
+
+    if args.format == "json":
+        print(render_json(report))
+    elif args.format == "github":
+        output = render_github(report, strict=args.strict)
+        if output:
+            print(output)
+    else:
+        print(render_text(report, strict=args.strict))
+
+    if report.exit_findings(strict=args.strict):
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,1777 @@
+"""The flow-sensitive abstract interpreter behind UNIT701–714.
+
+One pass per function ("pass A") seeds the environment from the
+:mod:`repro.units.types` annotations and interprets the body over the
+product of three domains:
+
+* the flat **unit lattice** (:mod:`repro.units.lattice`);
+* the **interval domain** (:mod:`repro.units.intervals`) with
+  threshold widening at loop heads;
+* a one-level **relational extension**: a value may carry an exact
+  symbolic form (``v == sym + off``) or a symbolic upper bound
+  (``v <= sym + off``), where ``sym`` is a *stable* program quantity —
+  ``len(xs)`` for a tracked container or a frozen ``<obj>.size``
+  attribute chain.  That is how ``for i in range(space.size)`` proves
+  ``space.index_to_ip(i)`` in-bounds while ``range(space.size + 1)``
+  is caught as an off-by-one.
+
+A second pass ("pass B") re-interprets functions whose call sites
+(resolved through the :mod:`repro.flow` call graph) supplied more
+precise argument values — symbolic bounds rerooted from caller text to
+callee parameter names, constructor-known space sizes — and reports
+the interprocedural path on anything that escapes.
+
+Finding policy (kept deliberately conservative so ``src`` is clean):
+
+* hard findings (UNIT701–713) require *proof* — both units concrete
+  with no algebra rule, or a derived bound that provably escapes;
+* anything unprovable on an allocator/scheduler/cache hot path is an
+  advisory UNIT714 proof obligation; off hot paths it is silent;
+* ``TOP`` (unannotated) mixes silently, and subscript *lower* bounds
+  are never checked (the Python negative-index idiom is legal).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.flow.graph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    dotted,
+    function_scope,
+)
+from repro.flow.hotpath import hot_roots
+from repro.lint.engine import Finding
+from repro.units.intervals import INF, Interval, SWAP_OP
+from repro.units.lattice import (
+    TOP,
+    UNIT_DEFAULT_RANGE,
+    assignable,
+    combine_additive,
+    comparable,
+    is_unit,
+    join as unit_join,
+)
+
+Number = float
+
+#: Method basenames treated as index->address / address->index space
+#: conversions (UNIT713 checks fire on their arguments).
+_INDEX_CONVERSIONS = frozenset({"index_to_ip", "index_to_address"})
+_ADDR_CONVERSIONS = frozenset({"ip_to_index", "address_to_index"})
+
+#: Space factory classmethods with statically-known (base, size).
+_SPACE_FACTORIES: Dict[str, Tuple[int, int]] = {
+    "sdr_dynamic": (0xE0028000, 65_536),          # 224.2.128.0/16
+    "admin_local_scope": (0xEFFF0000, 65_536),    # 239.255.0.0/16
+    "full_ipv4": (0xE0000000, 0x10000000),
+}
+
+#: Container methods that may *shrink* a sequence (old length-relative
+#: proofs die); growth-only methods keep them valid.
+_SHRINKING_METHODS = frozenset({"pop", "remove", "clear", "popleft",
+                                "popitem"})
+_MUTATING_METHODS = _SHRINKING_METHODS | frozenset({
+    "append", "extend", "insert", "add", "appendleft", "update",
+    "setdefault", "sort", "reverse", "discard",
+})
+
+_NUMERIC_DEFAULT = Interval.top()
+
+
+def _default_interval(unit: str) -> Interval:
+    lo, hi = UNIT_DEFAULT_RANGE.get(unit, (None, None))
+    return Interval(-INF if lo is None else lo,
+                    INF if hi is None else hi)
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """One abstract value: unit x interval x symbolic bounds."""
+
+    unit: str = TOP
+    ival: Interval = _NUMERIC_DEFAULT
+    #: value == sym + off (sym is a stable quantity: len(x), y.size)
+    exact: Optional[Tuple[str, int]] = None
+    #: value <= sym + off
+    ub: Optional[Tuple[str, int]] = None
+    #: the ub is *attained* on some execution (range() stop, etc.)
+    tight: bool = False
+    #: sequence length (lists/tuples/arrays we saw being built)
+    length: Optional["AbsVal"] = None
+    #: dict-like: subscripting it is associative, never dense
+    is_map: bool = False
+    #: MulticastAddressSpace payload (when constructed in view)
+    space_base: Optional[Interval] = None
+    space_size: Optional["AbsVal"] = None
+    #: known bitmap width (value built as ``(1 << w) - 1`` / ``1 << w``)
+    bitwidth: Optional[int] = None
+
+    @property
+    def is_space(self) -> bool:
+        return self.space_size is not None
+
+    def with_unit(self, unit: str) -> "AbsVal":
+        return replace(self, unit=unit)
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        return AbsVal(
+            unit=unit_join(self.unit, other.unit),
+            ival=self.ival.join(other.ival),
+            exact=self.exact if self.exact == other.exact else None,
+            ub=self.ub if self.ub == other.ub else None,
+            tight=self.tight or other.tight,
+            length=(self.length
+                    if _same_opt(self.length, other.length) else None),
+            is_map=self.is_map and other.is_map,
+            space_base=(self.space_base
+                        if self.space_base == other.space_base
+                        else None),
+            space_size=(self.space_size
+                        if _same_opt(self.space_size, other.space_size)
+                        else None),
+            bitwidth=(self.bitwidth
+                      if self.bitwidth == other.bitwidth else None),
+        )
+
+    def widen(self, newer: "AbsVal") -> "AbsVal":
+        joined = self.join(newer)
+        return replace(joined, ival=self.ival.widen(newer.ival))
+
+
+def _same_opt(a: Optional[AbsVal], b: Optional[AbsVal]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return (a.unit == b.unit and a.ival == b.ival
+            and a.exact == b.exact and a.ub == b.ub)
+
+
+TOP_VAL = AbsVal()
+
+
+def unit_val(unit: Optional[str]) -> AbsVal:
+    if not is_unit(unit):
+        return TOP_VAL
+    assert unit is not None
+    return AbsVal(unit=unit, ival=_default_interval(unit))
+
+
+def const_val(value: Number) -> AbsVal:
+    return AbsVal(ival=Interval.const(value))
+
+
+Env = Dict[str, AbsVal]
+
+
+@dataclass
+class UnitsResult:
+    """Raw engine output; suppressions are applied by the caller."""
+
+    findings: List[Finding] = field(default_factory=list)
+    obligations: List[Finding] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------
+# Annotation extraction (own pass; does not perturb flow's tables)
+# ---------------------------------------------------------------------
+def annotation_unit(node: Optional[ast.AST]) -> Optional[str]:
+    """Unit name an annotation expression refers to, if any.
+
+    Handles ``Ttl``, ``types.Ttl``, ``"Ttl"`` string annotations and
+    one level of ``Optional[Ttl]`` wrapping.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if text.startswith("Optional[") and text.endswith("]"):
+            text = text[len("Optional["):-1]
+        tail = text.split(".")[-1].strip()
+        return tail if is_unit(tail) else None
+    if isinstance(node, ast.Subscript):
+        base = dotted(node.value) or ""
+        if base.split(".")[-1] == "Optional":
+            return annotation_unit(node.slice)
+        return None
+    text = dotted(node)
+    if text is None:
+        return None
+    tail = text.split(".")[-1]
+    return tail if is_unit(tail) else None
+
+
+def _param_units(func: FunctionInfo) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    node = func.node
+    if isinstance(node, ast.Lambda):
+        return out
+    args = node.args
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)):
+        unit = annotation_unit(arg.annotation)
+        if unit:
+            out[arg.arg] = unit
+    return out
+
+
+def _return_unit(func: FunctionInfo) -> Optional[str]:
+    node = func.node
+    if isinstance(node, ast.Lambda):
+        return None
+    return annotation_unit(node.returns)
+
+
+# ---------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------
+class _Analyzer:
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.result = UnitsResult()
+        self._seen: Set[Tuple[str, int, int, str]] = set()
+        self._obligation_keys: Dict[Tuple[str, int, int], int] = {}
+        self.stats: Dict[str, int] = {
+            "functions": 0, "checked_subscripts": 0,
+            "proved_subscripts": 0, "checked_shifts": 0,
+            "proved_shifts": 0, "checked_conversions": 0,
+            "proved_conversions": 0, "violations": 0,
+            "obligations": 0, "interprocedural": 0,
+        }
+        self.consts = self._fold_module_constants()
+        self.param_units = {q: _param_units(f)
+                            for q, f in graph.functions.items()}
+        self.return_units = {q: _return_unit(f)
+                             for q, f in graph.functions.items()}
+        self.attr_units = self._collect_attr_units()
+        self.hot = self._hot_functions()
+        #: callee -> param -> [(AbsVal, caller, path, line)]
+        self.callinfo: Dict[str, Dict[str, List[
+            Tuple[AbsVal, str, str, int]]]] = {}
+        self.sites = {
+            qualname: {(s.line, s.col): s for s in sites
+                       if s.kind in ("direct", "constructor")}
+            for qualname, sites in graph.calls.items()
+        }
+
+    # -- program facts -------------------------------------------------
+    def _fold_module_constants(self) -> Dict[str, Number]:
+        consts: Dict[str, Number] = {}
+        for _round in range(2):
+            for module in self.graph.modules.values():
+                for stmt in module.tree.body:
+                    target = None
+                    value = None
+                    if isinstance(stmt, ast.Assign) \
+                            and len(stmt.targets) == 1 \
+                            and isinstance(stmt.targets[0], ast.Name):
+                        target, value = stmt.targets[0].id, stmt.value
+                    elif isinstance(stmt, ast.AnnAssign) \
+                            and isinstance(stmt.target, ast.Name) \
+                            and stmt.value is not None:
+                        target, value = stmt.target.id, stmt.value
+                    if target is None or value is None:
+                        continue
+                    folded = self._const_eval(module.name, value)
+                    if folded is not None:
+                        consts[f"{module.name}.{target}"] = folded
+            self._const_table = consts
+        return consts
+
+    def _const_eval(self, module_name: str,
+                    node: ast.AST) -> Optional[Number]:
+        if isinstance(node, ast.Constant) and isinstance(
+                node.value, (int, float)) and not isinstance(
+                node.value, bool):
+            return node.value
+        if isinstance(node, ast.UnaryOp) and isinstance(
+                node.op, ast.USub):
+            inner = self._const_eval(module_name, node.operand)
+            return None if inner is None else -inner
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return self.const_of(module_name, dotted(node) or "")
+        if isinstance(node, ast.BinOp):
+            left = self._const_eval(module_name, node.left)
+            right = self._const_eval(module_name, node.right)
+            if left is None or right is None:
+                return None
+            return _apply_binop(node.op, left, right)
+        return None
+
+    def const_of(self, module_name: str,
+                 text: str) -> Optional[Number]:
+        """Resolve a (possibly dotted) name to a folded constant."""
+        if not text:
+            return None
+        table = getattr(self, "_const_table", {})
+        direct = table.get(f"{module_name}.{text}")
+        if direct is not None:
+            return direct
+        module = self.graph.modules.get(module_name)
+        if module is None:
+            return None
+        head, _, rest = text.partition(".")
+        imported = module.imports.get(head)
+        if imported is None:
+            return None
+        qual = imported + (f".{rest}" if rest else "")
+        return table.get(qual)
+
+    def _collect_attr_units(self) -> Dict[str, Dict[str, str]]:
+        """class qualname -> attribute -> unit name."""
+        out: Dict[str, Dict[str, str]] = {}
+        for module in self.graph.modules.values():
+            self._walk_classes(module.name, module.tree.body, [], out)
+        # __init__ stores of unit-annotated params / AnnAssigns.
+        for cls in self.graph.classes.values():
+            init = self.graph.functions.get(
+                cls.methods.get("__init__", ""))
+            if init is None:
+                continue
+            params = self.param_units.get(init.qualname, {})
+            table = out.setdefault(cls.qualname, {})
+            for stmt in ast.walk(init.node):
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Attribute) and isinstance(
+                        stmt.target.value, ast.Name) \
+                        and stmt.target.value.id == "self":
+                    unit = annotation_unit(stmt.annotation)
+                    if unit:
+                        table.setdefault(stmt.target.attr, unit)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if not (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            continue
+                        value = stmt.value
+                        name = None
+                        if isinstance(value, ast.Name):
+                            name = value.id
+                        elif isinstance(value, ast.Call) and \
+                                (dotted(value.func) in
+                                 ("int", "float")) and value.args \
+                                and isinstance(value.args[0], ast.Name):
+                            name = value.args[0].id
+                        if name and name in params:
+                            table.setdefault(target.attr, params[name])
+        return out
+
+    def _walk_classes(self, module_name: str,
+                      body: Sequence[ast.stmt], scope: List[str],
+                      out: Dict[str, Dict[str, str]]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                qualname = ".".join([module_name] + scope + [stmt.name])
+                table = out.setdefault(qualname, {})
+                for item in stmt.body:
+                    if isinstance(item, ast.AnnAssign) and isinstance(
+                            item.target, ast.Name):
+                        unit = annotation_unit(item.annotation)
+                        if unit:
+                            table[item.target.id] = unit
+                self._walk_classes(module_name, stmt.body,
+                                   scope + [stmt.name], out)
+
+    def _hot_functions(self) -> Set[str]:
+        roots = set(hot_roots(self.graph))
+        roots |= set(self.graph.fleet_jobs.values())
+        roots |= {q for q in self.graph.functions
+                  if q.startswith("repro.cli.cmd_")}
+        return set(self.graph.reachable(sorted(roots)))
+
+    def _attr_unit_of_class(self, class_qualname: Optional[str],
+                            attr: str) -> Optional[str]:
+        if class_qualname is None:
+            return None
+        unit = self.attr_units.get(class_qualname, {}).get(attr)
+        if unit:
+            return unit
+        cls = self.graph.classes.get(class_qualname)
+        if cls is not None:
+            method = self.graph.functions.get(cls.methods.get(attr, ""))
+            if method is not None and "property" in method.decorators:
+                return self.return_units.get(method.qualname)
+        return None
+
+    # -- finding emission ----------------------------------------------
+    def emit(self, func: FunctionInfo, node: ast.AST, code: str,
+             rule: str, message: str, via: str = "") -> None:
+        line = getattr(node, "lineno", func.line)
+        col = getattr(node, "col_offset", 0)
+        key = (func.path, line, col, code)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.stats["violations"] += 1
+        if via:
+            message = f"{message} {via}"
+            self.stats["interprocedural"] += 1
+        self.result.findings.append(Finding(
+            path=func.path, line=line, col=col, code=code,
+            rule=rule, message=message,
+        ))
+
+    def oblige(self, func: FunctionInfo, node: ast.AST,
+               message: str) -> None:
+        line = getattr(node, "lineno", func.line)
+        col = getattr(node, "col_offset", 0)
+        site = (func.path, line, col)
+        if site in self._obligation_keys:
+            return
+        self._obligation_keys[site] = len(self.result.obligations)
+        self.stats["obligations"] += 1
+        self.result.obligations.append(Finding(
+            path=func.path, line=line, col=col, code="UNIT714",
+            rule="unproved-bound", message=message,
+        ))
+
+    def _drop_shadowed_obligations(self) -> None:
+        """A hard finding at a site supersedes its obligation."""
+        hard = {(f.path, f.line, f.col) for f in self.result.findings}
+        kept = [o for o in self.result.obligations
+                if (o.path, o.line, o.col) not in hard]
+        dropped = len(self.result.obligations) - len(kept)
+        self.stats["obligations"] -= dropped
+        self.result.obligations = kept
+
+    # -- driver --------------------------------------------------------
+    def run(self) -> UnitsResult:
+        for qualname in sorted(self.graph.functions):
+            func = self.graph.functions[qualname]
+            if isinstance(func.node, ast.Lambda):
+                continue
+            self.stats["functions"] += 1
+            interp = _FuncInterp(self, func, collect=True)
+            interp.run(self._seed_env(func))
+        self._pass_b()
+        self._drop_shadowed_obligations()
+        self.result.findings.sort(
+            key=lambda f: (f.path, f.line, f.col, f.code))
+        self.result.obligations.sort(
+            key=lambda f: (f.path, f.line, f.col, f.code))
+        self.result.stats = dict(self.stats)
+        return self.result
+
+    def _seed_env(self, func: FunctionInfo) -> Env:
+        env: Env = {}
+        units = self.param_units.get(func.qualname, {})
+        scope = function_scope(self.graph, func)
+        for param in func.params:
+            val = unit_val(units.get(param))
+            cls = scope.var_types.get(param, "")
+            if cls.split(".")[-1] == "MulticastAddressSpace":
+                val = replace(val, space_size=AbsVal(
+                    unit="Count", ival=Interval(1, INF)))
+            # Every parameter is trivially equal to itself; carrying
+            # the sym lets ``[0] * n`` lengths and ``i < n`` guards
+            # meet at the subscript.
+            env[param] = replace(val, exact=(param, 0))
+        return env
+
+    def _pass_b(self) -> None:
+        for qualname in sorted(self.callinfo):
+            func = self.graph.functions.get(qualname)
+            if func is None or isinstance(func.node, ast.Lambda):
+                continue
+            per_param = self.callinfo[qualname]
+            env = self._seed_env(func)
+            via = ""
+            informative = False
+            for param, entries in per_param.items():
+                if param not in env:
+                    continue
+                joined = entries[0][0]
+                for value, _, _, _ in entries[1:]:
+                    joined = joined.join(value)
+                base = env[param]
+                if joined.unit == TOP and is_unit(base.unit):
+                    joined = joined.with_unit(base.unit)
+                if (joined.exact or joined.ub
+                        or not joined.ival.is_top
+                        or joined.space_size is not None):
+                    informative = True
+                    env[param] = joined
+                    if not via:
+                        _, caller, path, line = entries[0]
+                        via = (f"[reached via {caller} at "
+                               f"{path}:{line}]")
+            if not informative:
+                continue
+            interp = _FuncInterp(self, func, collect=False, via=via)
+            interp.run(env)
+
+
+def _apply_binop(op: ast.operator, left: Number,
+                 right: Number) -> Optional[Number]:
+    try:
+        if isinstance(op, ast.Add):
+            return left + right
+        if isinstance(op, ast.Sub):
+            return left - right
+        if isinstance(op, ast.Mult):
+            return left * right
+        if isinstance(op, ast.FloorDiv):
+            return left // right
+        if isinstance(op, ast.Mod):
+            return left % right
+        if isinstance(op, ast.Pow) and abs(right) < 64:
+            return left ** right
+        if isinstance(op, ast.LShift):
+            return int(left) << int(right)
+        if isinstance(op, ast.RShift):
+            return int(left) >> int(right)
+        if isinstance(op, ast.BitOr):
+            return int(left) | int(right)
+        if isinstance(op, ast.BitAnd):
+            return int(left) & int(right)
+        if isinstance(op, ast.BitXor):
+            return int(left) ^ int(right)
+    except (ArithmeticError, ValueError, TypeError):
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------
+# Per-function interpretation
+# ---------------------------------------------------------------------
+class _FuncInterp:
+    def __init__(self, analyzer: _Analyzer, func: FunctionInfo,
+                 collect: bool, via: str = "") -> None:
+        self.a = analyzer
+        self.func = func
+        self.collect = collect
+        self.via = via
+        self.emit_on = True
+        self.scope = function_scope(analyzer.graph, func)
+        self.sites = analyzer.sites.get(func.qualname, {})
+        self.hot = func.qualname in analyzer.hot
+
+    # -- top level -----------------------------------------------------
+    def run(self, env: Env) -> None:
+        self._exec_block(self.func.body(), env)
+
+    def _exec_block(self, body: Sequence[ast.stmt],
+                    env: Env) -> bool:
+        """Execute statements in ``env`` (mutated); True if the block
+        provably terminates (return/raise/break/continue)."""
+        for stmt in body:
+            if self._exec(stmt, env):
+                return True
+        return False
+
+    # -- findings ------------------------------------------------------
+    def _emit(self, node: ast.AST, code: str, rule: str,
+              message: str) -> None:
+        if self.emit_on:
+            self.a.emit(self.func, node, code, rule, message, self.via)
+
+    def _oblige(self, node: ast.AST, message: str) -> None:
+        # Obligations come only from the annotation-seeded pass: a
+        # pass-B environment describes *known* callers, never all.
+        if self.emit_on and self.collect and self.hot:
+            self.a.oblige(self.func, node, message)
+
+    # -- statements ----------------------------------------------------
+    def _exec(self, stmt: ast.stmt, env: Env) -> bool:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+                declared = self.a.return_units.get(self.func.qualname)
+                if is_unit(declared) and is_unit(value.unit) \
+                        and declared is not None \
+                        and not assignable(value.unit, declared):
+                    self._emit(
+                        stmt, "UNIT704", "unit-return-mismatch",
+                        f"returns {value.unit} from "
+                        f"{self.func.qualname} whose declared return "
+                        f"unit is {declared}")
+            return True
+        if isinstance(stmt, (ast.Raise, ast.Break, ast.Continue)):
+            if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                self._eval(stmt.exc, env)
+            return True
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, env, stmt.value)
+            return False
+        if isinstance(stmt, ast.AnnAssign):
+            declared = annotation_unit(stmt.annotation)
+            value = (self._eval(stmt.value, env)
+                     if stmt.value is not None else TOP_VAL)
+            if is_unit(declared) and declared is not None:
+                ival = value.ival.meet(_default_interval(declared))
+                if ival.is_bottom:
+                    ival = _default_interval(declared)
+                value = replace(value, unit=declared, ival=ival)
+            self._bind(stmt.target, value, env, stmt.value)
+            return False
+        if isinstance(stmt, ast.AugAssign):
+            synth = ast.BinOp(left=_load_of(stmt.target), op=stmt.op,
+                              right=stmt.value)
+            ast.copy_location(synth, stmt)
+            ast.fix_missing_locations(synth)
+            value = self._eval(synth, env)
+            self._bind(stmt.target, value, env, stmt.value)
+            return False
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt, env)
+        if isinstance(stmt, ast.For):
+            self._exec_for(stmt, env)
+            return False
+        if isinstance(stmt, ast.While):
+            self._exec_while(stmt, env)
+            return False
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            refined = self._refine(stmt.test, env, True)
+            env.clear()
+            env.update(refined)
+            return False
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+            return False
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                value = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value, env, None)
+            return self._exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            pre = dict(env)
+            terminated = self._exec_block(stmt.body, env)
+            merged = _join_env(pre, env)
+            for handler in stmt.handlers:
+                handler_env = dict(merged)
+                if handler.name:
+                    handler_env[handler.name] = TOP_VAL
+                self._exec_block(handler.body, handler_env)
+                merged = _join_env(merged, handler_env)
+            if stmt.orelse and not terminated:
+                self._exec_block(stmt.orelse, env)
+                merged = _join_env(merged, env)
+            env.clear()
+            env.update(merged)
+            if stmt.finalbody:
+                return self._exec_block(stmt.finalbody, env)
+            return False
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+                    _invalidate_name(env, target.id)
+                elif isinstance(target, ast.Subscript):
+                    base = dotted(target.value)
+                    if base:
+                        _invalidate_name(env, base)
+            return False
+        # def/class/import/global/pass...: no dataflow effect here.
+        return False
+
+    def _exec_if(self, stmt: ast.If, env: Env) -> bool:
+        self._eval(stmt.test, env)
+        true_env = self._refine(stmt.test, env, True)
+        false_env = self._refine(stmt.test, env, False)
+        true_done = self._exec_block(stmt.body, true_env)
+        false_done = (self._exec_block(stmt.orelse, false_env)
+                      if stmt.orelse else False)
+        if true_done and false_done:
+            return True
+        if true_done:
+            merged = false_env
+        elif false_done:
+            merged = true_env
+        else:
+            merged = _join_env(true_env, false_env)
+        env.clear()
+        env.update(merged)
+        return False
+
+    def _loop_body(self, stmt, env: Env,
+                   bind) -> None:
+        """Fixpoint over a loop body: widen silently, emit once."""
+        loop_env = dict(env)
+        emit_state = self.emit_on
+        self.emit_on = False
+        try:
+            for _ in range(3):
+                probe = dict(loop_env)
+                bind(probe)
+                self._exec_block(stmt.body, probe)
+                widened = _widen_env(loop_env, probe)
+                if widened == loop_env:
+                    break
+                loop_env = widened
+        finally:
+            self.emit_on = emit_state
+        final = dict(loop_env)
+        bind(final)
+        self._exec_block(stmt.body, final)
+        merged = _join_env(env, final)
+        env.clear()
+        env.update(merged)
+        if stmt.orelse:
+            self._exec_block(stmt.orelse, env)
+
+    def _exec_for(self, stmt: ast.For, env: Env) -> None:
+        iter_val = self._eval(stmt.iter, env)
+
+        def bind(target_env: Env) -> None:
+            self._bind_iter(stmt.target, stmt.iter, iter_val,
+                            target_env)
+
+        self._loop_body(stmt, env, bind)
+
+    def _exec_while(self, stmt: ast.While, env: Env) -> None:
+        self._eval(stmt.test, env)
+
+        def bind(target_env: Env) -> None:
+            refined = self._refine(stmt.test, target_env, True)
+            target_env.clear()
+            target_env.update(refined)
+
+        self._loop_body(stmt, env, bind)
+
+    # -- loop iteration binding ---------------------------------------
+    def _range_bounds(self, call: ast.Call,
+                      env: Env) -> Optional[AbsVal]:
+        """AbsVal of the loop variable for ``range(...)`` iterations."""
+        args = [self._eval(arg, env) for arg in call.args]
+        if not args or len(args) > 3:
+            return None
+        if len(args) == 1:
+            start, stop = const_val(0), args[0]
+        else:
+            start, stop = args[0], args[1]
+        if len(args) == 3 and not args[2].ival.within(1, INF):
+            # non-positive or unknown step: interval hull only
+            return AbsVal(ival=start.ival.join(stop.ival))
+        hi = stop.ival.hi - 1 if math.isfinite(stop.ival.hi) else INF
+        ival = Interval(min(start.ival.lo, hi), hi)
+        ub = None
+        tight = False
+        if stop.exact is not None:
+            sym, off = stop.exact
+            ub = (sym, off - 1)
+            tight = True
+        elif stop.ub is not None:
+            sym, off = stop.ub
+            ub = (sym, off - 1)
+            tight = stop.tight
+        return AbsVal(unit=stop.unit
+                      if stop.unit in ("SlotIndex", "Count") else TOP,
+                      ival=ival, ub=ub, tight=tight)
+
+    def _bind_iter(self, target: ast.expr, iter_node: ast.expr,
+                   iter_val: AbsVal, env: Env) -> None:
+        elem = TOP_VAL
+        if isinstance(iter_node, ast.Call):
+            callee = dotted(iter_node.func) or ""
+            base = callee.split(".")[-1]
+            if base == "range":
+                bounds = self._range_bounds(iter_node, env)
+                if bounds is not None:
+                    elem = bounds
+            elif base == "enumerate" and iter_node.args:
+                seq = self._eval(iter_node.args[0], env)
+                index = AbsVal(unit="Count", ival=Interval(0, INF))
+                if seq.length is not None:
+                    sym = _length_sym(seq, iter_node.args[0])
+                    hi = (seq.length.ival.hi - 1
+                          if math.isfinite(seq.length.ival.hi)
+                          else INF)
+                    index = AbsVal(unit="Count",
+                                   ival=Interval(0, hi),
+                                   ub=((sym, -1) if sym else None),
+                                   tight=True)
+                if isinstance(target, ast.Tuple) \
+                        and len(target.elts) == 2:
+                    self._bind(target.elts[0], index, env, None)
+                    self._bind(target.elts[1], TOP_VAL, env, None)
+                    return
+        elif isinstance(iter_node, (ast.Tuple, ast.List)):
+            values = [self._eval(e, env) for e in iter_node.elts]
+            if values:
+                joined = values[0]
+                for value in values[1:]:
+                    joined = joined.join(value)
+                elem = joined
+        self._bind(target, elem, env, None)
+
+    # -- binding -------------------------------------------------------
+    def _bind(self, target: ast.expr, value: AbsVal, env: Env,
+              value_node: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            _invalidate_name(env, target.id)
+            env[target.id] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            parts: List[AbsVal] = []
+            if isinstance(value_node, (ast.Tuple, ast.List)) and \
+                    len(value_node.elts) == len(target.elts):
+                parts = [self._eval(e, env) for e in value_node.elts]
+            for index, elt in enumerate(target.elts):
+                part = parts[index] if parts else TOP_VAL
+                self._bind(elt, part, env, None)
+            return
+        if isinstance(target, ast.Subscript):
+            # store-side bounds check; container length unchanged
+            self._subscript(target, env, store=True)
+            return
+        if isinstance(target, ast.Attribute):
+            base = dotted(target)
+            if base:
+                _invalidate_name(env, base)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, TOP_VAL, env, None)
+
+    # -- expressions ---------------------------------------------------
+    def _eval(self, node: ast.expr, env: Env) -> AbsVal:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return const_val(int(node.value))
+            if isinstance(node.value, (int, float)):
+                return const_val(node.value)
+            return TOP_VAL
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            folded = self.a.const_of(self.func.module, node.id)
+            if folded is not None:
+                return const_val(folded)
+            return TOP_VAL
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            inner = self._eval(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                return AbsVal(unit=inner.unit, ival=inner.ival.neg())
+            if isinstance(node.op, ast.Not):
+                return AbsVal(ival=Interval(0, 1))
+            return TOP_VAL
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._eval(value, env)
+            return TOP_VAL
+        if isinstance(node, ast.Compare):
+            self._check_compare(node, env)
+            return AbsVal(ival=Interval(0, 1))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node, env, store=False)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            true_env = self._refine(node.test, env, True)
+            false_env = self._refine(node.test, env, False)
+            return self._eval(node.body, true_env).join(
+                self._eval(node.orelse, false_env))
+        if isinstance(node, (ast.List, ast.Tuple)):
+            for elt in node.elts:
+                if not isinstance(elt, ast.Starred):
+                    self._eval(elt, env)
+            if any(isinstance(e, ast.Starred) for e in node.elts):
+                return AbsVal(length=AbsVal(
+                    unit="Count", ival=Interval(0, INF)))
+            return AbsVal(length=AbsVal(
+                unit="Count", ival=Interval.const(len(node.elts))))
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key, env)
+            for value in node.values:
+                self._eval(value, env)
+            return AbsVal(is_map=True)
+        if isinstance(node, ast.Set):
+            for elt in node.elts:
+                self._eval(elt, env)
+            return TOP_VAL
+        if isinstance(node, (ast.ListComp, ast.SetComp,
+                             ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(node, env)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._eval(value.value, env)
+            return TOP_VAL
+        if isinstance(node, ast.FormattedValue):
+            self._eval(node.value, env)
+            return TOP_VAL
+        if isinstance(node, ast.Lambda):
+            return TOP_VAL
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env)
+            self._bind(node.target, value, env, node.value)
+            return value
+        return TOP_VAL
+
+    def _eval_comprehension(self, node, env: Env) -> AbsVal:
+        comp_env = dict(env)
+        length: Optional[AbsVal] = None
+        for index, gen in enumerate(node.generators):
+            iter_val = self._eval(gen.iter, comp_env)
+            self._bind_iter(gen.target, gen.iter, iter_val, comp_env)
+            guarded = not gen.ifs
+            for test in gen.ifs:
+                self._eval(test, comp_env)
+                comp_env = self._refine(test, comp_env, True)
+            if index == 0 and guarded and len(node.generators) == 1:
+                if isinstance(gen.iter, ast.Call) and \
+                        (dotted(gen.iter.func) or "").split(
+                            ".")[-1] == "range" \
+                        and len(gen.iter.args) == 1:
+                    length = self._eval(gen.iter.args[0], env)
+                elif iter_val.length is not None:
+                    length = iter_val.length
+        if isinstance(node, ast.DictComp):
+            self._eval(node.key, comp_env)
+            self._eval(node.value, comp_env)
+            return AbsVal(is_map=True)
+        self._eval(node.elt, comp_env)
+        if isinstance(node, ast.ListComp) and length is not None:
+            return AbsVal(length=replace(length, unit="Count"))
+        return TOP_VAL
+
+    def _eval_attribute(self, node: ast.Attribute,
+                        env: Env) -> AbsVal:
+        text = dotted(node)
+        if text is None:
+            self._eval(node.value, env)
+            return TOP_VAL
+        parts = text.split(".")
+        base_val = (env.get(parts[0]) if len(parts) == 2
+                    and parts[0] in env else None)
+        if base_val is None and len(parts) >= 2:
+            prefix = ".".join(parts[:-1])
+            # nested chains through env: a.b.c with a.b tracked? no —
+            # only direct names carry space payloads.
+            base_val = env.get(prefix)
+        attr = parts[-1]
+        # space payloads: .size / .base of a constructed space
+        if base_val is not None and base_val.is_space:
+            if attr == "size":
+                size = base_val.space_size or TOP_VAL
+                return AbsVal(unit="Count", ival=size.ival,
+                              exact=(text, 0))
+            if attr == "base":
+                base_ival = base_val.space_base or _default_interval(
+                    "Addr")
+                return AbsVal(unit="Addr", ival=base_ival)
+        # module-level constant through an imported module alias
+        folded = self.a.const_of(self.func.module, text)
+        if folded is not None:
+            return const_val(folded)
+        # unit from the receiver's class annotation table
+        unit = self._chain_unit(parts)
+        if attr == "size":
+            ival = (_default_interval(unit) if is_unit(unit)
+                    else Interval(0, INF))
+            return AbsVal(unit=unit if is_unit(unit) else "Count",
+                          ival=ival, exact=(text, 0))
+        if is_unit(unit) and unit is not None:
+            return unit_val(unit)
+        return TOP_VAL
+
+    def _chain_unit(self, parts: List[str]) -> Optional[str]:
+        """Unit of ``a.b.c`` via annotated classes, depth-limited."""
+        cls: Optional[str] = None
+        if parts[0] == "self" and self.func.class_qualname:
+            cls = self.func.class_qualname
+        else:
+            cls = self.scope.var_types.get(parts[0])
+        for attr in parts[1:-1]:
+            if cls is None:
+                return None
+            info = self.a.graph.classes.get(cls)
+            cls = info.attr_types.get(attr) if info else None
+        if cls is None:
+            return None
+        return self.a._attr_unit_of_class(cls, parts[-1])
+
+    def _eval_binop(self, node: ast.BinOp, env: Env) -> AbsVal:
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            sign = "+" if isinstance(op, ast.Add) else "-"
+            unit, ok = combine_additive(
+                left.unit, sign, right.unit,
+                right_is_literal=right.ival.is_const)
+            if not ok:
+                self._emit(
+                    node, "UNIT701", "cross-unit-arithmetic",
+                    f"cannot {'add' if sign == '+' else 'subtract'} "
+                    f"{right.unit} {'to' if sign == '+' else 'from'} "
+                    f"{left.unit}: no unit-algebra rule for "
+                    f"{left.unit} {sign} {right.unit}")
+            ival = (left.ival.add(right.ival) if sign == "+"
+                    else left.ival.sub(right.ival))
+            exact = None
+            ub = None
+            tight = False
+            const = right.ival
+            if const.is_const:
+                offset = int(const.lo) if sign == "+" \
+                    else -int(const.lo)
+                if left.exact is not None:
+                    exact = (left.exact[0], left.exact[1] + offset)
+                if left.ub is not None:
+                    ub = (left.ub[0], left.ub[1] + offset)
+                    tight = left.tight
+            elif sign == "+" and left.ival.is_const \
+                    and right.exact is not None:
+                exact = (right.exact[0],
+                         right.exact[1] + int(left.ival.lo))
+            # list repetition: [x] * n builds a length-n sequence
+            if isinstance(op, ast.Add) and left.length is not None \
+                    and right.length is not None:
+                return AbsVal(length=left.length.join(right.length))
+            return AbsVal(unit=unit, ival=ival, exact=exact, ub=ub,
+                          tight=tight)
+        if isinstance(op, ast.Mult):
+            if left.length is not None and right.length is None \
+                    and not right.is_map:
+                return AbsVal(length=_scale_length(left.length, right))
+            if right.length is not None and left.length is None \
+                    and not left.is_map:
+                return AbsVal(length=_scale_length(right.length, left))
+            unit = TOP
+            if left.unit == "Count" and is_unit(right.unit):
+                unit = right.unit
+            elif right.unit == "Count" and is_unit(left.unit):
+                unit = left.unit
+            return AbsVal(unit=unit, ival=left.ival.mul(right.ival))
+        if isinstance(op, ast.FloorDiv):
+            return AbsVal(ival=left.ival.floordiv(right.ival))
+        if isinstance(op, ast.Mod):
+            return AbsVal(unit=left.unit
+                          if left.unit in ("SlotIndex", "Count")
+                          else TOP,
+                          ival=left.ival.mod(right.ival))
+        if isinstance(op, (ast.LShift, ast.RShift)):
+            self._check_shift(node, left, right)
+            ival = (left.ival.lshift(right.ival)
+                    if isinstance(op, ast.LShift)
+                    else left.ival.rshift(right.ival))
+            bitwidth = None
+            if isinstance(op, ast.LShift) and left.ival.is_const \
+                    and left.ival.lo == 1 and right.ival.is_const:
+                bitwidth = int(right.ival.lo)
+            return AbsVal(ival=ival, bitwidth=bitwidth)
+        if isinstance(op, (ast.BitOr, ast.BitAnd, ast.BitXor)):
+            unit = TOP
+            if left.unit == "ScopeMask" or right.unit == "ScopeMask":
+                unit = "ScopeMask"
+            ival = Interval(0, INF) if (left.ival.lo >= 0
+                                        and right.ival.lo >= 0) \
+                else Interval.top()
+            if isinstance(op, ast.BitAnd):
+                if left.ival.lo >= 0 and right.ival.lo >= 0:
+                    hi = min(left.ival.hi, right.ival.hi)
+                    ival = Interval(0, hi)
+            bitwidth = None
+            # (1 << w) - 1 handled above; mask & mask keeps min width
+            if left.bitwidth is not None \
+                    and isinstance(op, ast.BitAnd):
+                bitwidth = left.bitwidth
+            elif right.bitwidth is not None \
+                    and isinstance(op, ast.BitAnd):
+                bitwidth = right.bitwidth
+            return AbsVal(unit=unit, ival=ival, bitwidth=bitwidth)
+        if isinstance(op, ast.Sub):
+            return TOP_VAL  # unreachable; kept for clarity
+        if isinstance(op, ast.Div):
+            return AbsVal(unit=left.unit
+                          if left.unit in ("Duration", "SimTime")
+                          and right.unit in (TOP, "Count")
+                          else TOP)
+        if isinstance(op, ast.Pow):
+            return AbsVal(ival=left.ival.mul(left.ival)
+                          if right.ival.is_const and right.ival.lo == 2
+                          else Interval.top())
+        return TOP_VAL
+
+    def _check_shift(self, node: ast.BinOp, left: AbsVal,
+                     right: AbsVal) -> None:
+        self.a.stats["checked_shifts"] += 1
+        direction = ("<<" if isinstance(node.op, ast.LShift)
+                     else ">>")
+        if right.ival.hi < 0:
+            self._emit(
+                node, "UNIT712", "shift-bound-escape",
+                f"shift amount is provably negative "
+                f"(interval {right.ival}); `x {direction} n` raises "
+                f"ValueError for n < 0")
+            return
+        if left.bitwidth is not None and right.ival.lo >= \
+                left.bitwidth and math.isfinite(right.ival.lo):
+            self._emit(
+                node, "UNIT712", "shift-bound-escape",
+                f"shift amount (interval {right.ival}) escapes the "
+                f"operand's known bitmap width {left.bitwidth}")
+            return
+        if right.ival.lo < 0:
+            self._oblige(
+                node,
+                f"cannot prove shift amount non-negative "
+                f"(interval {right.ival}) on a hot path")
+            return
+        self.a.stats["proved_shifts"] += 1
+
+    # -- comparisons & refinement -------------------------------------
+    def _check_compare(self, node: ast.Compare, env: Env) -> None:
+        operands = [self._eval(item, env)
+                    for item in [node.left] + list(node.comparators)]
+        for index, op in enumerate(node.ops):
+            if isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if is_unit(left.unit) and is_unit(right.unit) \
+                    and not comparable(left.unit, right.unit):
+                self._emit(
+                    node, "UNIT702", "cross-unit-comparison",
+                    f"comparing {left.unit} with {right.unit}: the "
+                    f"units live on different scales, so one side is "
+                    f"in the wrong unit")
+
+    def _refine(self, test: ast.expr, env: Env,
+                assume: bool) -> Env:
+        out = dict(env)
+        self._refine_into(test, out, assume)
+        return out
+
+    def _refine_into(self, test: ast.expr, env: Env,
+                     assume: bool) -> None:
+        if isinstance(test, ast.UnaryOp) and isinstance(
+                test.op, ast.Not):
+            self._refine_into(test.operand, env, not assume)
+            return
+        if isinstance(test, ast.BoolOp):
+            if (isinstance(test.op, ast.And) and assume) or \
+                    (isinstance(test.op, ast.Or) and not assume):
+                for value in test.values:
+                    self._refine_into(value, env, assume)
+            return
+        if isinstance(test, ast.Call):
+            callee = dotted(test.func) or ""
+            if callee.split(".")[-1] == "contains_index" \
+                    and assume and len(test.args) == 1 \
+                    and isinstance(test.args[0], ast.Name):
+                name = test.args[0].id
+                if name in env and isinstance(test.func,
+                                              ast.Attribute):
+                    recv = dotted(test.func.value)
+                    current = env[name]
+                    size_hi = INF
+                    recv_val = env.get(recv or "")
+                    if recv_val is not None and recv_val.is_space \
+                            and recv_val.space_size is not None:
+                        size_hi = recv_val.space_size.ival.hi
+                    ival = current.ival.meet(Interval(0, size_hi - 1
+                                             if math.isfinite(size_hi)
+                                             else INF))
+                    env[name] = replace(
+                        current, ival=ival,
+                        ub=((f"{recv}.size", -1) if recv
+                            else current.ub),
+                        tight=False)
+            return
+        if not isinstance(test, ast.Compare):
+            return
+        items = [test.left] + list(test.comparators)
+        for index, op in enumerate(test.ops):
+            op_text = _op_text(op)
+            if op_text is None:
+                continue
+            if not assume:
+                from repro.units.intervals import NEGATE_OP
+                op_text = NEGATE_OP.get(op_text)
+                if op_text is None:
+                    continue
+            left_node, right_node = items[index], items[index + 1]
+            self._refine_pair(left_node, op_text, right_node, env)
+            self._refine_pair(right_node, SWAP_OP[op_text], left_node,
+                              env)
+
+    def _refine_pair(self, var_node: ast.expr, op: str,
+                     bound_node: ast.expr, env: Env) -> None:
+        if not isinstance(var_node, ast.Name) or \
+                var_node.id not in env:
+            return
+        bound = self._eval(bound_node, env)
+        current = env[var_node.id]
+        refined_ival = current.ival.refine(op, bound.ival)
+        if refined_ival.is_bottom:
+            refined_ival = current.ival
+        exact = current.exact
+        ub = current.ub
+        tight = current.tight
+        sym = bound.exact or bound.ub
+        if sym is not None and (bound.exact is not None
+                                or op in ("<", "<=")):
+            name, off = sym
+            if op == "<":
+                candidate = (name, off - 1)
+            elif op == "<=":
+                candidate = (name, off)
+            elif op == "==" and bound.exact is not None:
+                exact = bound.exact
+                candidate = None
+            else:
+                candidate = None
+            if candidate is not None:
+                if ub is None or (ub[0] == candidate[0]
+                                  and candidate[1] < ub[1]):
+                    ub = candidate
+                    tight = False
+        env[var_node.id] = replace(current, ival=refined_ival,
+                                   exact=exact, ub=ub, tight=tight)
+
+    # -- calls ---------------------------------------------------------
+    def _eval_call(self, node: ast.Call, env: Env) -> AbsVal:
+        text = dotted(node.func) or ""
+        base = text.split(".")[-1] if text else ""
+        argvals: List[AbsVal] = []
+        for arg in node.args:
+            argvals.append(self._eval(arg, env))
+        kwvals = {kw.arg: self._eval(kw.value, env)
+                  for kw in node.keywords if kw.arg is not None}
+        if not text:
+            self._eval(node.func, env)
+
+        # builtins with unit/interval semantics
+        if base == "len" and len(argvals) == 1 and not kwvals:
+            seq = argvals[0]
+            sym = _length_sym(seq, node.args[0])
+            ival = (seq.length.ival if seq.length is not None
+                    else Interval(0, INF))
+            exact = None
+            if seq.length is not None and seq.length.exact is not None:
+                exact = seq.length.exact
+            elif sym:
+                exact = (sym, 0)
+            return AbsVal(unit="Count", ival=ival, exact=exact)
+        if base in ("int", "float") and len(argvals) == 1:
+            return argvals[0]
+        if base == "abs" and len(argvals) == 1:
+            inner = argvals[0]
+            ival = inner.ival
+            if ival.lo < 0:
+                hi = max(abs(ival.lo), abs(ival.hi)) \
+                    if not ival.is_top else INF
+                ival = Interval(0, hi)
+            return AbsVal(unit=inner.unit, ival=ival)
+        if base in ("min", "max") and len(argvals) >= 2:
+            joined = argvals[0]
+            for index in range(1, len(argvals)):
+                left, right = argvals[index - 1], argvals[index]
+                if is_unit(left.unit) and is_unit(right.unit) \
+                        and not comparable(left.unit, right.unit):
+                    self._emit(
+                        node, "UNIT702", "cross-unit-comparison",
+                        f"{base}() compares {left.unit} with "
+                        f"{right.unit}: the units live on different "
+                        f"scales")
+                joined = joined.join(right)
+            los = [v.ival.lo for v in argvals]
+            his = [v.ival.hi for v in argvals]
+            ival = (Interval(min(los), min(his)) if base == "min"
+                    else Interval(max(los), max(his)))
+            ub = joined.ub
+            if base == "min":
+                for value in argvals:
+                    if value.exact is not None:
+                        ub = value.exact if ub is None else ub
+                    elif value.ub is not None and ub is None:
+                        ub = value.ub
+            return AbsVal(unit=joined.unit, ival=ival, ub=ub)
+        if base in ("sorted", "list", "tuple") and len(argvals) == 1:
+            seq = argvals[0]
+            if seq.length is not None:
+                return AbsVal(length=seq.length)
+            return AbsVal(length=AbsVal(unit="Count",
+                                        ival=Interval(0, INF)))
+        if base in ("zeros", "ones", "empty", "full", "arange") \
+                and text.startswith(("np.", "numpy.")) and argvals:
+            return AbsVal(length=replace(argvals[0], unit="Count"))
+
+        # space constructors and factories
+        space = self._space_value(node, base, argvals, kwvals)
+        if space is not None:
+            return space
+
+        # index<->address conversions (UNIT713)
+        if isinstance(node.func, ast.Attribute) and \
+                (base in _INDEX_CONVERSIONS
+                 or base in _ADDR_CONVERSIONS
+                 or base == "contains_index"):
+            return self._conversion(node, base, argvals, env)
+
+        # container mutation invalidates old-length-relative proofs
+        if isinstance(node.func, ast.Attribute) \
+                and base in _MUTATING_METHODS:
+            recv = dotted(node.func.value)
+            if recv is not None:
+                if base in _SHRINKING_METHODS:
+                    _invalidate_name(env, recv)
+                    # The length record itself may carry a sym that
+                    # does not mention the receiver ("n" after
+                    # ``xs = [0] * n``); shrinking voids it too.
+                    if recv in env and env[recv].length is not None:
+                        env[recv] = replace(env[recv], length=AbsVal(
+                            unit="Count", ival=Interval(0, INF)))
+                elif recv in env and env[recv].length is not None:
+                    env[recv] = replace(env[recv], length=AbsVal(
+                        unit="Count", ival=Interval(0, INF)))
+
+        # graph-resolved targets: UNIT703 + pass-B collection
+        return self._resolved_call(node, argvals, kwvals, env)
+
+    def _space_value(self, node: ast.Call, base: str,
+                     argvals: List[AbsVal],
+                     kwvals: Dict[str, AbsVal]) -> Optional[AbsVal]:
+        if base == "MulticastAddressSpace":
+            base_val = kwvals.get("base",
+                                  argvals[0] if argvals else TOP_VAL)
+            size_val = kwvals.get("size",
+                                  argvals[1] if len(argvals) > 1
+                                  else TOP_VAL)
+            return AbsVal(
+                space_base=(base_val.ival
+                            if not base_val.ival.is_top else None),
+                space_size=replace(size_val, unit="Count"),
+            )
+        if base in _SPACE_FACTORIES:
+            known_base, known_size = _SPACE_FACTORIES[base]
+            return AbsVal(
+                space_base=Interval.const(known_base),
+                space_size=AbsVal(unit="Count",
+                                  ival=Interval.const(known_size)),
+            )
+        if base == "abstract" and (argvals or "size" in kwvals):
+            size_val = kwvals.get("size", argvals[0]
+                                  if argvals else TOP_VAL)
+            return AbsVal(space_size=replace(size_val, unit="Count"))
+        return None
+
+    def _conversion(self, node: ast.Call, base: str,
+                    argvals: List[AbsVal], env: Env) -> AbsVal:
+        assert isinstance(node.func, ast.Attribute)
+        recv_text = dotted(node.func.value)
+        recv_val = env.get(recv_text or "")
+        if recv_val is None and recv_text == "self" \
+                and self.func.class_qualname and \
+                self.func.class_qualname.split(".")[-1] == \
+                "MulticastAddressSpace":
+            recv_val = AbsVal(space_size=AbsVal(
+                unit="Count", ival=Interval(1, INF)))
+        size_sym = f"{recv_text}.size" if recv_text else None
+        size_ival = Interval(1, INF)
+        base_ival: Optional[Interval] = None
+        if recv_val is not None and recv_val.is_space:
+            assert recv_val.space_size is not None
+            size_ival = recv_val.space_size.ival
+            base_ival = recv_val.space_base
+        if base == "contains_index":
+            return AbsVal(ival=Interval(0, 1))
+        if not argvals:
+            return TOP_VAL
+        arg = argvals[0]
+        self.a.stats["checked_conversions"] += 1
+        if base in _INDEX_CONVERSIONS:
+            verdict = _upper_verdict(arg, size_sym, size_ival,
+                                     require_lower=True)
+            if verdict == "violation":
+                self._emit(
+                    node, "UNIT713", "conversion-bound-escape",
+                    f"{base}() argument "
+                    f"({_describe(arg)}) provably escapes the space "
+                    f"bound 0..{_bound_text(size_sym, size_ival)}-1")
+            elif verdict == "ok":
+                self.a.stats["proved_conversions"] += 1
+            else:
+                self._oblige(
+                    node,
+                    f"cannot prove {base}() argument "
+                    f"({_describe(arg)}) stays inside "
+                    f"0..{_bound_text(size_sym, size_ival)}-1 on a "
+                    f"hot path")
+            result_unit = ("Addr" if base == "index_to_address"
+                           else TOP)
+            ival = Interval.top()
+            if base == "index_to_address":
+                ival = (base_ival.add(arg.ival) if base_ival is not None
+                        else _default_interval("Addr"))
+                return AbsVal(unit="Addr", ival=ival)
+            return AbsVal(unit=result_unit)
+        # address -> index direction
+        if base_ival is not None and math.isfinite(size_ival.hi):
+            lo, hi = base_ival.lo, base_ival.hi + size_ival.hi - 1
+            if arg.ival.disjoint(lo, hi) and not arg.ival.is_top:
+                self._emit(
+                    node, "UNIT713", "conversion-bound-escape",
+                    f"{base}() argument ({_describe(arg)}) is "
+                    f"provably outside the space "
+                    f"[{_fmt(lo)}..{_fmt(hi)}]")
+            elif arg.ival.within(lo, hi):
+                self.a.stats["proved_conversions"] += 1
+            else:
+                self._oblige(
+                    node,
+                    f"cannot prove {base}() argument "
+                    f"({_describe(arg)}) lies inside the space "
+                    f"[{_fmt(lo)}..{_fmt(hi)}] on a hot path")
+        else:
+            self._oblige(
+                node,
+                f"cannot prove {base}() argument ({_describe(arg)}) "
+                f"lies inside the receiving space on a hot path "
+                f"(base unknown statically)")
+        hi = size_ival.hi - 1 if math.isfinite(size_ival.hi) else INF
+        return AbsVal(unit="SlotIndex", ival=Interval(0, hi),
+                      ub=((size_sym, -1) if size_sym else None))
+
+    def _resolved_call(self, node: ast.Call, argvals: List[AbsVal],
+                       kwvals: Dict[str, AbsVal],
+                       env: Env) -> AbsVal:
+        site = self.sites.get((node.lineno, node.col_offset))
+        if site is None or not site.targets:
+            return TOP_VAL
+        mapped = self._map_args(site, node, argvals, kwvals)
+        if mapped:
+            self._check_args(node, site, mapped)
+            if self.collect:
+                self._collect_args(node, site, mapped)
+        # result: annotated return unit shared by every target
+        units = {self.a.return_units.get(t) for t in site.targets}
+        if len(units) == 1:
+            unit = units.pop()
+            if is_unit(unit):
+                return unit_val(unit)
+        return TOP_VAL
+
+    def _map_args(self, site: CallSite, node: ast.Call,
+                  argvals: List[AbsVal], kwvals: Dict[str, AbsVal]
+                  ) -> Dict[str, List[Tuple[str, AbsVal,
+                                            ast.expr]]]:
+        """param -> [(target, value, arg node)] across CHA targets."""
+        if any(isinstance(arg, ast.Starred) for arg in node.args) \
+                or any(kw.arg is None for kw in node.keywords):
+            return {}
+        is_method = (site.kind == "constructor"
+                     or "." in site.callee_text)
+        out: Dict[str, List[Tuple[str, AbsVal, ast.expr]]] = {}
+        for target in site.targets:
+            info = self.a.graph.functions.get(target)
+            if info is None:
+                continue
+            params = info.params
+            skip = 1 if (params and params[0] in ("self", "cls")
+                         and is_method) else 0
+            for index, arg in enumerate(node.args):
+                slot = index + skip
+                if slot >= len(params):
+                    break
+                out.setdefault(params[slot], []).append(
+                    (target, argvals[index], arg))
+            for kw in node.keywords:
+                if kw.arg in params:
+                    out.setdefault(kw.arg, []).append(
+                        (target, kwvals[kw.arg], kw.value))
+        return out
+
+    def _check_args(self, node: ast.Call, site: CallSite,
+                    mapped: Dict[str, List[Tuple[str, AbsVal,
+                                                 ast.expr]]]) -> None:
+        for param, entries in mapped.items():
+            declared_mismatch: List[str] = []
+            any_ok = False
+            value = entries[0][1]
+            for target, entry_val, _ in entries:
+                declared = self.a.param_units.get(target, {}).get(
+                    param)
+                if not is_unit(declared) or declared is None:
+                    continue
+                if not is_unit(entry_val.unit):
+                    any_ok = True
+                elif assignable(entry_val.unit, declared):
+                    any_ok = True
+                else:
+                    declared_mismatch.append(declared)
+                    value = entry_val
+            if declared_mismatch and not any_ok:
+                self._emit(
+                    node, "UNIT703", "unit-argument-mismatch",
+                    f"argument {param!r} of {site.callee_text}() "
+                    f"carries unit {value.unit} but the callee "
+                    f"declares {declared_mismatch[0]}")
+
+    def _collect_args(self, node: ast.Call, site: CallSite,
+                      mapped: Dict[str, List[Tuple[str, AbsVal,
+                                                   ast.expr]]]
+                      ) -> None:
+        textmap: Dict[str, str] = {}
+        for param, entries in mapped.items():
+            for _, _, arg_node in entries:
+                text = dotted(arg_node)
+                if text:
+                    textmap[text] = param
+        for param, entries in mapped.items():
+            for target, value, _ in entries:
+                rerooted = _reroot(value, textmap)
+                self.a.callinfo.setdefault(target, {}).setdefault(
+                    param, []).append(
+                    (rerooted, self.func.qualname, self.func.path,
+                     node.lineno))
+
+    # -- subscripts ----------------------------------------------------
+    def _subscript(self, node: ast.Subscript, env: Env,
+                   store: bool) -> AbsVal:
+        container = self._eval(node.value, env)
+        if isinstance(node.slice, ast.Slice):
+            for part in (node.slice.lower, node.slice.upper,
+                         node.slice.step):
+                if part is not None:
+                    self._eval(part, env)
+            return replace(container, unit=TOP) \
+                if container.length is not None else TOP_VAL
+        if isinstance(node.slice, ast.Tuple):
+            for elt in node.slice.elts:
+                self._eval(elt, env)
+            return TOP_VAL
+        index = self._eval(node.slice, env)
+        if container.is_map or container.length is None:
+            return TOP_VAL
+        self.a.stats["checked_subscripts"] += 1
+        if index.unit == "Addr":
+            self._emit(
+                node, "UNIT705", "addr-as-slot-index",
+                f"an absolute multicast address (Addr, "
+                f"{_describe(index)}) subscripts a dense container "
+                f"of length {_describe(container.length)}; convert "
+                f"with address_to_index() first")
+            return TOP_VAL
+        length = container.length
+        sym = length.exact[0] if length.exact is not None else None
+        offset = length.exact[1] if length.exact is not None else 0
+        if sym is None:
+            # No symbolic length recorded; ``len(<container>)`` is
+            # still a sound name for it — the range(len(xs)) idiom
+            # produces exactly that sym.
+            sym = _length_sym(container, node.value)
+        verdict = _upper_verdict(index, sym, length.ival,
+                                 require_lower=False,
+                                 bound_offset=offset)
+        if verdict == "violation":
+            self._emit(
+                node, "UNIT711", "index-bound-escape",
+                f"subscript ({_describe(index)}) provably escapes "
+                f"0..{_bound_text(sym, length.ival)}-1")
+        elif verdict == "ok":
+            self.a.stats["proved_subscripts"] += 1
+        else:
+            self._oblige(
+                node,
+                f"cannot prove subscript ({_describe(index)}) stays "
+                f"inside 0..{_bound_text(sym, length.ival)}-1 on a "
+                f"hot path")
+        return TOP_VAL
+
+
+# ---------------------------------------------------------------------
+# Bound verdicts and helpers
+# ---------------------------------------------------------------------
+def _upper_verdict(value: AbsVal, bound_sym: Optional[str],
+                   bound_ival: Interval,
+                   require_lower: bool,
+                   bound_offset: int = 0) -> str:
+    """"ok" | "violation" | "unknown" for ``value <= L - 1`` where
+    ``L = bound_sym + bound_offset`` (symbolically) and/or
+    ``L in bound_ival`` (numerically)."""
+    limit = bound_offset - 1
+    ok_upper = False
+    for form, attained in ((value.exact, True),
+                           (value.ub, value.tight)):
+        if form is None or bound_sym is None:
+            continue
+        sym, off = form
+        if sym != bound_sym:
+            continue
+        if off <= limit:
+            ok_upper = True
+        elif attained and off >= bound_offset:
+            return "violation"
+    if not ok_upper and math.isfinite(bound_ival.lo) \
+            and value.ival.hi <= bound_ival.lo - 1:
+        ok_upper = True
+    if math.isfinite(bound_ival.hi) and value.ival.lo >= \
+            bound_ival.hi and not value.ival.is_bottom:
+        return "violation"
+    if require_lower:
+        if value.ival.hi < 0:
+            return "violation"
+        if ok_upper and value.ival.lo >= 0:
+            return "ok"
+        return "unknown"
+    return "ok" if ok_upper else "unknown"
+
+
+def _reroot(value: AbsVal, textmap: Dict[str, str]) -> AbsVal:
+    def fix(form: Optional[Tuple[str, int]]
+            ) -> Optional[Tuple[str, int]]:
+        if form is None:
+            return None
+        sym, off = form
+        for text, param in textmap.items():
+            if sym == text:
+                return (param, off)
+            if sym.startswith(text + "."):
+                return (param + sym[len(text):], off)
+            if sym == f"len({text})":
+                return (f"len({param})", off)
+        return None
+    stripped_size = None
+    if value.space_size is not None:
+        stripped_size = replace(value.space_size, exact=None, ub=None)
+    stripped_len = None
+    if value.length is not None:
+        stripped_len = replace(value.length, exact=fix(
+            value.length.exact), ub=None)
+    return replace(value, exact=fix(value.exact), ub=fix(value.ub),
+                   space_size=stripped_size, length=stripped_len)
+
+
+def _length_sym(seq: AbsVal, node: ast.expr) -> Optional[str]:
+    if seq.length is not None and seq.length.exact is not None:
+        return seq.length.exact[0]
+    text = dotted(node)
+    return f"len({text})" if text else None
+
+
+def _scale_length(length: AbsVal, factor: AbsVal) -> AbsVal:
+    if factor.ival.is_const and factor.ival.lo == 1:
+        return length
+    scaled = length.ival.mul(factor.ival)
+    exact = None
+    if length.ival.is_const and length.ival.lo == 1 \
+            and factor.exact is not None and factor.exact[1] == 0:
+        exact = factor.exact
+    return AbsVal(unit="Count", ival=scaled, exact=exact)
+
+
+def _invalidate_name(env: Env, name: str) -> None:
+    """Kill symbolic forms that referenced ``name`` after it changes."""
+    doomed_prefix = name + "."
+    doomed_len = f"len({name})"
+    for key, value in list(env.items()):
+        changed = False
+        exact, ub = value.exact, value.ub
+        for attr, form in (("exact", exact), ("ub", ub)):
+            if form is None:
+                continue
+            sym = form[0]
+            if sym == name or sym.startswith(doomed_prefix) \
+                    or sym == doomed_len:
+                if attr == "exact":
+                    exact = None
+                else:
+                    ub = None
+                changed = True
+        length = value.length
+        if length is not None and length.exact is not None:
+            sym = length.exact[0]
+            if sym == name or sym.startswith(doomed_prefix) \
+                    or sym == doomed_len:
+                length = replace(length, exact=None)
+                changed = True
+        if changed:
+            env[key] = replace(value, exact=exact, ub=ub,
+                               length=length)
+
+
+def _join_env(left: Env, right: Env) -> Env:
+    out: Env = {}
+    for key in set(left) | set(right):
+        a, b = left.get(key), right.get(key)
+        if a is None or b is None:
+            continue  # bound on one path only: unsafe to keep
+        out[key] = a.join(b)
+    return out
+
+
+def _widen_env(old: Env, new: Env) -> Env:
+    out: Env = {}
+    for key in set(old) | set(new):
+        a, b = old.get(key), new.get(key)
+        if a is None:
+            assert b is not None
+            out[key] = b
+        elif b is None:
+            out[key] = a
+        else:
+            out[key] = a.widen(b)
+    return out
+
+
+def _op_text(op: ast.cmpop) -> Optional[str]:
+    return {ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">",
+            ast.GtE: ">=", ast.Eq: "==", ast.NotEq: "!="}.get(
+        type(op))
+
+
+def _load_of(target: ast.expr) -> ast.expr:
+    clone = ast.parse(ast.unparse(target), mode="eval").body
+    return clone
+
+
+def _fmt(value: Number) -> str:
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if isinstance(value, int) and value >= 0xE0000000:
+        return hex(value)
+    return str(value)
+
+
+def _bound_text(sym: Optional[str], ival: Interval) -> str:
+    if sym:
+        return sym
+    if math.isfinite(ival.lo) and ival.is_const:
+        return _fmt(ival.lo)
+    if math.isfinite(ival.lo):
+        return f">={_fmt(ival.lo)}"
+    return "len"
+
+
+def _describe(value: AbsVal) -> str:
+    parts: List[str] = []
+    if value.unit != TOP:
+        parts.append(value.unit)
+    if not value.ival.is_top:
+        parts.append(repr(value.ival))
+    if value.exact is not None:
+        sym, off = value.exact
+        parts.append(f"== {sym}{off:+d}" if off else f"== {sym}")
+    elif value.ub is not None:
+        sym, off = value.ub
+        parts.append(f"<= {sym}{off:+d}" if off else f"<= {sym}")
+    return ", ".join(parts) if parts else "unknown"
+
+
+def analyze_units(graph: CallGraph) -> UnitsResult:
+    """Run the unit and value-range analyses over a built graph."""
+    return _Analyzer(graph).run()
+
+
+__all__ = ["AbsVal", "UnitsResult", "analyze_units",
+           "annotation_unit", "unit_val", "const_val"]

@@ -1,0 +1,253 @@
+"""The integer/float interval domain for the value-range analysis.
+
+Classic abstract-interpretation intervals ``[lo, hi]`` over the
+extended number line, with:
+
+* total ``join`` / ``meet`` (meet of disjoint intervals is BOTTOM);
+* sound transfer functions for the arithmetic the allocator code
+  actually performs (``+ - * // % << >>``, negation);
+* *threshold widening*: instead of jumping straight to ±inf, unstable
+  bounds snap outward to the landmarks that matter in this codebase —
+  0, 1, the TTL ceiling, the 2^16 sdr space, the 2^28 multicast
+  total, and the multicast base/end addresses — so a loop that climbs
+  to ``space.size`` stabilises at a bound the checker can still
+  compare against ``0..size-1``.
+
+Endpoints are Python numbers (ints where possible) or ±``math.inf``.
+Everything here is pure and total: no interval operation raises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+INF = math.inf
+
+#: Widening landmarks (kept sorted): unstable bounds snap to the next
+#: landmark outward rather than to infinity, preserving just enough
+#: precision to compare against space sizes and address boundaries.
+THRESHOLDS: Tuple[Number, ...] = (
+    -(2 ** 32), -1, 0, 1, 2, 255, 256, 65_535, 65_536,
+    0x0FFFFFFF, 0x10000000,            # MULTICAST_TOTAL - 1, TOTAL
+    0xE0000000, 0xEFFFFFFF, 0xF0000000,  # base .. end of 224/4
+    2 ** 32,
+)
+
+
+def _as_int(value: Number) -> Number:
+    """Collapse float-typed integral endpoints to int (hash/eq sanity)."""
+    if isinstance(value, float) and math.isfinite(value) \
+            and value == int(value):
+        return int(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; ``lo > hi`` encodes BOTTOM."""
+
+    lo: Number = -INF
+    hi: Number = INF
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(-INF, INF)
+
+    @staticmethod
+    def bottom() -> "Interval":
+        return Interval(1, 0)
+
+    @staticmethod
+    def const(value: Number) -> "Interval":
+        value = _as_int(value)
+        return Interval(value, value)
+
+    @staticmethod
+    def range(lo: Number, hi: Number) -> "Interval":
+        return Interval(_as_int(lo), _as_int(hi))
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_bottom(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == -INF and self.hi == INF
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi and math.isfinite(self.lo)
+
+    def contains(self, value: Number) -> bool:
+        return not self.is_bottom and self.lo <= value <= self.hi
+
+    def within(self, lo: Number, hi: Number) -> bool:
+        """True when every value of the interval lies in ``[lo, hi]``."""
+        return self.is_bottom or (self.lo >= lo and self.hi <= hi)
+
+    def disjoint(self, lo: Number, hi: Number) -> bool:
+        """True when no value of the interval lies in ``[lo, hi]``."""
+        return self.is_bottom or self.hi < lo or self.lo > hi
+
+    # -- lattice -------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return Interval.bottom()
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Threshold widening of ``self`` by ``newer``."""
+        if self.is_bottom:
+            return newer
+        if newer.is_bottom:
+            return self
+        lo, hi = self.lo, self.hi
+        if newer.lo < lo:
+            lo = max((t for t in THRESHOLDS if t <= newer.lo),
+                     default=-INF)
+        if newer.hi > hi:
+            hi = min((t for t in THRESHOLDS if t >= newer.hi),
+                     default=INF)
+        return Interval(lo, hi)
+
+    # -- arithmetic ----------------------------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return Interval.bottom()
+        return Interval.range(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return Interval.bottom()
+        return Interval.range(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        if self.is_bottom:
+            return self
+        return Interval.range(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return Interval.bottom()
+        corners = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                try:
+                    product = a * b
+                except (OverflowError, ValueError):
+                    return Interval.top()
+                if math.isnan(product):   # 0 * inf
+                    product = 0
+                corners.append(product)
+        return Interval.range(min(corners), max(corners))
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return Interval.bottom()
+        if other.contains(0):
+            return Interval.top()
+        corners = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                if math.isinf(a) or math.isinf(b):
+                    corners.extend([-INF, INF])
+                else:
+                    corners.append(a // b)
+        return Interval.range(min(corners), max(corners))
+
+    def mod(self, other: "Interval") -> "Interval":
+        """``x % m`` for a known-positive modulus stays in [0, m-1]."""
+        if self.is_bottom or other.is_bottom:
+            return Interval.bottom()
+        if other.lo > 0 and math.isfinite(other.hi):
+            if self.lo >= 0 and self.hi < other.lo:
+                return self          # already reduced
+            return Interval.range(0, other.hi - 1)
+        return Interval.top()
+
+    def lshift(self, amount: "Interval") -> "Interval":
+        if self.is_bottom or amount.is_bottom:
+            return Interval.bottom()
+        if amount.lo < 0:
+            return Interval.top()    # raises at runtime; checked by rule
+        if (self.lo >= 0 and math.isfinite(self.hi)
+                and math.isfinite(amount.hi) and amount.hi <= 256):
+            return Interval.range(self.lo << int(amount.lo),
+                                  self.hi << int(amount.hi))
+        return Interval.top()
+
+    def rshift(self, amount: "Interval") -> "Interval":
+        if self.is_bottom or amount.is_bottom:
+            return Interval.bottom()
+        if amount.lo < 0:
+            return Interval.top()
+        if self.lo >= 0 and math.isfinite(self.hi):
+            hi = self.hi >> int(min(amount.lo, 256))
+            lo = 0 if math.isinf(amount.hi) \
+                else self.lo >> int(min(amount.hi, 256))
+            return Interval.range(lo, hi)
+        return Interval.top()
+
+    # -- comparison refinement ----------------------------------------
+    def refine(self, op: str, bound: "Interval") -> "Interval":
+        """The subset of ``self`` for which ``self <op> bound`` can
+        hold (used to refine a variable under an ``if`` guard)."""
+        if self.is_bottom or bound.is_bottom:
+            return Interval.bottom()
+        if op == "<":
+            return self.meet(Interval(-INF, bound.hi - 1
+                                      if math.isfinite(bound.hi)
+                                      else INF))
+        if op == "<=":
+            return self.meet(Interval(-INF, bound.hi))
+        if op == ">":
+            return self.meet(Interval(bound.lo + 1
+                                      if math.isfinite(bound.lo)
+                                      else -INF, INF))
+        if op == ">=":
+            return self.meet(Interval(bound.lo, INF))
+        if op == "==":
+            return self.meet(bound)
+        return self  # != and unknown ops refine nothing
+
+    def __repr__(self) -> str:
+        if self.is_bottom:
+            return "Interval(⊥)"
+        return f"Interval[{self.lo}, {self.hi}]"
+
+
+NEGATE_OP = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+             "==": "!=", "!=": "=="}
+
+SWAP_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+           "==": "==", "!=": "!="}
+
+
+def join_all(intervals: Sequence[Interval]) -> Interval:
+    out = Interval.bottom()
+    for ival in intervals:
+        out = out.join(ival)
+    return out
+
+
+def widen_env_interval(old: Optional[Interval],
+                       new: Optional[Interval]) -> Interval:
+    """Helper used by the engine's loop fixpoint."""
+    if old is None:
+        return new if new is not None else Interval.top()
+    if new is None:
+        return old
+    return old.widen(new)

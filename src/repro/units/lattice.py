@@ -1,0 +1,185 @@
+"""The semantic-unit lattice and its algebra.
+
+Units form a flat lattice: ``TOP`` (no information — plain numbers,
+literals, values from unannotated code) above the eight concrete
+units of :mod:`repro.units.types`, above ``CONFLICT``.  Mixing
+through ``TOP`` is always silent — the analysis only speaks when
+*both* sides carry a concrete unit and the algebra has no rule for
+the pair.  That keeps the checker quiet on the vast majority of
+un-annotated code while still catching every annotated mix-up.
+
+The additive algebra encodes the paper's geometry:
+
+* ``Addr`` is an affine point: ``Addr - Addr = SlotIndex`` (the dense
+  offset within a space), ``Addr ± SlotIndex/Count = Addr`` (the
+  ``base + index`` mapping).
+* ``SimTime`` is likewise affine over ``Duration``.
+* ``SlotIndex``, ``Ttl``, ``SeedInt`` translate by ``Count``;
+  differences of like units are ``Count``.
+* ``ScopeMask`` composes under bitwise operators only.
+
+Multiplicative operators never raise unit findings (squares of
+durations are legitimate in variance computations); scaling by
+``Count`` preserves the unit and everything else falls to ``TOP``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.units.types import UNIT_NAMES
+
+#: Lattice top: no unit information.
+TOP = "?"
+#: Lattice bottom: irreconcilable (never stored; findings fire instead).
+CONFLICT = "!"
+
+UNITS: FrozenSet[str] = frozenset(UNIT_NAMES)
+
+#: Default value ranges implied by a unit annotation alone.
+#: (lo, hi) bounds; None means unbounded on that side.
+UNIT_DEFAULT_RANGE: Dict[str, Tuple[Optional[int], Optional[int]]] = {
+    "Addr": (0xE0000000, 0xF0000000 - 1),
+    "SlotIndex": (0, None),
+    "Ttl": (1, 255),
+    "ScopeMask": (0, 2 ** 32 - 1),
+    "SimTime": (0, None),
+    "Duration": (None, None),
+    "SeedInt": (None, None),
+    "Count": (0, None),
+}
+
+
+def is_unit(name: Optional[str]) -> bool:
+    return name in UNITS
+
+
+def join(a: str, b: str) -> str:
+    """Least upper bound of two units (flat lattice)."""
+    if a == b:
+        return a
+    if a == TOP or b == TOP:
+        return TOP
+    return TOP  # distinct concrete units join to top (flat)
+
+
+#: Additive algebra: (left, op, right) -> result unit.  ``op`` is
+#: "+" or "-".  Pairs listed here are legal; symmetric "+" closure is
+#: applied by :func:`combine_additive`.  Everything not listed where
+#: both sides are concrete is a UNIT701.
+_ADDITIVE: Dict[Tuple[str, str, str], str] = {
+    # affine address geometry
+    ("Addr", "+", "SlotIndex"): "Addr",
+    ("Addr", "-", "SlotIndex"): "Addr",
+    ("Addr", "+", "Count"): "Addr",
+    ("Addr", "-", "Count"): "Addr",
+    ("Addr", "-", "Addr"): "SlotIndex",
+    # dense index space
+    ("SlotIndex", "+", "Count"): "SlotIndex",
+    ("SlotIndex", "-", "Count"): "SlotIndex",
+    ("SlotIndex", "+", "SlotIndex"): "SlotIndex",
+    ("SlotIndex", "-", "SlotIndex"): "Count",
+    # time geometry
+    ("SimTime", "+", "Duration"): "SimTime",
+    ("SimTime", "-", "Duration"): "SimTime",
+    ("SimTime", "-", "SimTime"): "Duration",
+    ("Duration", "+", "Duration"): "Duration",
+    ("Duration", "-", "Duration"): "Duration",
+    ("Duration", "+", "Count"): "Duration",
+    ("Duration", "-", "Count"): "Duration",
+    # discrete translations
+    ("Ttl", "+", "Count"): "Ttl",
+    ("Ttl", "-", "Count"): "Ttl",
+    ("Ttl", "-", "Ttl"): "Count",
+    ("SeedInt", "+", "Count"): "SeedInt",
+    ("SeedInt", "-", "Count"): "SeedInt",
+    ("SeedInt", "+", "SeedInt"): "SeedInt",
+    ("SeedInt", "-", "SeedInt"): "SeedInt",
+    ("Count", "+", "Count"): "Count",
+    ("Count", "-", "Count"): "Count",
+}
+
+
+def combine_additive(left: str, op: str, right: str,
+                     right_is_literal: bool = False) -> Tuple[str, bool]:
+    """Result unit of ``left <op> right`` for ``op`` in ``+ -``.
+
+    Returns ``(unit, ok)``; ``ok`` is False when both sides are
+    concrete and the algebra has no rule (a UNIT701).
+
+    ``right_is_literal`` marks a statically-known numeric constant on
+    the right.  Constants are translations, so they preserve the left
+    unit under both operators (``slot - 1`` is still a ``SlotIndex``).
+    Subtracting an *unknown expression* is different: ``SimTime - x``
+    is a ``SimTime`` if ``x`` is a ``Duration`` but a ``Duration`` if
+    ``x`` is a ``SimTime``, so the result falls to ``TOP`` rather than
+    guessing (every affine unit has the same ambiguity).
+    """
+    if left == TOP and right == TOP:
+        return TOP, True
+    if left == TOP:
+        # unknown + concrete: assume the unknown side is compatible;
+        # the concrete unit survives addition with a translation.
+        return (right if op == "+" else TOP), True
+    if right == TOP:
+        if op == "+" or right_is_literal:
+            return left, True
+        return TOP, True
+    result = _ADDITIVE.get((left, op, right))
+    if result is not None:
+        return result, True
+    if op == "+":
+        flipped = _ADDITIVE.get((right, op, left))
+        if flipped is not None:
+            return flipped, True
+    return TOP, False
+
+
+#: Comparison compatibility classes.  Two concrete units compare
+#: cleanly iff they share a class; ``Count`` is a member of every
+#: discrete-magnitude class (``index < space.size`` is the canonical
+#: guard).
+_COMPARE_CLASSES: Tuple[FrozenSet[str], ...] = (
+    frozenset({"Addr"}),
+    frozenset({"SlotIndex", "Count"}),
+    frozenset({"Ttl", "Count"}),
+    frozenset({"ScopeMask", "Count"}),
+    frozenset({"SeedInt", "Count"}),
+    frozenset({"SimTime"}),
+    frozenset({"Duration"}),
+    frozenset({"Count"}),
+)
+
+
+def comparable(left: str, right: str) -> bool:
+    """True when comparing the two units is unit-correct."""
+    if left == TOP or right == TOP or left == right:
+        return True
+    for cls in _COMPARE_CLASSES:
+        if left in cls and right in cls:
+            return True
+    return False
+
+
+#: Assignment/argument compatibility: actual -> acceptable declared
+#: targets beyond an exact match.  ``Count`` may flow into the other
+#: discrete units (a freshly computed magnitude becoming an index is
+#: how every allocator builds its result); nothing flows into or out
+#: of ``Addr`` silently — that is the bug class this tool exists for.
+_FLOWS_INTO: Dict[str, FrozenSet[str]] = {
+    "Count": frozenset({"SlotIndex", "Ttl", "SeedInt", "ScopeMask"}),
+    "SlotIndex": frozenset({"Count"}),
+    "Duration": frozenset(),
+    "SimTime": frozenset(),
+    "Addr": frozenset(),
+    "Ttl": frozenset({"Count"}),
+    "SeedInt": frozenset({"Count"}),
+    "ScopeMask": frozenset({"Count"}),
+}
+
+
+def assignable(actual: str, declared: str) -> bool:
+    """True when a value of unit ``actual`` may bind to ``declared``."""
+    if actual == TOP or declared == TOP or actual == declared:
+        return True
+    return declared in _FLOWS_INTO.get(actual, frozenset())

@@ -1,0 +1,72 @@
+"""Renderers for units reports: text, JSON, GitHub annotations.
+
+Hard findings render exactly like the linter's (same ``Finding``
+shape, same ``::error`` annotations).  Advisory UNIT714 proof
+obligations are extra: text gets a separate section, JSON gets an
+``advisory`` list, GitHub gets ``::notice`` lines so the Actions UI
+surfaces the refactor contract without failing the check.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.report import render_github as _github_errors
+from repro.units.analysis import UnitsReport
+
+
+def render_text(report: UnitsReport, strict: bool = False) -> str:
+    lines: List[str] = [f.format() for f in report.findings]
+    count = len(report.findings)
+    if count == 0:
+        lines.append("repro-units: clean (0 findings)")
+    else:
+        noun = "finding" if count == 1 else "findings"
+        lines.append(f"repro-units: {count} {noun}")
+    if report.advisory:
+        label = "errors under --strict" if strict else "report-only"
+        lines.append(f"proof obligations ({len(report.advisory)} "
+                     f"sites, {label}):")
+        for finding in report.advisory[:10]:
+            lines.append("  " + finding.format())
+        rest = len(report.advisory) - min(10, len(report.advisory))
+        if rest > 0:
+            lines.append(f"  ... and {rest} more "
+                         f"(--format json for all)")
+    if report.suppressed:
+        lines.append(f"suppressed: {report.suppressed}")
+    if report.stats:
+        lines.append(
+            "proofs: {proved_subscripts}/{checked_subscripts} "
+            "subscripts, {proved_shifts}/{checked_shifts} shifts, "
+            "{proved_conversions}/{checked_conversions} conversions "
+            "({functions} functions)".format(**{
+                key: report.stats.get(key, 0)
+                for key in ("proved_subscripts", "checked_subscripts",
+                            "proved_shifts", "checked_shifts",
+                            "proved_conversions",
+                            "checked_conversions", "functions")
+            })
+        )
+    if report.from_cache:
+        lines.append("(cached: tree unchanged)")
+    return "\n".join(lines)
+
+
+def render_json(report: UnitsReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_github(report: UnitsReport, strict: bool = False) -> str:
+    lines: List[str] = []
+    hard = _github_errors(report.findings)
+    if hard:
+        lines.append(hard)
+    for finding in report.advisory:
+        message = f"{finding.code} [{finding.rule}] {finding.message}"
+        directive = "error" if strict else "notice"
+        lines.append(f"::{directive} file={finding.path},"
+                     f"line={max(finding.line, 1)},"
+                     f"col={finding.col}::{message}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""The UNIT7xx rule table.
+
+Kept free of imports so :mod:`repro.lint.registry` can list these
+codes without pulling in the abstract interpreter (the registry is
+imported by every CLI, including ones that never run this pass).
+
+Like FLOW6xx, UNIT7xx rules are *whole-program*: a finding at a line
+may be justified by an annotation or a call path files away, so they
+run from :mod:`repro.units.analysis`, not from the lint engine.
+
+Two groups:
+
+* **UNIT70x — semantic units.**  A lattice of ``Addr`` / ``SlotIndex``
+  / ``Ttl`` / ``ScopeMask`` / ``SimTime`` / ``Duration`` / ``SeedInt``
+  / ``Count`` is seeded from the :mod:`repro.units.types` annotations
+  and propagated flow-sensitively; mixing incompatible units in
+  arithmetic, comparisons, argument passing or returns is an error.
+* **UNIT71x — value ranges.**  An interval domain (with widening and
+  a one-level relational extension for ``space.size``-shaped bounds)
+  proves subscripts, bitmap shifts and index↔address conversions stay
+  inside ``0..size-1``.  Sites the domain cannot discharge are the
+  advisory UNIT714 *proof obligations* — the refactor contract the
+  array-backed core must keep satisfying (the soundness boundary
+  mirrors FLOW615).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: (code, name, advisory, description)
+UNIT_RULES: Tuple[Tuple[str, str, bool, str], ...] = (
+    ("UNIT701", "cross-unit-arithmetic", False,
+     "an additive expression mixes incompatible semantic units "
+     "(e.g. Addr + Ttl); the unit algebra has no result for it"),
+    ("UNIT702", "cross-unit-comparison", False,
+     "a comparison between incompatible semantic units (e.g. a Ttl "
+     "against a SimTime) — one side is in the wrong unit"),
+    ("UNIT703", "unit-argument-mismatch", False,
+     "an argument whose inferred unit contradicts the callee "
+     "parameter's annotated unit (e.g. an Addr passed where a "
+     "SlotIndex is declared)"),
+    ("UNIT704", "unit-return-mismatch", False,
+     "a return value whose inferred unit contradicts the function's "
+     "annotated return unit"),
+    ("UNIT705", "addr-as-slot-index", False,
+     "an absolute multicast address (Addr) used to subscript a "
+     "dense per-slot container — the interprocedural form of the "
+     "SIM112 address/index confusion"),
+    ("UNIT711", "index-bound-escape", False,
+     "a subscript whose derived interval or symbolic bound escapes "
+     "0..len-1 for a container of known length"),
+    ("UNIT712", "shift-bound-escape", False,
+     "a bitmap shift whose amount is provably negative or escapes "
+     "the bitmap's known width"),
+    ("UNIT713", "conversion-bound-escape", False,
+     "an index->address / address->index conversion whose argument "
+     "bound escapes the address space (outside 0..size-1, or outside "
+     "base..base+size-1)"),
+    ("UNIT714", "unproved-bound", True,
+     "a subscript, shift or conversion on an allocator/scheduler/"
+     "cache path whose in-bounds proof the interval domain could not "
+     "discharge; a proof obligation for the array-backed core (the "
+     "soundness boundary shared with FLOW615)"),
+)
+
+#: Rule names whose findings are advisory (report-only by default).
+ADVISORY_RULES = frozenset(
+    name for _, name, advisory, _ in UNIT_RULES if advisory
+)
+
+UNIT_RULE_NAMES = tuple(name for _, name, _, _ in UNIT_RULES)

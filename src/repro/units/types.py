@@ -1,0 +1,58 @@
+"""Semantic-unit aliases for the quantities the simulator moves around.
+
+The paper's allocators work over a dense index space ``0..size-1``
+mapped onto real multicast ranges, and the code historically carried
+every one of those quantities as a bare ``int`` or ``float``.  These
+aliases give each quantity a *name* that the :mod:`repro.units`
+abstract interpreter enforces whole-program:
+
+* ``Addr`` — an absolute IPv4 multicast address as a 32-bit int
+  (``224.0.0.0`` = ``0xE0000000`` upward).
+* ``SlotIndex`` — a dense index into a
+  :class:`~repro.core.address_space.MulticastAddressSpace`,
+  ``0..size-1``.  This is what allocators pick and what
+  ``Session.address`` stores.
+* ``Ttl`` — an IPv4 scope TTL, ``1..255``.
+* ``ScopeMask`` — a bitmask over scope zones / admin-scope prefixes.
+* ``SimTime`` — an absolute simulated timestamp in seconds.
+* ``Duration`` — a relative time span in seconds.
+* ``SeedInt`` — RNG seed/entropy material.
+* ``Count`` — a dimensionless cardinality (space sizes, trial counts).
+
+They are deliberately *plain aliases*, not :func:`typing.NewType`
+wrappers: at runtime and to mypy every ``Addr`` is an ``int`` and
+every ``SimTime`` is a ``float``, so annotating existing code is a
+no-op for behaviour and for the type checker.  The unit discipline —
+no ``Addr + Ttl``, no ``Ttl < SimTime``, no ``Addr`` used as a
+subscript — is checked by ``python -m repro.units``, which reads
+these names out of annotations and propagates them interprocedurally
+over the :mod:`repro.flow` call graph.
+
+Keep this module import-free: it is imported by ``repro.core``,
+``repro.sim`` and ``repro.sap`` and must never create a cycle back
+into the analysis machinery.
+"""
+
+from __future__ import annotations
+
+Addr = int
+SlotIndex = int
+Ttl = int
+ScopeMask = int
+SimTime = float
+Duration = float
+SeedInt = int
+Count = int
+
+#: Every unit name the abstract interpreter recognises in annotations,
+#: mapped to its representation kind ("int" | "float").
+UNIT_NAMES = {
+    "Addr": "int",
+    "SlotIndex": "int",
+    "Ttl": "int",
+    "ScopeMask": "int",
+    "SimTime": "float",
+    "Duration": "float",
+    "SeedInt": "int",
+    "Count": "int",
+}

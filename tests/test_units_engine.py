@@ -1,0 +1,275 @@
+"""The abstract interpreter's analysis machinery.
+
+Covers the *proof* side (the point of the tool is what it can show
+safe, not just what it flags): guard refinement, loop widening,
+symbolic length tracking, space geometry, and the two-pass
+interprocedural propagation.  Rule-by-rule fire/clean pairs live in
+``test_units_mutations.py``.
+
+The checker only judges subscripts on containers whose length it
+tracks (locally-built lists, ``[0] * n``, ``range`` products); a
+parameter of unknown shape is skipped entirely rather than guessed
+at, which several tests below pin down.
+"""
+
+import textwrap
+
+from repro.units.analysis import analyze_sources
+
+
+def report_for(src, path="fix.py"):
+    return analyze_sources([(path, textwrap.dedent(src))])
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestBoundsProofs:
+    def test_range_len_subscript_is_proved(self):
+        report = report_for("""
+            def walk(n: Count):
+                xs = [0] * n
+                total = 0
+                for i in range(len(xs)):
+                    total += xs[i]
+                return total
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_subscripts"] >= 1
+
+    def test_guard_refinement_proves_the_true_branch(self):
+        report = report_for("""
+            def pick(n: Count, i: int):
+                table = [0] * n
+                if 0 <= i < len(table):
+                    return table[i]
+                return None
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_subscripts"] >= 1
+
+    def test_swapped_guard_direction_also_refines(self):
+        report = report_for("""
+            def pick(n: Count, i: int):
+                table = [0] * n
+                if len(table) > i >= 0:
+                    return table[i]
+                return None
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_subscripts"] >= 1
+
+    def test_early_return_refines_the_fallthrough(self):
+        report = report_for("""
+            def pick(n: Count, i: int):
+                table = [0] * n
+                if i >= len(table):
+                    return None
+                return table[i]
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_subscripts"] >= 1
+
+    def test_loop_widening_keeps_symbolic_bound(self):
+        report = report_for("""
+            def scan(n: Count):
+                xs = [0] * n
+                i = 0
+                total = 0
+                while i < len(xs):
+                    total += xs[i]
+                    i += 1
+                return total
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_subscripts"] >= 1
+
+    def test_unknown_shape_parameter_is_skipped_not_guessed(self):
+        report = report_for("""
+            def walk(xs):
+                return [xs[i] for i in range(len(xs))]
+        """)
+        assert codes(report) == []
+        assert report.stats["checked_subscripts"] == 0
+
+    def test_shrinking_a_list_invalidates_length(self):
+        # ``pop`` kills the symbolic length, so the later subscript is
+        # skipped (unknown shape) rather than wrongly proved.
+        report = report_for("""
+            def shrink(n: Count, i: int):
+                xs = [0] * n
+                if 0 <= i < len(xs):
+                    xs.pop()
+                    return xs[i]
+                return None
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_subscripts"] == 0
+
+    def test_off_by_one_past_len_is_flagged(self):
+        report = report_for("""
+            def over(n: Count):
+                xs = [0] * n
+                for i in range(len(xs) + 1):
+                    print(xs[i])
+        """)
+        assert codes(report) == ["UNIT711"]
+
+    def test_modulo_reduction_is_proved(self):
+        report = report_for("""
+            def fold(raw: int):
+                table = [0] * 8
+                return table[raw % 8]
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_subscripts"] >= 1
+
+
+class TestSpaceGeometry:
+    def test_factory_space_has_known_base_and_size(self):
+        report = report_for("""
+            from repro.core.address_space import MulticastAddressSpace
+
+            def probe():
+                space = MulticastAddressSpace.sdr_dynamic()
+                return space.index_to_address(65_535)
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_conversions"] >= 1
+
+    def test_one_past_the_factory_size_is_flagged(self):
+        report = report_for("""
+            from repro.core.address_space import MulticastAddressSpace
+
+            def probe():
+                space = MulticastAddressSpace.sdr_dynamic()
+                return space.index_to_address(65_536)
+        """)
+        assert codes(report) == ["UNIT713"]
+
+    def test_loop_over_space_size_is_proved(self):
+        report = report_for("""
+            def sweep(space: MulticastAddressSpace):
+                out = []
+                for index in range(space.size):
+                    out.append(space.index_to_address(index))
+                return out
+        """)
+        assert codes(report) == []
+        assert report.stats["proved_conversions"] >= 1
+
+    def test_address_outside_the_block_is_flagged(self):
+        report = report_for("""
+            from repro.core.address_space import MulticastAddressSpace
+
+            def probe():
+                space = MulticastAddressSpace.sdr_dynamic()
+                return space.address_to_index(0xE0000000)
+        """)
+        assert codes(report) == ["UNIT713"]
+
+
+class TestInterprocedural:
+    def test_pass_b_reports_the_calling_path(self):
+        report = report_for("""
+            def outer(space: MulticastAddressSpace):
+                return inner(space, space.size)
+
+            def inner(space: MulticastAddressSpace, index: SlotIndex):
+                return space.index_to_address(index)
+        """)
+        assert "UNIT713" in codes(report)
+        via = [f for f in report.findings if f.code == "UNIT713"]
+        assert any("reached via fix.outer" in f.message for f in via)
+
+    def test_obligation_shadowed_by_hard_finding_is_dropped(self):
+        # When pass B proves the violation at a site, the pass-A
+        # obligation for the same site must not double-report.
+        report = report_for("""
+            def outer(space: MulticastAddressSpace):
+                return inner(space, space.size)
+
+            def inner(space: MulticastAddressSpace, index: SlotIndex):
+                return space.index_to_address(index)
+        """)
+        hard = {(f.path, f.line, f.col) for f in report.findings}
+        advisory = {(f.path, f.line, f.col) for f in report.advisory}
+        assert not hard & advisory
+
+    def test_safe_callers_stay_clean(self):
+        report = report_for("""
+            def outer(space: MulticastAddressSpace):
+                return inner(space, space.size - 1)
+
+            def inner(space: MulticastAddressSpace, index: SlotIndex):
+                return space.index_to_address(index)
+        """)
+        assert codes(report) == []
+
+
+class TestSuppressions:
+    def test_disable_comment_suppresses_and_counts(self):
+        report = report_for("""
+            def over(n: Count):
+                xs = [0] * n
+                for i in range(len(xs) + 1):
+                    print(xs[i])  # simlint: disable=index-bound-escape
+        """)
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+    def test_unrelated_disable_does_not_suppress(self):
+        report = report_for("""
+            def over(n: Count):
+                xs = [0] * n
+                for i in range(len(xs) + 1):
+                    print(xs[i])  # simlint: disable=unseeded-rng
+        """)
+        assert codes(report) == ["UNIT711"]
+        assert report.suppressed == 0
+
+
+class TestAdvisoryPolicy:
+    def test_unknown_index_off_hot_path_is_silent(self):
+        # A subscript the checker cannot decide, in a function that is
+        # neither a hot root nor a fleet job, produces nothing at all:
+        # the advisory channel is reserved for the paths that matter.
+        report = report_for("""
+            def cold(n: Count, i: int):
+                xs = [0] * n
+                return xs[i]
+        """)
+        assert codes(report) == []
+        assert report.advisory == []
+
+    def test_negative_index_idiom_is_not_flagged(self):
+        report = report_for("""
+            def last(n: Count):
+                xs = [0] * n
+                return xs[-1]
+        """)
+        assert codes(report) == []
+
+    def test_dict_keyed_by_addr_is_legitimate(self):
+        report = report_for("""
+            def lookup(table: dict, addr: Addr):
+                return table.get(addr)
+        """)
+        assert codes(report) == []
+
+
+class TestStats:
+    def test_stats_count_proofs_and_functions(self):
+        report = report_for("""
+            def walk(n: Count):
+                xs = [0] * n
+                return [xs[i] for i in range(len(xs))]
+        """)
+        for key in ("checked_subscripts", "proved_subscripts",
+                    "checked_shifts", "proved_shifts",
+                    "checked_conversions", "proved_conversions",
+                    "functions", "modules"):
+            assert key in report.stats
+        assert report.stats["functions"] == 1
+        assert report.stats["modules"] == 1

@@ -1,0 +1,183 @@
+"""The interval domain under the value-range analysis.
+
+Soundness of every transfer function is what makes a UNIT711 a real
+out-of-bounds proof rather than a guess, so each operation is checked
+against exhaustive small concrete sets, and the threshold widening is
+pinned to the codebase's landmarks (255, 2^16, 2^28, 224/4 bounds).
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro.units.intervals import (
+    INF,
+    Interval,
+    NEGATE_OP,
+    SWAP_OP,
+    THRESHOLDS,
+    join_all,
+    widen_env_interval,
+)
+
+
+class TestBasics:
+    def test_constructors_and_predicates(self):
+        assert Interval.top().is_top
+        assert Interval.bottom().is_bottom
+        assert Interval.const(7).is_const
+        assert not Interval.range(1, 2).is_const
+        assert Interval.range(0, 9).contains(0)
+        assert Interval.range(0, 9).contains(9)
+        assert not Interval.range(0, 9).contains(10)
+
+    def test_float_integral_endpoints_collapse_to_int(self):
+        ival = Interval.const(3.0)
+        assert ival.lo == 3 and isinstance(ival.lo, int)
+
+    def test_within_and_disjoint(self):
+        assert Interval.range(2, 5).within(0, 9)
+        assert not Interval.range(2, 15).within(0, 9)
+        assert Interval.range(10, 12).disjoint(0, 9)
+        assert not Interval.range(9, 12).disjoint(0, 9)
+        assert Interval.bottom().within(0, 0)
+        assert Interval.bottom().disjoint(0, 0)
+
+    def test_join_meet(self):
+        a, b = Interval.range(0, 4), Interval.range(2, 9)
+        assert a.join(b) == Interval.range(0, 9)
+        assert a.meet(b) == Interval.range(2, 4)
+        assert Interval.range(0, 1).meet(Interval.range(5, 6)).is_bottom
+        assert Interval.bottom().join(a) == a
+        assert join_all([a, b, Interval.const(-3)]) == \
+            Interval.range(-3, 9)
+
+
+def _concretize(ival, limit=40):
+    assert math.isfinite(ival.lo) and math.isfinite(ival.hi)
+    assert ival.hi - ival.lo <= limit
+    return range(int(ival.lo), int(ival.hi) + 1)
+
+
+class TestSoundness:
+    """Every concrete result must land inside the abstract result."""
+
+    SAMPLES = [Interval.range(-3, 2), Interval.range(0, 5),
+               Interval.const(4), Interval.range(2, 7)]
+
+    @pytest.mark.parametrize("op,concrete", [
+        ("add", lambda a, b: a + b),
+        ("sub", lambda a, b: a - b),
+        ("mul", lambda a, b: a * b),
+    ])
+    def test_ring_ops(self, op, concrete):
+        for x, y in itertools.product(self.SAMPLES, repeat=2):
+            abstract = getattr(x, op)(y)
+            for a in _concretize(x):
+                for b in _concretize(y):
+                    assert abstract.contains(concrete(a, b)), \
+                        (op, x, y, a, b)
+
+    def test_floordiv(self):
+        for x in self.SAMPLES:
+            for y in [Interval.range(1, 3), Interval.const(2),
+                      Interval.range(-4, -2)]:
+                abstract = x.floordiv(y)
+                for a in _concretize(x):
+                    for b in _concretize(y):
+                        assert abstract.contains(a // b), (x, y, a, b)
+
+    def test_floordiv_by_possible_zero_is_top(self):
+        assert Interval.range(0, 9).floordiv(
+            Interval.range(-1, 1)).is_top
+
+    def test_mod_positive_modulus(self):
+        x = Interval.range(-5, 20)
+        m = Interval.range(3, 7)
+        abstract = x.mod(m)
+        for a in _concretize(x):
+            for b in _concretize(m):
+                assert abstract.contains(a % b)
+
+    def test_mod_already_reduced_is_identity(self):
+        x = Interval.range(0, 2)
+        assert x.mod(Interval.const(8)) == x
+
+    def test_shifts(self):
+        x = Interval.range(0, 5)
+        amt = Interval.range(0, 3)
+        left = x.lshift(amt)
+        right = Interval.range(0, 40).rshift(amt)
+        for a in _concretize(x):
+            for b in _concretize(amt):
+                assert left.contains(a << b)
+        for a in range(0, 41):
+            for b in _concretize(amt):
+                assert right.contains(a >> b)
+
+    def test_negative_shift_amount_is_top_not_crash(self):
+        assert Interval.range(0, 5).lshift(Interval.range(-2, 1)).is_top
+
+    def test_neg(self):
+        assert Interval.range(-3, 7).neg() == Interval.range(-7, 3)
+
+
+class TestWidening:
+    def test_unstable_upper_bound_snaps_to_landmark(self):
+        old = Interval.range(0, 10)
+        grown = Interval.range(0, 300)
+        widened = old.widen(grown)
+        assert widened.lo == 0
+        assert widened.hi == 65_535  # smallest landmark >= 300
+
+    def test_landmarks_cover_the_codebase_constants(self):
+        for landmark in (255, 65_536, 0x0FFFFFFF, 0xE0000000,
+                         0xF0000000):
+            assert landmark in THRESHOLDS
+
+    def test_widening_terminates_at_infinity(self):
+        ival = Interval.const(0)
+        for step in range(60):
+            ival = ival.widen(
+                Interval.range(ival.lo, (ival.hi + 1) * 2
+                               if math.isfinite(ival.hi) else INF))
+            if ival.is_top:
+                break
+        assert ival.hi == INF
+
+    def test_stable_bounds_do_not_move(self):
+        old = Interval.range(0, 100)
+        assert old.widen(Interval.range(5, 80)) == old
+
+    def test_widen_env_helper(self):
+        assert widen_env_interval(None, Interval.const(3)) == \
+            Interval.const(3)
+        assert widen_env_interval(Interval.const(3), None) == \
+            Interval.const(3)
+
+
+class TestRefinement:
+    def test_less_than(self):
+        x = Interval.range(0, INF)
+        assert x.refine("<", Interval.const(10)) == Interval.range(0, 9)
+
+    def test_ge_and_eq(self):
+        x = Interval.top()
+        assert x.refine(">=", Interval.const(0)).lo == 0
+        assert x.refine("==", Interval.range(3, 5)) == \
+            Interval.range(3, 5)
+
+    def test_impossible_guard_is_bottom(self):
+        assert Interval.range(0, 3).refine(
+            ">", Interval.const(10)).is_bottom
+
+    def test_ne_refines_nothing(self):
+        x = Interval.range(0, 5)
+        assert x.refine("!=", Interval.const(3)) == x
+
+    def test_op_tables_are_involutions(self):
+        for op, negated in NEGATE_OP.items():
+            assert NEGATE_OP[negated] == op
+        for op, swapped in SWAP_OP.items():
+            assert SWAP_OP[swapped] == op

@@ -1,0 +1,157 @@
+"""The semantic-unit lattice and its algebra.
+
+The algebra is the paper's address/time geometry: ``Addr`` is an
+affine point over ``SlotIndex``/``Count`` offsets, ``SimTime`` is
+affine over ``Duration``, and the discrete units translate by
+``Count``.  These tests pin the exact rules the abstract interpreter
+relies on, in particular the quiet-by-default behaviour around TOP.
+"""
+
+import pytest
+
+from repro.units.lattice import (
+    CONFLICT,
+    TOP,
+    UNIT_DEFAULT_RANGE,
+    UNITS,
+    assignable,
+    combine_additive,
+    comparable,
+    is_unit,
+    join,
+)
+from repro.units.types import UNIT_NAMES
+
+
+class TestLatticeShape:
+    def test_the_eight_units(self):
+        assert UNITS == {"Addr", "SlotIndex", "Ttl", "ScopeMask",
+                         "SimTime", "Duration", "SeedInt", "Count"}
+        assert set(UNIT_NAMES) == UNITS
+
+    def test_top_and_conflict_are_not_units(self):
+        assert not is_unit(TOP)
+        assert not is_unit(CONFLICT)
+        assert not is_unit(None)
+        assert is_unit("Addr")
+
+    def test_join_is_flat(self):
+        assert join("Addr", "Addr") == "Addr"
+        assert join("Addr", TOP) == TOP
+        assert join(TOP, "Ttl") == TOP
+        # distinct concrete units have no common concrete ancestor
+        assert join("Addr", "SlotIndex") == TOP
+
+    def test_every_unit_has_a_default_range(self):
+        assert set(UNIT_DEFAULT_RANGE) == set(UNITS)
+        lo, hi = UNIT_DEFAULT_RANGE["Addr"]
+        assert lo == 0xE0000000 and hi == 0xF0000000 - 1
+        assert UNIT_DEFAULT_RANGE["Ttl"] == (1, 255)
+        assert UNIT_DEFAULT_RANGE["SlotIndex"][0] == 0
+
+
+class TestAdditiveAlgebra:
+    @pytest.mark.parametrize("left,op,right,expect", [
+        # affine address geometry
+        ("Addr", "+", "SlotIndex", "Addr"),
+        ("Addr", "-", "SlotIndex", "Addr"),
+        ("SlotIndex", "+", "Addr", "Addr"),   # symmetric + closure
+        ("Addr", "-", "Addr", "SlotIndex"),
+        # time geometry
+        ("SimTime", "+", "Duration", "SimTime"),
+        ("Duration", "+", "SimTime", "SimTime"),
+        ("SimTime", "-", "Duration", "SimTime"),
+        ("SimTime", "-", "SimTime", "Duration"),
+        ("Duration", "-", "Duration", "Duration"),
+        # discrete translations
+        ("SlotIndex", "-", "SlotIndex", "Count"),
+        ("SlotIndex", "+", "Count", "SlotIndex"),
+        ("Ttl", "-", "Ttl", "Count"),
+        ("Count", "+", "Count", "Count"),
+    ])
+    def test_legal_pairs(self, left, op, right, expect):
+        unit, ok = combine_additive(left, op, right)
+        assert ok
+        assert unit == expect
+
+    @pytest.mark.parametrize("left,op,right", [
+        ("Addr", "+", "Addr"),        # two absolute points
+        ("Addr", "+", "Ttl"),
+        ("SimTime", "+", "SimTime"),
+        ("Ttl", "+", "Duration"),
+        ("Addr", "-", "SimTime"),
+        ("SlotIndex", "-", "Addr"),   # subtraction is not symmetric
+    ])
+    def test_illegal_pairs_are_unit701(self, left, op, right):
+        __, ok = combine_additive(left, op, right)
+        assert not ok
+
+    def test_top_mixes_silently(self):
+        unit, ok = combine_additive(TOP, "+", "SimTime")
+        assert ok and unit == "SimTime"
+        unit, ok = combine_additive("SlotIndex", "+", TOP)
+        assert ok and unit == "SlotIndex"
+        unit, ok = combine_additive(TOP, "+", TOP)
+        assert ok and unit == TOP
+
+    def test_subtracting_unknown_expression_drops_to_top(self):
+        # SimTime - x is a SimTime if x is a Duration but a Duration
+        # if x is a SimTime; guessing either way misfires on
+        # ``now - entry.last_heard > timeout``.
+        unit, ok = combine_additive("SimTime", "-", TOP)
+        assert ok and unit == TOP
+
+    def test_subtracting_a_literal_preserves_the_unit(self):
+        unit, ok = combine_additive("SlotIndex", "-", TOP,
+                                    right_is_literal=True)
+        assert ok and unit == "SlotIndex"
+        unit, ok = combine_additive("SimTime", "-", TOP,
+                                    right_is_literal=True)
+        assert ok and unit == "SimTime"
+
+
+class TestComparisons:
+    def test_index_against_count_is_the_canonical_guard(self):
+        assert comparable("SlotIndex", "Count")
+        assert comparable("Count", "SlotIndex")
+
+    def test_same_unit_always_compares(self):
+        for unit in UNITS:
+            assert comparable(unit, unit)
+
+    def test_top_compares_with_anything(self):
+        assert comparable(TOP, "Addr")
+        assert comparable("SimTime", TOP)
+
+    @pytest.mark.parametrize("left,right", [
+        ("SimTime", "Duration"),
+        ("Ttl", "SimTime"),
+        ("Addr", "SlotIndex"),
+        ("Addr", "Count"),
+        ("ScopeMask", "Ttl"),
+    ])
+    def test_cross_scale_comparisons_are_unit702(self, left, right):
+        assert not comparable(left, right)
+
+
+class TestAssignability:
+    def test_count_flows_into_discrete_units(self):
+        assert assignable("Count", "SlotIndex")
+        assert assignable("Count", "Ttl")
+        assert assignable("Count", "SeedInt")
+
+    def test_nothing_flows_into_addr(self):
+        for unit in UNITS - {"Addr"}:
+            assert not assignable(unit, "Addr")
+
+    def test_addr_flows_nowhere(self):
+        for unit in UNITS - {"Addr"}:
+            assert not assignable("Addr", unit)
+
+    def test_times_and_durations_do_not_mix(self):
+        assert not assignable("SimTime", "Duration")
+        assert not assignable("Duration", "SimTime")
+
+    def test_top_binds_everywhere(self):
+        assert assignable(TOP, "Addr")
+        assert assignable("Addr", TOP)

@@ -1,0 +1,254 @@
+"""Seeded-mutation suite: every UNIT7xx rule catches its bug class.
+
+Each mutation is a minimal pair: the mutant contains exactly the bug
+the rule exists for (an address used as a dense index, a TTL compared
+against a timestamp, an index one past ``space.size``...) and its
+clean twin is the same code with the bug fixed.  The rule must fire
+on the mutant — at the right line class — and stay silent on the
+twin, which is what makes a future engine regression visible in both
+directions (lost detection *and* new false positives).
+
+The off-by-k sweep at the bottom draws offsets from a seeded RNG so
+the boundary (k <= 0 proved, k >= 1 flagged) is exercised at varied
+distances without flaky test selection.
+"""
+
+import random
+import textwrap
+
+import pytest
+
+from repro.units.analysis import analyze_sources
+
+SEED = 0x1998_0902  # Handley 1998; any fixed value works
+
+
+def report_for(src, path="mut.py"):
+    return analyze_sources([(path, textwrap.dedent(src))])
+
+
+def hard_codes(report):
+    return {f.code for f in report.findings}
+
+
+#: (rule, mutant, clean twin)
+MUTATIONS = [
+    (
+        "UNIT701",  # cross-unit arithmetic: absolute addr + ttl
+        """
+        def widen(addr: Addr, ttl: Ttl) -> Addr:
+            return addr + ttl
+        """,
+        """
+        def widen(addr: Addr, step: Count) -> Addr:
+            return addr + step
+        """,
+    ),
+    (
+        "UNIT701",  # two absolute addresses added
+        """
+        def midpoint(a: Addr, b: Addr) -> Addr:
+            return (a + b) // 2
+        """,
+        """
+        def midpoint(a: Addr, b: Addr) -> Addr:
+            return a + (b - a) // 2
+        """,
+    ),
+    (
+        "UNIT702",  # ttl/time comparison (the acceptance example)
+        """
+        def expired(ttl: Ttl, now: SimTime) -> bool:
+            return ttl < now
+        """,
+        """
+        def expired(expiry: SimTime, now: SimTime) -> bool:
+            return expiry < now
+        """,
+    ),
+    (
+        "UNIT702",  # absolute time compared against a duration
+        """
+        def stale(created_at: SimTime, timeout: Duration) -> bool:
+            return created_at > timeout
+        """,
+        """
+        def stale(created_at: SimTime, now: SimTime,
+                  timeout: Duration) -> bool:
+            return now - created_at > timeout
+        """,
+    ),
+    (
+        "UNIT703",  # Addr passed where a SlotIndex is declared
+        """
+        def handle(addr: Addr):
+            return store(addr)
+
+        def store(index: SlotIndex):
+            return index
+        """,
+        """
+        def handle(addr: Addr, base: Addr):
+            return store(addr - base)
+
+        def store(index: SlotIndex):
+            return index
+        """,
+    ),
+    (
+        "UNIT704",  # Addr returned from a SlotIndex-declared function
+        """
+        def locate(addr: Addr) -> SlotIndex:
+            return addr
+        """,
+        """
+        def locate(addr: Addr, base: Addr) -> SlotIndex:
+            return addr - base
+        """,
+    ),
+    (
+        "UNIT705",  # addr-as-index subscript (the acceptance example)
+        """
+        def mark(addr: Addr, n: Count):
+            table = [0] * n
+            table[addr] = 1
+            return table
+        """,
+        """
+        def mark(index: SlotIndex, n: Count):
+            table = [0] * n
+            if index < n:
+                table[index] = 1
+            return table
+        """,
+    ),
+    (
+        "UNIT711",  # subscript one past the end
+        """
+        def drain(n: Count):
+            xs = [0] * n
+            total = 0
+            for i in range(len(xs) + 1):
+                total += xs[i]
+            return total
+        """,
+        """
+        def drain(n: Count):
+            xs = [0] * n
+            total = 0
+            for i in range(len(xs)):
+                total += xs[i]
+            return total
+        """,
+    ),
+    (
+        "UNIT712",  # shift amount provably negative
+        """
+        def octets(word: ScopeMask):
+            return [(word >> (k - 8)) & 0xFF for k in range(8)]
+        """,
+        """
+        def octets(word: ScopeMask):
+            return [(word >> (8 * k)) & 0xFF for k in range(4)]
+        """,
+    ),
+    (
+        "UNIT713",  # conversion one past space.size (the acceptance
+        #             example's off-by-one)
+        """
+        def last_address(space: MulticastAddressSpace):
+            return space.index_to_address(space.size)
+        """,
+        """
+        def last_address(space: MulticastAddressSpace):
+            return space.index_to_address(space.size - 1)
+        """,
+    ),
+    (
+        "UNIT713",  # address outside a statically-known block
+        """
+        from repro.core.address_space import MulticastAddressSpace
+
+        def find():
+            space = MulticastAddressSpace.sdr_dynamic()
+            return space.address_to_index(0xE0000000)
+        """,
+        """
+        from repro.core.address_space import MulticastAddressSpace
+
+        def find():
+            space = MulticastAddressSpace.sdr_dynamic()
+            return space.address_to_index(0xE0028000)
+        """,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule,mutant,twin", MUTATIONS,
+    ids=[f"{rule}-{index}" for index, (rule, __, ___)
+         in enumerate(MUTATIONS)])
+def test_mutant_fires_and_twin_is_clean(rule, mutant, twin):
+    mutated = report_for(mutant)
+    assert rule in hard_codes(mutated), (
+        f"{rule} must fire on the mutant; got "
+        f"{[f.format() for f in mutated.findings]}"
+    )
+    clean = report_for(twin)
+    assert not clean.findings, (
+        f"clean twin for {rule} must stay silent; got "
+        f"{[f.format() for f in clean.findings]}"
+    )
+
+
+def test_unit714_obligation_on_a_hot_path_with_clean_twin():
+    # Hot roots are matched by qualname suffix, so a class named like
+    # the scheduler puts its ``step`` on the hot set.  An index the
+    # checker cannot bound produces an advisory obligation there —
+    # and only there.
+    mutant = """
+        class EventScheduler:
+            def step(self, i: int, n: Count):
+                xs = [0] * n
+                return xs[i + 1]
+    """
+    report = report_for(mutant)
+    assert not report.findings
+    assert {f.code for f in report.advisory} == {"UNIT714"}
+
+    twin = """
+        class EventScheduler:
+            def step(self, i: int, n: Count):
+                xs = [0] * n
+                succ = i + 1
+                if 0 <= succ < n:
+                    return xs[succ]
+                return None
+    """
+    clean = report_for(twin)
+    assert not clean.findings
+    assert not clean.advisory
+
+
+def test_seeded_off_by_k_boundary_sweep():
+    rng = random.Random(SEED)
+    offsets = ([0, 1] + [rng.randint(2, 50) for __ in range(4)]
+               + [-rng.randint(1, 50) for __ in range(3)])
+    for k in offsets:
+        # size + k is one-or-more past the end for k >= 0; size - |k|
+        # is in range for k <= -1 (a space has at least one address).
+        index_expr = (f"space.size + {k}" if k >= 0
+                      else f"space.size - {abs(k)}")
+        src = f"""
+            def probe(space: MulticastAddressSpace):
+                return space.index_to_address({index_expr})
+        """
+        report = report_for(src)
+        found = hard_codes(report)
+        if k >= 0:
+            assert "UNIT713" in found, f"size+{k} must escape"
+        else:
+            assert not report.findings, (
+                f"size-{abs(k)} is in range; got "
+                f"{[f.format() for f in report.findings]}"
+            )
