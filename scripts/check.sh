@@ -51,6 +51,13 @@ echo "== repro.units (semantic units & value-range bounds proofs) =="
 # stays inside 0..size-1.  Shares the flow cache discipline.
 python -m repro.units src
 
+echo "== repro.alias (escape/aliasing proofs & SoA ledger) =="
+# Interprocedural escape and mutability analysis over the same call
+# graph: no leaked live containers, aliased mutation, iterator
+# invalidation or mutation-after-publish; per-class SoA-safe /
+# SoA-blocked verdicts roll up into alias-ledger.json.
+python -m repro.alias src
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests

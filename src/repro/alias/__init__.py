@@ -1,0 +1,7 @@
+"""repro.alias: interprocedural escape, aliasing and mutability
+analysis (ALIAS801–814) with per-class SoA migration verdicts."""
+
+from repro.alias.analysis import AliasReport, analyze_paths
+from repro.alias.rules import ALIAS_RULES
+
+__all__ = ["ALIAS_RULES", "AliasReport", "analyze_paths"]

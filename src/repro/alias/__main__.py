@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.alias``."""
+
+import sys
+
+from repro.alias.cli import main
+
+sys.exit(main())

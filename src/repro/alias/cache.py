@@ -1,0 +1,32 @@
+"""Whole-tree cache for the alias analysis.
+
+ALIAS8xx findings and the ledger verdicts are whole-program facts (a
+new call edge or a moved constructor files away can create or destroy
+one), so this reuses the flow cache's tree-digest machinery with an
+alias-specific rule signature: any edit anywhere is a miss, an
+untouched tree is a hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.alias.rules import ALIAS_RULES
+from repro.flow.cache import FlowCache, tree_digest  # noqa: F401
+from repro.lint.registry import CACHE_FILES
+
+#: Bumped whenever the analysis or the on-disk schema changes shape.
+CACHE_FORMAT = 1
+
+DEFAULT_CACHE_FILE = CACHE_FILES["alias"]
+
+
+def rules_signature() -> str:
+    """Identity of the ALIAS rule table (and analysis version)."""
+    payload = repr((CACHE_FORMAT, ALIAS_RULES))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def alias_cache(path: str) -> FlowCache:
+    """A FlowCache keyed by the *alias* rule signature."""
+    return FlowCache(path, signature=rules_signature())

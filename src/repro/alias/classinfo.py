@@ -1,0 +1,371 @@
+"""Per-class aliasing facts: containers, stores, mutations, identity.
+
+One AST pass over every module collects, for each class, the raw
+material the escape/aliasing engine judges:
+
+* which attributes hold *internal mutable containers* (assigned a
+  fresh ``{}``/``[]``/``set()``/``deque()``... anywhere in the class)
+  and what kind of container each one is;
+* which of those containers hold mutable *elements* the class itself
+  built (``self._x[k] = []`` / ``setdefault(k, [])`` — returning such
+  an element is as live as returning the container);
+* which attributes were stored straight from a caller-supplied
+  parameter (the aliased-store half of ALIAS803);
+* which attributes the class mutates through container operations;
+* identity traits — does the class define value ``__eq__``/
+  ``__hash__``, is it a (frozen) dataclass, an Enum, an Exception —
+  which decide whether default object-identity hashing is in play;
+* module-level holders: container globals (publish targets for
+  ALIAS805), class-level containers, and module-level instance
+  bindings (``WORLD = World()`` — an escape to global state).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.flow.graph import CallGraph, dotted
+
+#: Constructor names that build a fresh mutable container.
+_DICT_CTORS = frozenset({"dict", "defaultdict", "OrderedDict",
+                         "Counter"})
+_LIST_CTORS = frozenset({"list", "deque"})
+_SET_CTORS = frozenset({"set"})
+
+#: Method names that mutate a container in place.  High-confidence
+#: container vocabulary only: generic verbs like ``update`` also
+#: exist on non-containers, but a class that stores a parameter and
+#: calls any of these on it is aliasing either way.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "popleft", "appendleft", "remove", "discard",
+    "clear", "sort", "reverse",
+})
+
+#: The subset whose effect changes container *size* — the ops that
+#: invalidate an in-flight iterator (ALIAS804).
+SIZE_CHANGING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "pop", "popitem", "popleft",
+    "appendleft", "remove", "discard", "clear", "setdefault",
+})
+
+#: Calls that take a live container and return an independent copy.
+COPY_CALLS = frozenset({"list", "dict", "set", "tuple", "frozenset",
+                        "sorted"})
+
+#: Base-class names that opt a class out of the migrating set.
+_ENUM_BASES = frozenset({"Enum", "IntEnum", "IntFlag", "Flag",
+                         "StrEnum"})
+
+
+def container_kind(node: ast.expr) -> Optional[str]:
+    """"dict" | "list" | "set" when ``node`` builds a fresh mutable
+    container, else None."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        tail = (dotted(node.func) or "").split(".")[-1]
+        if tail in _DICT_CTORS:
+            return "dict"
+        if tail in _LIST_CTORS:
+            return "list"
+        if tail in _SET_CTORS:
+            return "set"
+    return None
+
+
+@dataclass
+class ClassFacts:
+    """Everything the alias rules need to know about one class."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    #: attr -> container kind ("dict"|"list"|"set")
+    container_attrs: Dict[str, str] = field(default_factory=dict)
+    #: containers whose stored elements are themselves mutable
+    #: containers the class built
+    element_container_attrs: Set[str] = field(default_factory=set)
+    #: attr -> (param, method qualname, line): stored without a copy
+    param_stored: Dict[str, Tuple[str, str, int]] = field(
+        default_factory=dict)
+    #: attrs mutated through container operations anywhere in the class
+    mutated_attrs: Set[str] = field(default_factory=set)
+    defines_eq: bool = False
+    defines_hash: bool = False
+    is_dataclass: bool = False
+    frozen_dataclass: bool = False
+    is_enum: bool = False
+    is_exception: bool = False
+
+    @property
+    def identity_hashed(self) -> bool:
+        """True when instances hash by object identity (the default).
+
+        A dataclass with ``eq=True`` (the default) either inherits a
+        value hash (frozen) or is unhashable — neither relies on
+        identity; a class defining ``__eq__``/``__hash__`` chose its
+        own semantics.
+        """
+        return not (self.defines_eq or self.defines_hash
+                    or self.is_dataclass or self.is_enum)
+
+
+@dataclass
+class ModuleHolders:
+    """Module-level state that can receive published references."""
+
+    #: module-level container name -> kind
+    containers: Dict[str, str] = field(default_factory=dict)
+    #: module-level name -> class qualname of the instance bound to it
+    instances: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class AliasFacts:
+    """The whole-program fact base for the alias engine."""
+
+    classes: Dict[str, ClassFacts] = field(default_factory=dict)
+    #: class qualname -> class-level container name -> kind
+    class_containers: Dict[str, Dict[str, str]] = field(
+        default_factory=dict)
+    modules: Dict[str, ModuleHolders] = field(default_factory=dict)
+
+    def facts_with_bases(self, graph: CallGraph,
+                         qualname: str) -> List[ClassFacts]:
+        """The class's facts plus every resolvable ancestor's."""
+        out: List[ClassFacts] = []
+        seen: Set[str] = set()
+        stack = [qualname]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            facts = self.classes.get(current)
+            if facts is None:
+                continue
+            out.append(facts)
+            for base in facts.bases:
+                for candidate in graph.class_by_name.get(
+                        base.split(".")[-1], []):
+                    stack.append(candidate)
+        return out
+
+    def container_kind_of(self, graph: CallGraph, qualname: str,
+                          attr: str) -> Optional[str]:
+        for facts in self.facts_with_bases(graph, qualname):
+            kind = facts.container_attrs.get(attr)
+            if kind:
+                return kind
+        return None
+
+    def element_container(self, graph: CallGraph, qualname: str,
+                          attr: str) -> bool:
+        return any(attr in facts.element_container_attrs
+                   for facts in self.facts_with_bases(graph, qualname))
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``x`` for a plain ``self.x`` attribute access, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _dataclass_flags(node: ast.ClassDef) -> Tuple[bool, bool]:
+    is_dc = False
+    frozen = False
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = (dotted(target) or "").split(".")[-1]
+        if name != "dataclass":
+            continue
+        is_dc = True
+        if isinstance(dec, ast.Call):
+            for keyword in dec.keywords:
+                if keyword.arg == "frozen" and isinstance(
+                        keyword.value, ast.Constant):
+                    frozen = bool(keyword.value.value)
+    return is_dc, frozen
+
+
+class _ClassCollector(ast.NodeVisitor):
+    """Walk one module, filling the fact base."""
+
+    def __init__(self, facts: AliasFacts, module_name: str,
+                 path: str) -> None:
+        self.facts = facts
+        self.module_name = module_name
+        self.path = path
+        self.holders = facts.modules.setdefault(module_name,
+                                                ModuleHolders())
+        self._scope: List[str] = []
+        self._class_stack: List[ClassFacts] = []
+        self._method_stack: List[str] = []
+
+    # -- module level --------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and len(
+                    stmt.targets) == 1 and isinstance(
+                    stmt.targets[0], ast.Name):
+                name = stmt.targets[0].id
+                kind = container_kind(stmt.value)
+                if kind:
+                    self.holders.containers[name] = kind
+                elif isinstance(stmt.value, ast.Call):
+                    callee = dotted(stmt.value.func) or ""
+                    tail = callee.split(".")[-1]
+                    if tail and tail[0].isupper():
+                        self.holders.instances[name] = tail
+            self.visit(stmt)
+
+    # -- classes -------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = ".".join([self.module_name] + self._scope
+                            + [node.name])
+        is_dc, frozen = _dataclass_flags(node)
+        bases = [b for b in (dotted(base) for base in node.bases) if b]
+        tails = {base.split(".")[-1] for base in bases}
+        facts = ClassFacts(
+            qualname=qualname, module=self.module_name,
+            name=node.name, path=self.path, line=node.lineno,
+            bases=bases,
+            is_dataclass=is_dc, frozen_dataclass=frozen,
+            is_enum=bool(tails & _ENUM_BASES),
+            is_exception=any(t == "Exception" or t.endswith("Error")
+                             for t in tails),
+        )
+        self.facts.classes[qualname] = facts
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                if stmt.name == "__eq__":
+                    facts.defines_eq = True
+                if stmt.name == "__hash__":
+                    facts.defines_hash = True
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "__hash__":
+                        facts.defines_hash = True
+                    kind = container_kind(stmt.value)
+                    if kind:
+                        self.facts.class_containers.setdefault(
+                            qualname, {})[target.id] = kind
+        self._class_stack.append(facts)
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+        self._class_stack.pop()
+
+    # -- methods -------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        qualname = ".".join([self.module_name] + self._scope
+                            + [node.name])
+        if self._class_stack and not self._method_stack:
+            self._collect_method_facts(node, qualname)
+        self._scope.append(node.name)
+        self._method_stack.append(qualname)
+        self.generic_visit(node)
+        self._method_stack.pop()
+        self._scope.pop()
+
+    def _collect_method_facts(self, node, qualname: str) -> None:
+        facts = self._class_stack[-1]
+        params = set()
+        args = node.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            if arg.arg != "self":
+                params.add(arg.arg)
+        for stmt in ast.walk(node):
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (stmt.targets
+                           if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                value = stmt.value
+                if value is None:
+                    continue
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        kind = container_kind(value)
+                        if kind:
+                            facts.container_attrs.setdefault(attr,
+                                                             kind)
+                        elif (isinstance(value, ast.Name)
+                              and value.id in params):
+                            facts.param_stored.setdefault(
+                                attr, (value.id, qualname,
+                                       stmt.lineno))
+                        continue
+                    # self._x[k] = <fresh container> / = obj
+                    if isinstance(target, ast.Subscript):
+                        base = _self_attr(target.value)
+                        if base is not None:
+                            facts.mutated_attrs.add(base)
+                            if container_kind(value):
+                                facts.element_container_attrs.add(
+                                    base)
+            elif isinstance(stmt, ast.AugAssign):
+                attr = _self_attr(stmt.target)
+                if attr is not None and isinstance(
+                        stmt.op, (ast.BitOr, ast.Add)):
+                    facts.mutated_attrs.add(attr)
+                elif isinstance(stmt.target, ast.Subscript):
+                    base = _self_attr(stmt.target.value)
+                    if base is not None:
+                        facts.mutated_attrs.add(base)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Subscript):
+                        base = _self_attr(target.value)
+                        if base is not None:
+                            facts.mutated_attrs.add(base)
+            elif isinstance(stmt, ast.Call):
+                if not isinstance(stmt.func, ast.Attribute):
+                    continue
+                method = stmt.func.attr
+                if method not in MUTATOR_METHODS:
+                    continue
+                base = _self_attr(stmt.func.value)
+                if base is not None:
+                    facts.mutated_attrs.add(base)
+                    if method == "setdefault" and len(
+                            stmt.args) >= 2 and container_kind(
+                            stmt.args[1]):
+                        facts.element_container_attrs.add(base)
+                    continue
+                # self._x[k].append(...): elements are containers
+                if isinstance(stmt.func.value, ast.Subscript):
+                    base = _self_attr(stmt.func.value.value)
+                    if base is not None:
+                        facts.element_container_attrs.add(base)
+
+
+def collect_alias_facts(graph: CallGraph) -> AliasFacts:
+    """One fact base over every module in the graph."""
+    facts = AliasFacts()
+    for module in graph.modules.values():
+        collector = _ClassCollector(facts, module.name, module.path)
+        collector.visit(module.tree)
+    return facts

@@ -1,0 +1,124 @@
+"""``python -m repro.alias`` — the escape & aliasing proof CLI.
+
+Same contract as the other seven tools: exit 0 clean, 1 findings,
+2 usage error; ``--list-rules`` prints the shared registry;
+``--format github`` emits Actions annotations.  ``--strict``
+promotes advisory ALIAS806–814 SoA blockers to errors, and
+``--ledger-out`` writes the per-class ``alias-ledger.json`` verdict
+file the migration work is planned from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.alias.analysis import (
+    _filter_rules,
+    analyze_paths,
+    validate_rule_names,
+)
+from repro.alias.cache import DEFAULT_CACHE_FILE
+from repro.alias.report import (
+    render_github,
+    render_json,
+    render_ledger,
+    render_text,
+)
+from repro.lint.registry import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    add_report_arguments,
+    render_registry,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-alias",
+        description=("interprocedural escape, aliasing and "
+                     "mutability analysis (ALIAS801–814) over the "
+                     "flow call graph, with per-class SoA-safe / "
+                     "SoA-blocked verdicts"),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    add_report_arguments(parser)
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="only report these rule names (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip these rule names (repeatable)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="advisory ALIAS806–814 SoA blockers also fail the run",
+    )
+    parser.add_argument(
+        "--ledger-out", metavar="FILE",
+        help="write the per-class alias-ledger.json to FILE",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-analyze, ignoring the whole-tree cache",
+    )
+    parser.add_argument(
+        "--cache-file", default=DEFAULT_CACHE_FILE,
+        help=f"cache location (default: {DEFAULT_CACHE_FILE})",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_registry())
+        return EXIT_CLEAN
+
+    try:
+        validate_rule_names(args.select, args.ignore)
+        report = analyze_paths(
+            args.paths,
+            use_cache=not args.no_cache,
+            cache_file=args.cache_file,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro-alias: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    report.findings = _filter_rules(report.findings, args.select,
+                                    args.ignore)
+    report.advisory = _filter_rules(report.advisory, args.select,
+                                    args.ignore)
+
+    if args.ledger_out:
+        with open(args.ledger_out, "w", encoding="utf-8") as handle:
+            json.dump(render_ledger(report), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+
+    if args.format == "json":
+        print(render_json(report))
+    elif args.format == "github":
+        output = render_github(report, strict=args.strict)
+        if output:
+            print(output)
+    else:
+        print(render_text(report, strict=args.strict))
+
+    if report.exit_findings(strict=args.strict):
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Per-class escape classification: local / module / global.
+
+The lattice (bottom to top):
+
+* **local** — every instance the graph can see is constructed,
+  referenced, and typed only inside the defining module.  Flattening
+  the class to struct-of-arrays rows is a one-module change.
+* **module** — instances cross module boundaries (constructed,
+  annotated, stored on foreign attributes, or used as a method-call
+  receiver elsewhere), but only ever held by other objects or
+  locals.  The migration must update every crossing, all of which
+  the call graph enumerates.
+* **global** — instances are reachable from ambient state: a
+  module-level binding (``WORLD = World()``) or a publish into a
+  module-global / class-level container.  The holder itself must
+  migrate with the class (ALIAS811).
+
+Classification is deliberately monotone in the graph's knowledge:
+an edge the graph cannot see can only *under*-classify, and that
+boundary is exactly what ALIAS813 reports per call site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.alias.classinfo import AliasFacts
+from repro.flow.graph import CallGraph
+
+
+def _constructed_class(graph: CallGraph, module_name: str,
+                       callee_text: str) -> Optional[str]:
+    """Resolve a constructor call's class from the caller's module."""
+    tail = callee_text.split(".")[-1]
+    module = graph.modules.get(module_name)
+    if module is not None:
+        for candidate in (f"{module_name}.{tail}",
+                          module.imports.get(tail, "")):
+            if candidate in graph.classes:
+                return candidate
+    matches = graph.class_by_name.get(tail, [])
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def classify_escapes(
+        graph: CallGraph, facts: AliasFacts,
+        published: Dict[str, str]) -> Dict[str, Tuple[str, str]]:
+    """class qualname -> (level, detail) for every known class."""
+    out: Dict[str, Tuple[str, str]] = {}
+
+    # Global: module-level instance bindings (WORLD = World()).
+    global_detail: Dict[str, str] = dict(published)
+    for module_name, holders in facts.modules.items():
+        for name, class_tail in holders.instances.items():
+            cls = _constructed_class(graph, module_name, class_tail)
+            if cls is not None:
+                global_detail.setdefault(
+                    cls, f"module-level binding {name} in "
+                         f"{module_name}")
+
+    # Module: any cross-module reference.
+    module_detail: Dict[str, str] = {}
+
+    def crossing(cls: str, detail: str) -> None:
+        module_detail.setdefault(cls, detail)
+
+    for caller, sites in graph.calls.items():
+        info = graph.functions.get(caller)
+        caller_module = info.module if info else ""
+        for site in sites:
+            if site.kind == "constructor":
+                cls = _constructed_class(graph, caller_module,
+                                         site.callee_text)
+                if cls is not None:
+                    owner = facts.classes.get(cls)
+                    if owner and owner.module != caller_module:
+                        crossing(cls, f"constructed in "
+                                      f"{caller_module}")
+            if site.receiver_class is not None:
+                owner = facts.classes.get(site.receiver_class)
+                if owner and owner.module != caller_module:
+                    crossing(site.receiver_class,
+                             f"method receiver in {caller_module}")
+
+    by_name: Dict[str, list] = {}
+    for qualname, cls_facts in facts.classes.items():
+        by_name.setdefault(cls_facts.name, []).append(qualname)
+
+    for func in graph.functions.values():
+        for annotation in func.annotations.values():
+            tail = annotation.split(".")[-1]
+            matches = by_name.get(tail, [])
+            if len(matches) == 1:
+                owner = facts.classes[matches[0]]
+                if owner.module != func.module:
+                    crossing(matches[0],
+                             f"annotated parameter in {func.module}")
+
+    for cls_info in graph.classes.values():
+        for attr, held in cls_info.attr_types.items():
+            owner = facts.classes.get(held)
+            if owner and owner.module != cls_info.module:
+                crossing(held, f"held by {cls_info.qualname}.{attr}")
+
+    for qualname in facts.classes:
+        if qualname in global_detail:
+            out[qualname] = ("global", global_detail[qualname])
+        elif qualname in module_detail:
+            out[qualname] = ("module", module_detail[qualname])
+        else:
+            out[qualname] = ("local", "defining module only")
+    return out

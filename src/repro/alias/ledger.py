@@ -1,0 +1,129 @@
+"""The SoA migration ledger: one verdict per class.
+
+Joins three whole-program facts — the escape classification, the
+ALIAS8xx findings attributed to each class, and the flow hot-path
+ranking (``flow-hotpaths.json``'s site list) — into
+``alias-ledger.json``: for every class in ``core/``, ``sim/`` and
+``sap/``, either ``soa-safe`` (nothing ties its instances to object
+identity or ambient state; flatten away) or
+``soa-blocked-by-<rule>`` naming exactly what must be fixed first.
+
+Blocking rules are the aliasing defects (ALIAS801–805) plus the
+identity/escape advisories (ALIAS806–808, ALIAS811).  ALIAS813
+(soundness boundary) and ALIAS814 (hot defensive copies — a cost,
+not a blocker) inform the entry but never flip the verdict; ALIAS812
+is *derived from* the verdict, not an input to it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.alias.engine import AliasResult, is_migrating
+from repro.flow.hotpath import HotpathResult
+
+#: Rules that flip a class to soa-blocked.
+BLOCKING_RULES = ("ALIAS801", "ALIAS802", "ALIAS803", "ALIAS804",
+                  "ALIAS805", "ALIAS806", "ALIAS807", "ALIAS808",
+                  "ALIAS811")
+
+#: Packages the ledger must cover exhaustively.
+LEDGER_PREFIXES = ("repro.core.", "repro.sim.", "repro.sap.")
+
+
+def _class_of_function(qualname: str,
+                       classes: Dict[str, Any]) -> Optional[str]:
+    owner = qualname.rsplit(".", 1)[0]
+    return owner if owner in classes else None
+
+
+def build_ledger(result: AliasResult,
+                 hot: Optional[HotpathResult] = None
+                 ) -> Dict[str, Any]:
+    """The ``alias-ledger.json`` payload."""
+    assert result.facts is not None
+    hot_sites: Dict[str, List[Any]] = {}
+    if hot is not None:
+        for site in hot.sites:
+            owner = _class_of_function(site.function,
+                                       result.facts.classes)
+            if owner is not None:
+                hot_sites.setdefault(owner, []).append(site)
+
+    entries: List[Dict[str, Any]] = []
+    for qualname in sorted(result.facts.classes):
+        if not qualname.startswith(LEDGER_PREFIXES):
+            continue
+        facts = result.facts.classes[qualname]
+        level, detail = result.escape.get(
+            qualname, ("local", "defining module only"))
+        rules = result.class_rules.get(qualname, set())
+        blocking = sorted(r for r in rules if r in BLOCKING_RULES)
+        if facts.is_enum or facts.is_exception:
+            # Values already; nothing object-shaped to flatten.
+            verdict = "soa-safe"
+            blocking = []
+        elif blocking:
+            verdict = f"soa-blocked-by-{blocking[0]}"
+        else:
+            verdict = "soa-safe"
+        sites = hot_sites.get(qualname, [])
+        entries.append({
+            "class": facts.name,
+            "qualname": qualname,
+            "module": facts.module,
+            "path": facts.path,
+            "line": facts.line,
+            "escape": level,
+            "escape_detail": detail,
+            "verdict": verdict,
+            "blocking_rules": blocking,
+            "advisory_rules": sorted(
+                r for r in rules if r not in BLOCKING_RULES),
+            "identity": {
+                "defines_eq": facts.defines_eq,
+                "defines_hash": facts.defines_hash,
+                "dataclass": facts.is_dataclass,
+                "frozen": facts.frozen_dataclass,
+                "enum": facts.is_enum,
+                "identity_hashed": facts.identity_hashed,
+            },
+            "container_attrs": dict(sorted(
+                facts.container_attrs.items())),
+            "hot": {
+                "sites": len(sites),
+                "score": round(sum(s.score for s in sites), 2),
+            },
+        })
+
+    # Blocked-and-hot first: the migration work list.
+    entries.sort(key=lambda e: (
+        e["verdict"] == "soa-safe",
+        -e["hot"]["score"],
+        e["qualname"],
+    ))
+
+    core_sim = [e for e in entries
+                if e["qualname"].startswith(("repro.core.",
+                                             "repro.sim."))]
+    return {
+        "entries": entries,
+        "summary": {
+            "total": len(entries),
+            "soa_safe": sum(e["verdict"] == "soa-safe"
+                            for e in entries),
+            "soa_blocked": sum(e["verdict"] != "soa-safe"
+                               for e in entries),
+            "core_sim_total": len(core_sim),
+            "core_sim_safe": sum(e["verdict"] == "soa-safe"
+                                 for e in core_sim),
+        },
+    }
+
+
+def migrating_ledger_classes(result: AliasResult) -> List[str]:
+    """Ledgered class qualnames in the migrating set (for tests)."""
+    assert result.facts is not None
+    return sorted(q for q in result.facts.classes
+                  if q.startswith(LEDGER_PREFIXES)
+                  and is_migrating(q))

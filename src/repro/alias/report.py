@@ -1,0 +1,80 @@
+"""Renderers for alias reports: text, JSON, GitHub annotations.
+
+Hard ALIAS801–805 findings render exactly like the linter's (same
+``Finding`` shape, same ``::error`` annotations).  Advisory SoA
+blockers get a separate text section and ``::notice`` lines (or
+``::error`` under ``--strict``), and the text renderer closes with
+the ledger verdict counts so the gate output answers "how much of
+core/sim is provably flattenable" at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.alias.analysis import AliasReport
+from repro.lint.report import render_github as _github_errors
+
+
+def render_text(report: AliasReport, strict: bool = False) -> str:
+    lines: List[str] = [f.format() for f in report.findings]
+    count = len(report.findings)
+    if count == 0:
+        lines.append("repro-alias: clean (0 findings)")
+    else:
+        noun = "finding" if count == 1 else "findings"
+        lines.append(f"repro-alias: {count} {noun}")
+    if report.advisory:
+        label = "errors under --strict" if strict else "report-only"
+        lines.append(f"SoA blockers ({len(report.advisory)} sites, "
+                     f"{label}):")
+        for finding in report.advisory[:10]:
+            lines.append("  " + finding.format())
+        rest = len(report.advisory) - min(10, len(report.advisory))
+        if rest > 0:
+            lines.append(f"  ... and {rest} more "
+                         f"(--format json for all)")
+    if report.suppressed:
+        lines.append(f"suppressed: {report.suppressed}")
+    if report.stats:
+        lines.append(
+            "ledger: {ledger_soa_safe}/{ledger_total} classes "
+            "SoA-safe ({ledger_core_sim_safe}/{ledger_core_sim_total}"
+            " in core+sim); escape {escape_local} local / "
+            "{escape_module} module / {escape_global} global "
+            "({functions} functions)".format(**{
+                key: report.stats.get(key, 0)
+                for key in ("ledger_soa_safe", "ledger_total",
+                            "ledger_core_sim_safe",
+                            "ledger_core_sim_total", "escape_local",
+                            "escape_module", "escape_global",
+                            "functions")
+            })
+        )
+    if report.from_cache:
+        lines.append("(cached: tree unchanged)")
+    return "\n".join(lines)
+
+
+def render_json(report: AliasReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_ledger(report: AliasReport) -> Dict[str, Any]:
+    """The ``alias-ledger.json`` payload (already ranked)."""
+    return report.ledger
+
+
+def render_github(report: AliasReport, strict: bool = False) -> str:
+    lines: List[str] = []
+    hard = _github_errors(report.findings)
+    if hard:
+        lines.append(hard)
+    for finding in report.advisory:
+        message = f"{finding.code} [{finding.rule}] {finding.message}"
+        directive = "error" if strict else "notice"
+        lines.append(f"::{directive} file={finding.path},"
+                     f"line={max(finding.line, 1)},"
+                     f"col={finding.col}::{message}")
+    return "\n".join(lines)

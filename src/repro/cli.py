@@ -17,6 +17,7 @@ Exposes the library's main workflows without writing Python:
     python -m repro fleet fig5 --jobs 4 --checkpoint .fleet
     python -m repro flow src --hotpaths-out flow-hotpaths.json
     python -m repro units src --strict
+    python -m repro alias src --ledger-out alias-ledger.json
 
 Every simulation is deterministic for a given ``--seed``; the ``lint``
 subcommand statically enforces the invariants that make that true, and
@@ -248,6 +249,24 @@ def build_parser() -> argparse.ArgumentParser:
     units.add_argument("--no-cache", action="store_true",
                        help="bypass the whole-tree units cache")
     units.add_argument("--list-rules", action="store_true")
+
+    alias = sub.add_parser(
+        "alias",
+        help="interprocedural escape/aliasing analysis and per-class "
+             "SoA migration verdicts (python -m repro.alias)",
+    )
+    alias.add_argument("paths", nargs="*", default=["src"])
+    alias.add_argument("--format", choices=("text", "json", "github"),
+                       default="text")
+    alias.add_argument("--select", action="append", metavar="RULE")
+    alias.add_argument("--ignore", action="append", metavar="RULE")
+    alias.add_argument("--strict", action="store_true",
+                       help="advisory SoA blockers also fail the run")
+    alias.add_argument("--ledger-out", metavar="FILE",
+                       help="write the per-class alias-ledger.json")
+    alias.add_argument("--no-cache", action="store_true",
+                       help="bypass the whole-tree alias cache")
+    alias.add_argument("--list-rules", action="store_true")
 
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
@@ -545,6 +564,26 @@ def cmd_units(args) -> int:
     return units_main(argv)
 
 
+def cmd_alias(args) -> int:
+    from repro.alias.cli import main as alias_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    for name in args.select or []:
+        argv += ["--select", name]
+    for name in args.ignore or []:
+        argv += ["--ignore", name]
+    if args.strict:
+        argv.append("--strict")
+    if args.ledger_out:
+        argv += ["--ledger-out", args.ledger_out]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return alias_main(argv)
+
+
 def cmd_analyze(args) -> int:
     if args.model == "birthday":
         p = clash_probability(args.space, args.allocations)
@@ -645,6 +684,7 @@ COMMANDS = {
     "fleet": cmd_fleet,
     "flow": cmd_flow,
     "units": cmd_units,
+    "alias": cmd_alias,
 }
 
 

@@ -158,6 +158,14 @@ class CallSite:
     targets: Tuple[str, ...]
     #: "direct" | "callback" | "registry" | "constructor"
     kind: str = "direct"
+    #: Alias-relevant edge metadata: the resolved class of a method
+    #: call's receiver (``cache.observe(...)`` -> the SessionCache
+    #: qualname), so aliasing clients can attribute the edge to the
+    #: class whose internal state it may touch.
+    receiver_class: Optional[str] = None
+    #: Dotted text of each positional argument ("" for non-chains):
+    #: which caller access paths flow into the callee.
+    arg_texts: Tuple[str, ...] = ()
 
     @property
     def resolved(self) -> bool:
@@ -710,9 +718,13 @@ class _Resolver:
         text = dotted(node.func) or ""
         targets: Set[str] = set()
         kind = "direct"
+        receiver_cls: Optional[str] = None
 
         if text:
             parts = text.split(".")
+            if len(parts) >= 2:
+                receiver_cls = self._receiver_class(
+                    module, func, scope, parts[:-1])
             direct = self._function_ref(module, func, scope, node.func)
             if direct:
                 targets |= direct
@@ -724,12 +736,9 @@ class _Resolver:
                     targets |= set(self.graph.method_targets(
                         cls, "__post_init__")[:1])
                     kind = "constructor"
-            if not targets and len(parts) >= 2:
-                receiver = self._receiver_class(
-                    module, func, scope, parts[:-1])
-                if receiver:
-                    targets |= set(self.graph.method_targets(
-                        receiver, parts[-1]))
+            if not targets and len(parts) >= 2 and receiver_cls:
+                targets |= set(self.graph.method_targets(
+                    receiver_cls, parts[-1]))
         else:
             # super().method(...): dispatch into the base classes.
             if (isinstance(node.func, ast.Attribute)
@@ -781,6 +790,8 @@ class _Resolver:
             caller=func.qualname, path=func.path, line=node.lineno,
             col=node.col_offset, callee_text=text or "<expr>",
             targets=real_targets, kind=kind,
+            receiver_class=receiver_cls,
+            arg_texts=tuple(dotted(arg) or "" for arg in node.args),
         ))
         # Function-valued arguments become callback edges.
         callback_targets: Set[str] = set()

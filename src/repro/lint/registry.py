@@ -1,24 +1,27 @@
-"""One registry for every check the repo's seven analysis tools run.
+"""One registry for every check the repo's eight analysis tools run.
 
 The static linter (SIM1xx), the runtime sanitizer (SAN2xx), the
 model-check spec cross-checker (MC301–MC304), the model-check runtime
 invariants (MC31x), the observability self-checks (OBS4xx), the
 fleet execution diagnostics (FLT5xx), the whole-program flow
-analyses (FLOW6xx) and the unit & value-range abstract interpreter
-(UNIT7xx) each grew their own code space; this module is the single
+analyses (FLOW6xx), the unit & value-range abstract interpreter
+(UNIT7xx) and the escape/aliasing analysis (ALIAS8xx) each grew
+their own code space; this module is the single
 place that enumerates all of them, so
 
 * ``--list-rules`` prints the same registry from ``repro.lint``,
   ``repro.sanitize``, ``repro.modelcheck``, ``repro.obs``,
-  ``repro.fleet``, ``repro.flow`` and ``repro.units`` alike;
-* the seven CLIs share one exit-code contract
+  ``repro.fleet``, ``repro.flow``, ``repro.units`` and
+  ``repro.alias`` alike;
+* the eight CLIs share one exit-code contract
   (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_USAGE`)
   and one reporting surface (:func:`add_report_arguments`);
 * the static rule set the engine runs is assembled here (SIM rules
   plus the MC spec rules), so "lint the tree" always means the full
-  static contract.  FLOW6xx and UNIT7xx rules are listed here but
-  run from :mod:`repro.flow.analysis` / :mod:`repro.units.analysis`
-  — they need the whole program, not one file at a time;
+  static contract.  FLOW6xx, UNIT7xx and ALIAS8xx rules are listed
+  here but run from :mod:`repro.flow.analysis` /
+  :mod:`repro.units.analysis` / :mod:`repro.alias.analysis` — they
+  need the whole program, not one file at a time;
 * every per-tool on-disk cache filename lives in
   :data:`CACHE_FILES`, so tool code and ``.gitignore`` cannot drift.
 
@@ -37,7 +40,7 @@ from repro.lint.rules import ALL_RULES, Rule
 
 #: Shared CLI exit-code contract for repro.lint / repro.sanitize /
 #: repro.modelcheck / repro.obs / repro.fleet / repro.flow /
-#: repro.units: clean, findings reported, usage error.
+#: repro.units / repro.alias: clean, findings reported, usage error.
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
@@ -50,6 +53,7 @@ CACHE_FILES = {
     "lint": ".repro-lint-cache.json",
     "flow": ".repro-flow-cache.json",
     "units": ".repro-units-cache.json",
+    "alias": ".repro-alias-cache.json",
 }
 
 #: Runtime model-check invariants (emitted by the explorer harness,
@@ -115,7 +119,7 @@ class RegistryEntry:
     code: str
     name: str
     kind: str  # "static" | "runtime"
-    tool: str  # lint|sanitize|modelcheck|obs|fleet|flow|units
+    tool: str  # lint|sanitize|modelcheck|obs|fleet|flow|units|alias
     description: str
     scope: Optional[frozenset] = None
     advisory: bool = False
@@ -127,7 +131,7 @@ def add_report_arguments(
         default: str = "text") -> None:
     """The reporting flags every tool CLI shares.
 
-    Each of the seven CLIs used to wire ``--format``/``--list-rules``
+    Each of the eight CLIs used to wire ``--format``/``--list-rules``
     by hand, slightly different ways; this is the one place the
     contract lives now.  Tools with an extra format (obs adds
     ``prom``) pass their own ``formats``.
@@ -173,7 +177,8 @@ def get_static_rules(select: Optional[List[str]] = None,
 
 
 def all_entries() -> Tuple[RegistryEntry, ...]:
-    """Every check across the seven tools, in code order."""
+    """Every check across the eight tools, in code order."""
+    from repro.alias.rules import ALIAS_RULES
     from repro.flow.rules import FLOW_RULES
     from repro.sanitize.report import VIOLATION_CODES
     from repro.units.rules import UNIT_RULES
@@ -216,11 +221,16 @@ def all_entries() -> Tuple[RegistryEntry, ...]:
             code=code, name=name, kind="static", tool="units",
             description=description, advisory=advisory,
         ))
+    for code, name, advisory, description in ALIAS_RULES:
+        entries.append(RegistryEntry(
+            code=code, name=name, kind="static", tool="alias",
+            description=description, advisory=advisory,
+        ))
     return tuple(sorted(entries, key=lambda entry: entry.code))
 
 
 def render_registry() -> str:
-    """``--list-rules`` text, shared by all seven CLIs."""
+    """``--list-rules`` text, shared by all eight CLIs."""
     lines = []
     for entry in all_entries():
         if entry.kind == "static":

@@ -46,6 +46,7 @@ from repro.flow.graph import (
     function_scope,
 )
 from repro.flow.hotpath import hot_roots
+from repro.flow.interproc import CallIndex
 from repro.lint.engine import Finding
 from repro.units.intervals import INF, Interval, SWAP_OP
 from repro.units.lattice import (
@@ -250,9 +251,9 @@ class _Analyzer:
                              for q, f in graph.functions.items()}
         self.attr_units = self._collect_attr_units()
         self.hot = self._hot_functions()
-        #: callee -> param -> [(AbsVal, caller, path, line)]
-        self.callinfo: Dict[str, Dict[str, List[
-            Tuple[AbsVal, str, str, int]]]] = {}
+        #: callee -> param -> caller-supplied AbsVals (pass B input),
+        #: shared machinery with the alias pass.
+        self.callinfo = CallIndex()
         self.sites = {
             qualname: {(s.line, s.col): s for s in sites
                        if s.kind in ("direct", "constructor")}
@@ -475,34 +476,32 @@ class _Analyzer:
         return env
 
     def _pass_b(self) -> None:
-        for qualname in sorted(self.callinfo):
+        for qualname in self.callinfo.callees():
             func = self.graph.functions.get(qualname)
             if func is None or isinstance(func.node, ast.Lambda):
                 continue
-            per_param = self.callinfo[qualname]
             env = self._seed_env(func)
-            via = ""
-            informative = False
-            for param, entries in per_param.items():
+
+            def adjust(param: str, joined: AbsVal,
+                       env: Env = env) -> Optional[AbsVal]:
                 if param not in env:
-                    continue
-                joined = entries[0][0]
-                for value, _, _, _ in entries[1:]:
-                    joined = joined.join(value)
+                    return None
                 base = env[param]
                 if joined.unit == TOP and is_unit(base.unit):
                     joined = joined.with_unit(base.unit)
-                if (joined.exact or joined.ub
-                        or not joined.ival.is_top
-                        or joined.space_size is not None):
-                    informative = True
-                    env[param] = joined
-                    if not via:
-                        _, caller, path, line = entries[0]
-                        via = (f"[reached via {caller} at "
-                               f"{path}:{line}]")
-            if not informative:
+                return joined
+
+            def keep(param: str, joined: AbsVal) -> bool:
+                return bool(joined.exact or joined.ub
+                            or not joined.ival.is_top
+                            or joined.space_size is not None)
+
+            facts, via = self.callinfo.join_params(
+                qualname, lambda a, b: a.join(b),
+                adjust=adjust, keep=keep)
+            if not facts:
                 continue
+            env.update(facts)
             interp = _FuncInterp(self, func, collect=False, via=via)
             interp.run(env)
 
@@ -1530,10 +1529,9 @@ class _FuncInterp:
         for param, entries in mapped.items():
             for target, value, _ in entries:
                 rerooted = _reroot(value, textmap)
-                self.a.callinfo.setdefault(target, {}).setdefault(
-                    param, []).append(
-                    (rerooted, self.func.qualname, self.func.path,
-                     node.lineno))
+                self.a.callinfo.record(
+                    target, param, rerooted, self.func.qualname,
+                    self.func.path, node.lineno)
 
     # -- subscripts ----------------------------------------------------
     def _subscript(self, node: ast.Subscript, env: Env,

@@ -1,0 +1,492 @@
+"""Mutation suite for the ALIAS8xx escape/aliasing analysis.
+
+Every rule in the band is exercised as a (mutant, clean twin) pair:
+the mutant plants exactly the defect the rule describes and must
+fire; the twin is the repaired version of the same code and must
+stay silent.  This pins the analysis from both sides — a rule that
+never fires is dead weight, and a rule that fires on the repaired
+idiom would force suppressions all over ``src/``.
+
+Fixture paths are placed under ``src/repro/core/`` so the classes
+count as *migrating* (the ledger's SoA candidates); the seeded sweep
+at the bottom varies surface details (attribute names, container
+kinds) to check the detectors key on structure, not spelling.
+"""
+
+from __future__ import annotations
+
+import random
+import textwrap
+
+import pytest
+
+from repro.alias.analysis import AliasReport, analyze_sources
+from repro.alias.rules import ALIAS_RULES
+
+SEED = 0x1998_0902
+
+#: Codes whose findings land in ``report.advisory``.
+ADVISORY_CODES = {code for code, _, advisory, _ in ALIAS_RULES
+                  if advisory}
+
+#: Fixture path: anchors the module at repro.core.mut (migrating).
+PATH = "src/repro/core/mut.py"
+
+
+def report_for(src: str, path: str = PATH) -> AliasReport:
+    return analyze_sources([(path, textwrap.dedent(src))])
+
+
+def hard_codes(report: AliasReport) -> set:
+    return {f.code for f in report.findings}
+
+
+def adv_codes(report: AliasReport) -> set:
+    return {f.code for f in report.advisory}
+
+
+def all_codes(report: AliasReport) -> set:
+    return hard_codes(report) | adv_codes(report)
+
+
+# --------------------------------------------------------------------
+# (rule, mutant, clean twin) triples.  The twin must not fire the
+# rule under test *and* must be free of hard findings entirely.
+# --------------------------------------------------------------------
+
+MUTATIONS = [
+    ("ALIAS801", """
+        class SessionCache:
+            def __init__(self):
+                self._entries = {}
+
+            def entries(self):
+                return self._entries
+     """, """
+        class SessionCache:
+            def __init__(self):
+                self._entries = {}
+
+            def entries(self):
+                return list(self._entries.values())
+     """),
+    ("ALIAS802", """
+        class SessionCache:
+            def __init__(self):
+                self._entries = {}
+
+            def keys(self):
+                return self._entries.keys()
+     """, """
+        class SessionCache:
+            def __init__(self):
+                self._entries = {}
+
+            def keys(self):
+                return list(self._entries.keys())
+     """),
+    # ALIAS802's other face: handing out a live *element* container
+    # of a dict-of-lists index.
+    ("ALIAS802", """
+        class AddressIndex:
+            def __init__(self):
+                self._by_address = {}
+
+            def add(self, address, session):
+                self._by_address.setdefault(address, []).append(session)
+
+            def same_address(self, address):
+                return self._by_address[address]
+     """, """
+        class AddressIndex:
+            def __init__(self):
+                self._by_address = {}
+
+            def add(self, address, session):
+                self._by_address.setdefault(address, []).append(session)
+
+            def same_address(self, address):
+                return list(self._by_address.get(address, ()))
+     """),
+    # Stored caller container, then mutated: the caller's set and
+    # ours are the same object.
+    ("ALIAS803", """
+        class ScopeZone:
+            def __init__(self, members):
+                self.members = members
+
+            def join(self, node):
+                self.members.add(node)
+     """, """
+        class ScopeZone:
+            def __init__(self, members):
+                self.members = set(members)
+
+            def join(self, node):
+                self.members.add(node)
+     """),
+    ("ALIAS804", """
+        class Expiry:
+            def __init__(self):
+                self._entries = {}
+
+            def sweep(self):
+                for key in self._entries:
+                    self._entries.pop(key)
+     """, """
+        class Expiry:
+            def __init__(self):
+                self._entries = {}
+
+            def sweep(self):
+                for key in list(self._entries):
+                    self._entries.pop(key)
+     """),
+    ("ALIAS805", """
+        REGISTRY = []
+
+        class Session:
+            def __init__(self, key):
+                self.key = key
+
+        def publish(s: Session):
+            REGISTRY.append(s)
+            s.key = 0
+     """, """
+        REGISTRY = []
+
+        class Session:
+            def __init__(self, key):
+                self.key = key
+
+        def publish(s: Session):
+            s.key = 0
+            REGISTRY.append(s)
+     """),
+    ("ALIAS806", """
+        class Session:
+            def __init__(self, key):
+                self.key = key
+
+        def same(a: Session, b: Session):
+            return a is b
+     """, """
+        class Session:
+            def __init__(self, key):
+                self.key = key
+
+        def same(a: Session, b: Session):
+            return a.key == b.key
+     """),
+    ("ALIAS807", """
+        class Session:
+            def __init__(self, key):
+                self.key = key
+
+        def probe(s: Session):
+            return id(s)
+     """, """
+        class Session:
+            def __init__(self, key):
+                self.key = key
+
+        def probe(s: Session):
+            return s.key
+     """),
+    ("ALIAS808", """
+        class Session:
+            def __init__(self, key):
+                self.key = key
+
+        def remember(table, s: Session):
+            table[s] = 1
+     """, """
+        class Session:
+            def __init__(self, key):
+                self.key = key
+
+            def __eq__(self, other):
+                return self.key == other.key
+
+            def __hash__(self):
+                return hash(self.key)
+
+        def remember(table, s: Session):
+            table[s] = 1
+     """),
+    ("ALIAS811", """
+        class World:
+            def __init__(self):
+                self._items = []
+
+        WORLD = World()
+     """, """
+        class World:
+            def __init__(self):
+                self._items = []
+
+        def make_world():
+            return World()
+     """),
+    # Soundness boundary: a call the graph cannot resolve inside a
+    # migrating class must be reported, never silently trusted.
+    ("ALIAS813", """
+        class Probe:
+            def __init__(self, dep):
+                self.dep = dep
+
+            def fire(self):
+                return self.dep.launch()
+     """, """
+        class Probe:
+            def fire(self):
+                return self._step()
+
+            def _step(self):
+                return 3
+     """),
+    # A defensive copy on a hot path is a cost worth surfacing; the
+    # same copy off the hot path is not.
+    ("ALIAS814", """
+        class EventScheduler:
+            def __init__(self):
+                self._queue = []
+
+            def step(self):
+                total = 0
+                for event in list(self._queue):
+                    total += 1
+                return total
+     """, """
+        class EventScheduler:
+            def __init__(self):
+                self._queue = []
+
+            def step(self):
+                total = 0
+                for event in self._queue:
+                    total += 1
+                return total
+     """),
+]
+
+
+@pytest.mark.parametrize(
+    "rule,mutant,twin", MUTATIONS,
+    ids=[f"{rule}-{i}" for i, (rule, _, _) in enumerate(MUTATIONS)])
+def test_mutant_fires_and_twin_is_clean(rule, mutant, twin):
+    mutated = report_for(mutant)
+    assert rule in all_codes(mutated), (
+        f"{rule} did not fire on its mutant; "
+        f"got {sorted(all_codes(mutated))}")
+    if rule in ADVISORY_CODES:
+        assert rule in adv_codes(mutated)
+    else:
+        assert rule in hard_codes(mutated)
+
+    repaired = report_for(twin)
+    assert rule not in all_codes(repaired), (
+        f"{rule} still fires on the repaired twin")
+    assert not repaired.findings, (
+        f"twin for {rule} has hard findings: "
+        f"{[f.code for f in repaired.findings]}")
+
+
+def test_every_alias_rule_is_covered():
+    """Each rule in the table has a mutant (812 has its own test)."""
+    covered = {rule for rule, _, _ in MUTATIONS} | {"ALIAS812"}
+    assert covered == {code for code, _, _, _ in ALIAS_RULES}
+
+
+# --------------------------------------------------------------------
+# Interprocedural pass B: a leak in one function, the mutation in
+# another, the finding at the *caller* with a via-label provenance.
+# --------------------------------------------------------------------
+
+def test_interprocedural_leak_mutation_fires_at_caller():
+    report = report_for("""
+        class Cache:
+            def __init__(self):
+                self._entries = {}
+
+            def entries(self):
+                return self._entries
+
+        def clobber(cache: Cache):
+            xs = cache.entries()
+            xs.clear()
+    """)
+    assert "ALIAS801" in hard_codes(report)
+    mutations = [f for f in report.findings if f.code == "ALIAS803"]
+    assert mutations, "pass B did not flag the caller-side mutation"
+    assert any("reached via" in f.message for f in mutations), (
+        "ALIAS803 lost its interprocedural provenance label")
+
+
+def test_interprocedural_twin_with_copy_is_clean():
+    report = report_for("""
+        class Cache:
+            def __init__(self):
+                self._entries = {}
+
+            def entries(self):
+                return dict(self._entries)
+
+        def clobber(cache: Cache):
+            xs = cache.entries()
+            xs.clear()
+    """)
+    assert not report.findings
+
+
+# --------------------------------------------------------------------
+# ALIAS812: the ledger rollup advisory, derived from the verdict.
+# --------------------------------------------------------------------
+
+def test_blocked_core_class_gets_ledger_rollup():
+    report = report_for("""
+        class SessionCache:
+            def __init__(self):
+                self._entries = {}
+
+            def entries(self):
+                return self._entries
+    """)
+    assert "ALIAS812" in adv_codes(report)
+    entries = {e["qualname"]: e for e in report.ledger["entries"]}
+    entry = entries["repro.core.mut.SessionCache"]
+    assert entry["verdict"] == "soa-blocked-by-ALIAS801"
+    assert "ALIAS801" in entry["blocking_rules"]
+    rollup = [f for f in report.advisory if f.code == "ALIAS812"]
+    assert any("alias-ledger.json" in f.message for f in rollup)
+
+
+def test_clean_core_class_is_soa_safe():
+    report = report_for("""
+        class SessionCache:
+            def __init__(self):
+                self._entries = {}
+
+            def entries(self):
+                return list(self._entries.values())
+    """)
+    assert "ALIAS812" not in adv_codes(report)
+    entries = {e["qualname"]: e for e in report.ledger["entries"]}
+    entry = entries["repro.core.mut.SessionCache"]
+    assert entry["verdict"] == "soa-safe"
+    assert entry["blocking_rules"] == []
+    assert report.ledger["summary"]["soa_blocked"] == 0
+
+
+def test_enum_class_is_always_soa_safe():
+    report = report_for("""
+        import enum
+
+        class Phase(enum.Enum):
+            IDLE = 0
+            ACTIVE = 1
+    """)
+    entries = {e["qualname"]: e for e in report.ledger["entries"]}
+    assert entries["repro.core.mut.Phase"]["verdict"] == "soa-safe"
+
+
+def test_non_migrating_module_scoping():
+    """Hard aliasing bugs fire everywhere; the SoA identity
+    advisories and the ledger are scoped to migrating packages."""
+    report = report_for("""
+        class Helper:
+            def __init__(self):
+                self._entries = {}
+
+            def entries(self):
+                return self._entries
+
+        def same(a: Helper, b: Helper):
+            return a is b
+    """, path="src/repro/tools/mut.py")
+    # The container leak is a bug regardless of any migration plan.
+    assert "ALIAS801" in hard_codes(report)
+    # ...but identity reliance only matters for migrating classes,
+    # and the ledger only covers core/sim/sap.
+    assert "ALIAS806" not in adv_codes(report)
+    assert report.ledger["entries"] == []
+
+
+# --------------------------------------------------------------------
+# Private-method leak exemption: a _helper that never escapes the
+# class may return internals; one called from outside may not.
+# --------------------------------------------------------------------
+
+def test_private_helper_leak_needs_external_caller():
+    internal_only = report_for("""
+        class Cache:
+            def __init__(self):
+                self._entries = {}
+
+            def _raw(self):
+                return self._entries
+
+            def size(self):
+                return len(self._raw())
+    """)
+    assert "ALIAS801" not in all_codes(internal_only)
+
+    externally_called = report_for("""
+        class Cache:
+            def __init__(self):
+                self._entries = {}
+
+            def _raw(self):
+                return self._entries
+
+        def peek(cache: Cache):
+            return cache._raw()
+    """)
+    assert "ALIAS801" in hard_codes(externally_called)
+
+
+# --------------------------------------------------------------------
+# Suppressions: the escape hatch works and is counted.
+# --------------------------------------------------------------------
+
+def test_suppression_silences_and_counts():
+    report = report_for("""
+        class Cache:
+            def __init__(self):
+                self._entries = {}
+
+            def entries(self):
+                return self._entries  # simlint: disable=leaked-internal-container (test fixture)
+    """)
+    assert "ALIAS801" not in hard_codes(report)
+    assert report.suppressed >= 1
+
+
+# --------------------------------------------------------------------
+# Seeded sweep: the leak detector keys on structure, not on the
+# attribute spelling or container kind the fixture happened to use.
+# --------------------------------------------------------------------
+
+def test_seeded_leak_sweep():
+    rng = random.Random(SEED)
+    kinds = ["{}", "[]", "set()", "dict()", "list()"]
+    for trial in range(8):
+        attr = "_" + "".join(
+            rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(6))
+        method = "".join(
+            rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(5))
+        kind = rng.choice(kinds)
+        src = f"""
+            class Holder:
+                def __init__(self):
+                    self.{attr} = {kind}
+
+                def {method}(self):
+                    return self.{attr}
+        """
+        report = report_for(src)
+        assert "ALIAS801" in hard_codes(report), (
+            f"trial {trial}: attr={attr} kind={kind} did not fire")
+        fixed = report_for(src.replace(
+            f"return self.{attr}", f"return list(self.{attr})"))
+        assert not fixed.findings, f"trial {trial}: copy still fires"

@@ -1,6 +1,6 @@
-"""Cross-tool registry invariants introduced with the seventh tool.
+"""Cross-tool registry invariants, grown with each new tool.
 
-Seven tools now share one rule registry; these tests make the code
+Eight tools now share one rule registry; these tests make the code
 bands structural (no future rule can silently collide), make every
 CLI list every rule, and pin the cache-filename single-source so tool
 defaults and ``.gitignore`` cannot drift.
@@ -15,7 +15,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: tool -> (band regex, example rule). The bands are the public
 #: contract: SIM1xx lint, SAN2xx sanitize, MC3xx modelcheck,
-#: OBS4xx obs, FLT5xx fleet, FLOW6xx flow, UNIT7xx units.
+#: OBS4xx obs, FLT5xx fleet, FLOW6xx flow, UNIT7xx units,
+#: ALIAS8xx alias.
 BANDS = {
     "lint": re.compile(r"^SIM1\d\d$"),
     "sanitize": re.compile(r"^SAN2\d\d$"),
@@ -24,6 +25,7 @@ BANDS = {
     "fleet": re.compile(r"^FLT5\d\d$"),
     "flow": re.compile(r"^FLOW6\d\d$"),
     "units": re.compile(r"^UNIT7\d\d$"),
+    "alias": re.compile(r"^ALIAS8\d\d$"),
 }
 
 
@@ -57,6 +59,22 @@ class TestBands:
                 seen[prefix] = tool
         assert len(numeric_prefixes) >= len(seen)
 
+    def test_alias_rules_are_present_and_split_correctly(self):
+        alias = [entry for entry in registry.all_entries()
+                 if entry.tool == "alias"]
+        codes = {entry.code for entry in alias}
+        assert codes == {"ALIAS801", "ALIAS802", "ALIAS803",
+                         "ALIAS804", "ALIAS805", "ALIAS806",
+                         "ALIAS807", "ALIAS808", "ALIAS811",
+                         "ALIAS812", "ALIAS813", "ALIAS814"}
+        advisory = {entry.code for entry in alias if entry.advisory}
+        assert advisory == {"ALIAS806", "ALIAS807", "ALIAS808",
+                            "ALIAS811", "ALIAS812", "ALIAS813",
+                            "ALIAS814"}
+        for entry in alias:
+            assert entry.kind == "static"
+            assert entry.description
+
     def test_unit_rules_are_present_and_split_correctly(self):
         units = [entry for entry in registry.all_entries()
                  if entry.tool == "units"]
@@ -72,7 +90,8 @@ class TestBands:
 
 
 class TestEveryCliListsEveryRule:
-    def test_seven_clis_print_the_identical_registry(self, capsys):
+    def test_eight_clis_print_the_identical_registry(self, capsys):
+        from repro.alias.cli import main as alias_main
         from repro.fleet.cli import main as fleet_main
         from repro.flow.cli import main as flow_main
         from repro.lint.cli import main as lint_main
@@ -83,7 +102,7 @@ class TestEveryCliListsEveryRule:
 
         outputs = set()
         for main in (lint_main, san_main, mc_main, obs_main,
-                     fleet_main, flow_main, units_main):
+                     fleet_main, flow_main, units_main, alias_main):
             assert main(["--list-rules"]) == 0
             outputs.add(capsys.readouterr().out)
         assert len(outputs) == 1
@@ -97,6 +116,7 @@ class TestEveryCliListsEveryRule:
 
 class TestCacheFilenameRegistry:
     def test_tool_defaults_read_from_the_registry(self):
+        from repro.alias.cache import DEFAULT_CACHE_FILE as alias_file
         from repro.flow.cache import DEFAULT_CACHE_FILE as flow_file
         from repro.lint.cache import DEFAULT_CACHE_FILE as lint_file
         from repro.units.cache import DEFAULT_CACHE_FILE as units_file
@@ -104,6 +124,7 @@ class TestCacheFilenameRegistry:
         assert lint_file == registry.CACHE_FILES["lint"]
         assert flow_file == registry.CACHE_FILES["flow"]
         assert units_file == registry.CACHE_FILES["units"]
+        assert alias_file == registry.CACHE_FILES["alias"]
 
     def test_gitignore_lists_every_cache_file(self):
         ignored = (REPO_ROOT / ".gitignore").read_text().splitlines()
