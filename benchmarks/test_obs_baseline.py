@@ -1,17 +1,26 @@
-"""Observability baseline: scheduler overhead and allocation latency.
+"""Observability baseline: steady-state overhead and allocation latency.
 
-Collects the BENCH_obs payload — the uninstrumented-vs-disabled-vs-
-observed scheduler throughput, instrumented ``allocate()`` latency,
-and a steady-scenario metric snapshot — and persists it to
-``benchmarks/results/BENCH_obs.json`` for trend comparison.
+Collects the BENCH_obs payload — the whole-stack bare-vs-observed
+steady overhead (the headline number), the uninstrumented-vs-disabled-
+vs-observed scheduler microbenchmark, instrumented ``allocate()``
+latency, and a steady-scenario metric snapshot — and persists it to
+``benchmarks/results/BENCH_obs.json`` for trend comparison.  Each run
+appends one entry to the payload's ``trajectory`` list (seeded from
+the previous file) so the observed-mode throughput trend is visible
+PR over PR.
 
-Wall-clock numbers are machine-dependent; the assertions below check
-the layer's *structure* (the scenario ran, metrics accumulated, no
-OBS4xx issues) and a deliberately loose overhead ceiling, not absolute
-speed.
+Wall-clock numbers are machine-dependent; most assertions below check
+the layer's *structure* (the scenario ran, metrics accumulated, spans
+sampled, no OBS4xx issues).  The one hard performance gate is the
+always-on contract itself: full telemetry on the steady workload must
+cost less than 5% (it cost 74% before the slot-table/sampling
+rework), measured by a min-time estimator over interleaved rounds so
+host noise cannot fail it spuriously.
 
-Scale knob: ``REPRO_BENCH_OBS_EVENTS`` (default 50000) sets the
-microbenchmark drain size.
+Scale knobs: ``REPRO_BENCH_OBS_EVENTS`` (default 50000) sets the
+microbenchmark drain size; ``REPRO_BENCH_OBS_STEADY_SPS`` (default
+10, ~250k events) and ``REPRO_BENCH_OBS_STEADY_REPEATS`` (default 5)
+size the steady overhead measurement.
 """
 
 import json
@@ -22,56 +31,117 @@ from repro.obs.bench import collect_baseline
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Trajectory entries kept in BENCH_obs.json (oldest dropped first).
+TRAJECTORY_CAP = 20
+
+
+def _load_prior_trajectory(path: Path) -> list:
+    if not path.exists():
+        return []
+    try:
+        prior = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    trajectory = prior.get("trajectory", [])
+    return trajectory if isinstance(trajectory, list) else []
+
 
 def test_obs_baseline(benchmark, record_series):
     num_events = int(os.environ.get("REPRO_BENCH_OBS_EVENTS", 50_000))
+    steady_sps = int(os.environ.get("REPRO_BENCH_OBS_STEADY_SPS", 10))
+    steady_repeats = int(
+        os.environ.get("REPRO_BENCH_OBS_STEADY_REPEATS", 5)
+    )
 
     def run():
-        return collect_baseline(seed=1998, num_events=num_events)
+        return collect_baseline(
+            seed=1998, num_events=num_events,
+            steady_repeats=steady_repeats,
+            steady_sessions_per_site=steady_sps,
+        )
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    scheduler = payload["scheduler"]
+    overhead = payload["steady_overhead"]
+    allocation = payload["allocation"]
+    steady = payload["steady"]
+
+    # Observed-mode throughput trend, PR over PR: seed from the prior
+    # file's trajectory, append this run, cap, persist.
+    results_path = RESULTS_DIR / "BENCH_obs.json"
+    trajectory = _load_prior_trajectory(results_path)
+    trajectory.append({
+        "events_run": overhead["events_run"],
+        "bare_events_per_second": round(
+            overhead["bare_events_per_second"], 1),
+        "observed_events_per_second": round(
+            overhead["observed_events_per_second"], 1),
+        "observed_overhead_pct": round(
+            overhead["observed_overhead_pct"], 2),
+        "disabled_overhead_pct": round(
+            scheduler["disabled_overhead_pct"], 2),
+        "sample_rate": overhead["sample_rate"],
+    })
+    payload["trajectory"] = trajectory[-TRAJECTORY_CAP:]
+
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_obs.json").write_text(
+    results_path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
 
-    scheduler = payload["scheduler"]
-    allocation = payload["allocation"]
-    steady = payload["steady"]
     record_series(
         "bench_obs",
-        "Observability baseline — scheduler overhead and "
+        "Observability baseline — steady-state overhead and "
         "allocation latency",
         ["measurement", "value"],
         [
-            ("baseline events/s",
+            ("steady observed overhead %",
+             f"{overhead['observed_overhead_pct']:+.2f}"),
+            ("steady bare events/s",
+             f"{overhead['bare_events_per_second']:,.0f}"),
+            ("steady observed events/s",
+             f"{overhead['observed_events_per_second']:,.0f}"),
+            ("steady events run",
+             f"{overhead['events_run']:,}"),
+            ("spans recorded / started",
+             f"{overhead['spans_recorded']:,} / "
+             f"{overhead['spans_started']:,}"),
+            ("baseline events/s (micro)",
              f"{scheduler['baseline_events_per_second']:,.0f}"),
-            ("disabled-path events/s",
+            ("disabled-path events/s (micro)",
              f"{scheduler['disabled_events_per_second']:,.0f}"),
-            ("observed events/s",
-             f"{scheduler['observed_events_per_second']:,.0f}"),
-            ("disabled overhead %",
+            ("disabled overhead % (micro)",
              f"{scheduler['disabled_overhead_pct']:+.2f}"),
-            ("observed overhead %",
-             f"{scheduler['observed_overhead_pct']:+.2f}"),
             ("allocate() mean us",
              f"{allocation['mean_seconds'] * 1e6:.2f}"),
             ("allocate() p99 us",
              f"{allocation['p99_seconds'] * 1e6:.2f}"),
-            ("steady events/s (full stack)",
-             f"{steady['events_per_wall_second']:,.0f}"),
             ("steady cache hit rate",
              f"{steady['cache_hit_rate']:.2%}"),
         ],
     )
 
-    # Structure: the steady scenario really exercised the stack.
+    # Structure: the steady scenario really exercised the stack under
+    # sampling — events ran, spans materialised with real nesting, the
+    # exporter accounted for every record, and nothing raised OBS4xx.
     assert steady["events_run"] > 1_000
     assert steady["span_max_depth"] >= 2
+    assert steady["spans_recorded"] > 0
+    assert steady["spans_started"] >= steady["spans_recorded"]
     assert 0.0 < steady["cache_hit_rate"] < 1.0
     assert steady["issues"] == 0
     assert allocation["mean_seconds"] > 0
+    stats = overhead["exporter"]
+    assert stats["pushed"] == (stats["retained"] + stats["drained"]
+                               + stats["dropped"])
+
+    # The always-on contract: full telemetry (counters, sampled spans
+    # and histograms, ring exporter) costs < 5% on the whole-stack
+    # steady workload.  This is the number that was 74% before the
+    # handle-table/sampling rework; the min-time interleaved estimator
+    # keeps the measurement stable on noisy hosts.
+    assert overhead["observed_overhead_pct"] < 5.0
 
     # The when-off contract targets < 2%; hosts are noisy, so the
     # hard ceiling here is deliberately loose (the recorded JSON is

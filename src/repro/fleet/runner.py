@@ -42,7 +42,14 @@ from repro.obs.metrics import (
 
 
 class FleetTelemetry:
-    """The sweep-execution metric family on an obs registry."""
+    """The sweep-execution metric family on an obs registry.
+
+    Follows the ``repro.obs`` probe contract: the per-attempt sink
+    path and the executor's queue/busy gauge callbacks go through the
+    registry's shared slot table with handles resolved here, once —
+    one array operation per observation instead of a method call, so
+    fleet telemetry stays always-on at any shard rate.
+    """
 
     def __init__(self, registry: MetricsRegistry, sweep_id: str,
                  jobs: int) -> None:
@@ -89,13 +96,26 @@ class FleetTelemetry:
             "fleet_shard_seconds", SIM_SECONDS_BUCKETS, labels,
             help_text="Wall-clock duration of shard attempts.",
             unit="seconds")
+        # Hot-side contract: integer handles into the registry's
+        # shared slot table, resolved once per sweep.
+        self.slots = registry.slots
+        self.h_completed = self.completed.handle
+        self.h_retried = self.retried.handle
+        self.h_failed = self.failed.handle
+        self.h_attempts = {status: counter.handle
+                           for status, counter in self.attempts.items()}
+        self.h_queue = self.queue_depth.handle
+        self.h_busy = self.workers_busy.handle
 
     def observe_gauge(self, which: str, value: float) -> None:
         """Executor hook: scheduling gauges as high-water marks."""
+        slots = self.slots
         if which == "queue":
-            self.queue_depth.set_max(value)
+            if value > slots[self.h_queue]:
+                slots[self.h_queue] = value
         elif which == "busy":
-            self.workers_busy.set_max(value)
+            if value > slots[self.h_busy]:
+                slots[self.h_busy] = value
 
 
 @dataclass
@@ -254,18 +274,19 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
             row = outcome.to_row()
             if journal is not None:
                 journal.append(row)
-            telemetry.attempts[outcome.status].inc()
+            slots = telemetry.slots
+            slots[telemetry.h_attempts[outcome.status]] += 1.0
             telemetry.shard_seconds.observe(outcome.duration)
             if outcome.ok:
                 if outcome.index not in payloads:
                     payloads[outcome.index] = outcome.payload or {}
-                    telemetry.completed.inc()
+                    slots[telemetry.h_completed] += 1.0
                 return
             failures.append(row)
             if outcome.attempt < spec.retries:
-                telemetry.retried.inc()
+                slots[telemetry.h_retried] += 1.0
             else:
-                telemetry.failed.inc()
+                slots[telemetry.h_failed] += 1.0
                 issues.append(FleetIssue(
                     code="FLT501", shard=outcome.index,
                     message=(

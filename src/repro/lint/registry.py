@@ -68,7 +68,14 @@ MODELCHECK_RUNTIME_CODES = {
 OBS_RUNTIME_CODES = {
     "OBS401": "metric-name-collision",
     "OBS402": "unclosed-span",
+    "OBS403": "exporter-ring-saturated",
+    "OBS404": "handle-table-overflow",
 }
+
+#: OBS4xx codes that describe degraded telemetry rather than broken
+#: instrumentation: the run's *protocol* output is still trustworthy,
+#: so these never fail a scenario on their own.
+OBS_ADVISORY_CODES = frozenset({"OBS403", "OBS404"})
 
 #: Fleet execution diagnostics (emitted by repro.fleet about sweep
 #: execution and checkpoints, not about the protocol under test).
@@ -101,6 +108,12 @@ _RUNTIME_DESCRIPTIONS = {
               "or label-key set (would corrupt exposition)",
     "OBS402": "a span still open when its scenario ended (a protocol "
               "phase that began and never completed)",
+    "OBS403": "the ring-buffer exporter overwrote records that were "
+              "never drained (telemetry lost; drain more often or "
+              "raise the ring capacity)",
+    "OBS404": "the metric handle table grew past its configured "
+              "capacity (attach-time registration is leaking into "
+              "the hot path; pre-size the registry)",
     # FLT5xx — repro.fleet sweep-execution diagnostics.
     "FLT501": "a shard that failed on every attempt (retry budget "
               "exhausted; its cell is missing from the aggregate)",
@@ -205,6 +218,7 @@ def all_entries() -> Tuple[RegistryEntry, ...]:
         entries.append(RegistryEntry(
             code=code, name=name, kind="runtime", tool="obs",
             description=_RUNTIME_DESCRIPTIONS.get(code, ""),
+            advisory=code in OBS_ADVISORY_CODES,
         ))
     for code, name in FLEET_RUNTIME_CODES.items():
         entries.append(RegistryEntry(

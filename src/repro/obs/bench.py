@@ -1,6 +1,6 @@
 """Benchmark bridge: scheduler and allocation baselines for BENCH_obs.
 
-Two microbenchmarks back the layer's cost contract:
+Three benchmarks back the layer's cost contract:
 
 * :func:`bench_scheduler` — events-per-second through (a) a scheduler
   whose ``step`` is a replica of the pre-observability body (the
@@ -10,10 +10,15 @@ Two microbenchmarks back the layer's cost contract:
   scheduler with a full :class:`ObsContext` attached.  The
   disabled-vs-baseline delta is the "when-off" overhead the design
   bounds at 2%.
+* :func:`bench_steady_overhead` — the headline number: the *whole
+  stack* (scheduler + network + directories + cache + clash protocol)
+  built identically with and without a default-rate context, timed
+  over the same steady-churn run.  The observed-vs-bare delta is the
+  "when-on" overhead the design bounds at 5%.
 * :func:`bench_allocation` — wall-clock ``allocate()`` latency through
   the instrumented wrapper at a representative occupancy.
 
-:func:`collect_baseline` bundles both with a steady-scenario metric
+:func:`collect_baseline` bundles them with a steady-scenario metric
 snapshot into the JSON written to ``benchmarks/results/BENCH_obs.json``
 (see ``benchmarks/test_obs_baseline.py`` and ``repro obs --bench``).
 
@@ -25,6 +30,7 @@ targets.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import time
 from typing import Any, Callable, Dict
@@ -127,6 +133,92 @@ def bench_scheduler(num_events: int = 50_000, repeats: int = 5,
     }
 
 
+def bench_steady_overhead(seed: int = 1998, repeats: int = 5,
+                          sessions_per_site: int = 10,
+                          horizon: float = 600.0,
+                          wall: Wall = time.perf_counter
+                          ) -> Dict[str, Any]:
+    """Whole-stack bare-vs-observed steady-state overhead.
+
+    Each round builds the steady churn harness twice — once
+    uninstrumented, once under a full default-rate
+    :class:`ObsContext` (array counters, sampled spans and latency
+    histograms, ring exporter, all armed) — and times the identical
+    ``scheduler.run``.  Rounds interleave the two variants so host
+    drift penalises them equally and the min-time estimator discards
+    noise, which only ever adds time.
+
+    Observers observe and never steer, so both variants must execute
+    the same event sequence; the function raises if the event counts
+    diverge rather than report a meaningless ratio.  The default
+    workload (~250k events, tight space, partition+heal) runs long
+    enough that the min-time ratio is stable against scheduler jitter
+    on sub-second runs.
+    """
+    from repro.obs.scenarios import build_steady
+
+    bare_time = float("inf")
+    observed_time = float("inf")
+    events_bare = events_observed = 0
+    context: ObsContext = None  # type: ignore[assignment]
+
+    def run_bare() -> None:
+        nonlocal bare_time, events_bare
+        scheduler, __dirs = build_steady(
+            seed, sessions_per_site=sessions_per_site, horizon=horizon
+        )
+        gc.collect()  # level the heap even under --benchmark-disable-gc
+        begin = wall()
+        scheduler.run(until=horizon)
+        bare_time = min(bare_time, max(wall() - begin, 1e-9))
+        events_bare = scheduler.events_run
+
+    def run_observed() -> None:
+        nonlocal observed_time, events_observed, context
+        context = ObsContext(scenario="steady-bench", seed=seed)
+        scheduler, __dirs = build_steady(
+            seed, context, sessions_per_site=sessions_per_site,
+            horizon=horizon,
+        )
+        gc.collect()
+        begin = wall()
+        scheduler.run(until=horizon)
+        observed_time = min(observed_time, max(wall() - begin, 1e-9))
+        context.finish()
+        events_observed = scheduler.events_run
+
+    for round_index in range(repeats):
+        # Alternate which variant runs first so any monotonic host
+        # drift (thermal, heap growth) biases neither arm.
+        if round_index % 2 == 0:
+            run_bare()
+            run_observed()
+        else:
+            run_observed()
+            run_bare()
+    if events_bare != events_observed:
+        raise RuntimeError(
+            f"observer steered the run: bare executed {events_bare} "
+            f"events, observed executed {events_observed}"
+        )
+    spans = context.spans
+    return {
+        "seed": seed,
+        "repeats": repeats,
+        "sessions_per_site": sessions_per_site,
+        "horizon": horizon,
+        "events_run": events_bare,
+        "sample_rate": context.sample_rate,
+        "bare_events_per_second": events_bare / bare_time,
+        "observed_events_per_second": events_observed / observed_time,
+        "observed_overhead_pct": 100.0 * (observed_time / bare_time
+                                          - 1.0),
+        "spans_started": spans.started if spans is not None else 0,
+        "spans_recorded": spans.recorded if spans is not None else 0,
+        "exporter": context.exporter.stats(),
+    }
+
+
 def bench_allocation(space_size: int = 512, occupied: int = 256,
                      trials: int = 2_000, seed: int = 1998,
                      wall: Wall = time.perf_counter) -> Dict[str, Any]:
@@ -157,10 +249,23 @@ def bench_allocation(space_size: int = 512, occupied: int = 256,
 
 
 def collect_baseline(seed: int = 1998,
-                     num_events: int = 50_000) -> Dict[str, Any]:
-    """The full BENCH_obs payload: microbenchmarks + steady snapshot."""
+                     num_events: int = 50_000,
+                     steady_repeats: int = 5,
+                     steady_sessions_per_site: int = 10
+                     ) -> Dict[str, Any]:
+    """The full BENCH_obs payload: benchmarks + steady snapshot.
+
+    The headline steady-overhead measurement runs *first*, on a fresh
+    heap: the scheduler microbenchmark churns hundreds of thousands
+    of event handles, and allocator-arena fragmentation from that
+    would bleed into the whole-stack timing.
+    """
     from repro.obs.scenarios import run_scenario
 
+    steady_overhead = bench_steady_overhead(
+        seed=seed, repeats=steady_repeats,
+        sessions_per_site=steady_sessions_per_site,
+    )
     steady = run_scenario("steady", seed=seed)
     report = steady.report()
     scheduler_block = report["scheduler"]
@@ -168,6 +273,7 @@ def collect_baseline(seed: int = 1998,
         "bench": "obs",
         "seed": seed,
         "scheduler": bench_scheduler(num_events=num_events),
+        "steady_overhead": steady_overhead,
         "allocation": bench_allocation(seed=seed),
         "steady": {
             "summary": steady.summary,
@@ -181,6 +287,9 @@ def collect_baseline(seed: int = 1998,
             ),
             "cache_hit_rate": report["cache_hit_rate"],
             "span_max_depth": report["spans"]["max_depth"],
+            "spans_started": report["spans"]["started"],
+            "spans_recorded": report["spans"]["recorded"],
+            "sample_rate": report["sample_rate"],
             "issues": report["findings"]["count"],
         },
     }

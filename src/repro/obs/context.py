@@ -6,22 +6,36 @@ is explicit and opt-in, and every hook point in the kernel is a single
 zero-cost-when-off contract.
 
 * :meth:`attach_scheduler` installs a :class:`SchedulerProbe` as the
-  scheduler's ``_obs`` hook: per-event wall-clock callback latency,
-  events-per-wallclock-second throughput, heap-depth high-water mark;
+  scheduler's ``_obs`` hook: per-event counters, sampled wall-clock
+  callback latency, events-per-wallclock-second throughput, heap-depth
+  high-water mark;
 * :meth:`attach_network` installs a :class:`NetworkProbe`: packet
-  counters, per-send fan-out, simulated delivery latency;
+  counters, per-send fan-out, sampled simulated delivery latency;
 * :meth:`watch_directory` hooks a directory end to end: announcement
   counters, cache hit rates, per-allocator clash/defence/retreat
   counters, allocation wall-clock latency, and wraps the protocol
   phases (``listen`` → ``defend``/``retreat``/``proxy-defend``,
-  ``announce`` → ``allocate``) in nested spans;
+  ``announce`` → ``allocate``) in sampled nested spans;
 * :meth:`watch_allocator` wraps a bare allocator (allocator-only
   experiments).
+
+**The always-on cost contract.**  Per-event work on the hot paths is
+one shared-slot array increment (``slots[handle] += 1.0`` against the
+registry's handle table, resolved once at attach time — no dict
+lookup, no method call) plus one countdown decrement.  Everything
+expensive — wall-clock reads, histogram observes, span
+materialisation — runs only on the deterministic 1-in-N sampled path
+(:mod:`repro.obs.sampling`), so attaching full telemetry costs <5% at
+steady state instead of the 74% the per-event probes used to.  Pass
+``sample_rate=1`` to sample everything (unit tests that assert exact
+observation counts do).
 
 The wall clock is read **only** inside this module, never in kernel
 code, and only for throughput/latency measurement — metric values
 derived from it are observability output, not simulation input, so
-runs stay deterministic.
+runs stay deterministic.  The sampler draws from seed-derived streams
+(``obs/sampler*``) that are independent of every simulation stream,
+so sampling cannot steer the run either.
 """
 
 from __future__ import annotations
@@ -29,6 +43,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.lint.registry import OBS_ADVISORY_CODES
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS,
@@ -39,19 +54,39 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.report import ObsIssue
+from repro.obs.ring import DEFAULT_EXPORT_CAPACITY, RingExporter
+from repro.obs.sampling import DEFAULT_SAMPLE_RATE, DeterministicSampler
 from repro.obs.spans import SpanTracker
 from repro.sim.trace import Tracer
 
 
 class SchedulerProbe:
-    """The scheduler's ``_obs`` hook: step timing and heap depth."""
+    """The scheduler's ``_obs`` hook: step counters and heap depth.
 
-    __slots__ = ("_wall", "events", "scheduled", "latency",
+    The scheduler pays *only* the ``countdown`` decrement per step and
+    nothing at all per schedule: the events counter advances in whole
+    sampling gaps inside :meth:`observe_event` (the gap is exactly how
+    many events ran since the last sample) with the partial tail
+    folded in by :meth:`sync`, the scheduled total syncs from the
+    scheduler's native ``events_scheduled`` count at finish, and the
+    heap-depth high-water mark is sampled on the same 1-in-N path as
+    callback timing.  Every counter is exact at every read that
+    matters (``finish`` runs :meth:`sync` first) without a single
+    per-event array add on the hot path.
+    """
+
+    __slots__ = ("_wall", "_sampler", "_scheduler", "_base_scheduled",
+                 "_gap", "slots", "h_events", "h_scheduled",
+                 "countdown", "events", "scheduled", "latency",
                  "heap_depth_max")
 
-    def __init__(self, registry: MetricsRegistry,
-                 wall: Callable[[], float]) -> None:
+    def __init__(self, registry: MetricsRegistry, scheduler,
+                 wall: Callable[[], float],
+                 sampler: DeterministicSampler) -> None:
         self._wall = wall
+        self._sampler = sampler
+        self._scheduler = scheduler
+        self._base_scheduled = scheduler.events_scheduled
         self.events: Counter = registry.counter(
             "sim_events_total",
             help_text="callbacks executed by EventScheduler.step",
@@ -62,38 +97,81 @@ class SchedulerProbe:
         )
         self.latency: Histogram = registry.histogram(
             "sim_callback_latency_seconds", LATENCY_BUCKETS,
-            help_text="wall-clock latency of one scheduled callback",
+            help_text="wall-clock latency of one scheduled callback "
+                      "(sampled 1-in-N)",
             unit="seconds",
         )
+        # The hot-path contract: the scheduler indexes this table
+        # directly with these handles.
+        self.slots = registry.slots
+        self.h_events = self.events.handle
+        self.h_scheduled = self.scheduled.handle
+        self._gap = sampler.next_gap()
+        self.countdown = self._gap
         self.heap_depth_max = 0
 
-    def on_schedule(self, when: float, depth: int) -> None:
-        self.scheduled.inc()
-        if depth > self.heap_depth_max:
-            self.heap_depth_max = depth
-
     def observe_event(self, callback: Callable[[], Any],
-                      depth: int) -> None:
-        """Run one callback under the wall-clock latency probe."""
-        if depth > self.heap_depth_max:
-            self.heap_depth_max = depth
+                      heap_depth: int) -> None:
+        """Run one *sampled* callback under the latency probe.
+
+        Reaching here means the countdown expired: exactly ``_gap``
+        events (this one included) ran since the last sample, so the
+        events counter advances by the whole gap at once.
+        ``heap_depth`` is the queue depth with the popped event
+        counted back in; the high-water mark is therefore sampled, a
+        deliberate trade for a hook-free schedule path.
+        """
+        self.slots[self.h_events] += self._gap
+        if heap_depth > self.heap_depth_max:
+            self.heap_depth_max = heap_depth
+        gap = self._sampler.next_gap()
+        self._gap = gap
+        self.countdown = gap
         wall = self._wall
         begin = wall()
         try:
             callback()
         finally:
             self.latency.observe(wall() - begin)
-            self.events.inc()
+
+    def sync(self) -> None:
+        """Reconcile the gap-accounted and natively-counted totals.
+
+        Folds the partial tail gap into the events counter and copies
+        the scheduler's exact native schedule count (relative to the
+        attach-time baseline) into the scheduled slot.  Called once
+        from ``ObsContext.finish`` but safe to call repeatedly; after
+        it both counters are exact.
+        """
+        consumed = self._gap - self.countdown
+        if consumed:
+            self.slots[self.h_events] += consumed
+            self._gap = self.countdown
+        self.slots[self.h_scheduled] = float(
+            self._scheduler.events_scheduled - self._base_scheduled
+        )
 
 
 class NetworkProbe:
-    """The network model's ``_obs`` hook: traffic and sim latency."""
+    """The network model's ``_obs`` hook: traffic and sim latency.
 
-    __slots__ = ("_scheduler", "sent", "delivered", "fanout",
-                 "delivery_latency")
+    Deliveries are the hot side (one per receiver per send): the
+    network inlines only the sampling countdown and calls
+    :meth:`sample_delivery` 1-in-N.  The sent/delivered totals are
+    *not* counted per event at all — ``NetworkModel`` already counts
+    both natively, so :meth:`sync` copies the exact totals into the
+    counter slots at finish.  Sends are one-per-multicast and keep
+    the exact-fanout method call.
+    """
 
-    def __init__(self, registry: MetricsRegistry, scheduler) -> None:
+    __slots__ = ("_scheduler", "_sampler", "slots", "h_sent",
+                 "h_delivered", "countdown", "sent", "delivered",
+                 "fanout", "delivery_latency")
+
+    def __init__(self, registry: MetricsRegistry, scheduler,
+                 sampler: DeterministicSampler) -> None:
         self._scheduler = scheduler
+        self._sampler = sampler
         self.sent: Counter = registry.counter(
             "net_packets_sent_total",
             help_text="multicast sends entering the network model",
@@ -108,25 +186,41 @@ class NetworkProbe:
         )
         self.delivery_latency: Histogram = registry.histogram(
             "net_delivery_latency_seconds", SIM_SECONDS_BUCKETS,
-            help_text="simulated send-to-delivery latency",
+            help_text="simulated send-to-delivery latency "
+                      "(sampled 1-in-N)",
             unit="seconds",
         )
+        self.slots = registry.slots
+        self.h_sent = self.sent.handle
+        self.h_delivered = self.delivered.handle
+        self.countdown = sampler.next_gap()
 
     def on_send(self, packet, scheduled: int) -> None:
-        self.sent.inc()
         self.fanout.observe(scheduled)
 
-    def on_deliver(self, receiver: int, packet) -> None:
-        self.delivered.inc()
+    def sample_delivery(self, packet) -> None:
+        """Record simulated latency for one *sampled* delivery."""
+        self.countdown = self._sampler.next_gap()
         self.delivery_latency.observe(
             self._scheduler.now - packet.sent_at
         )
 
+    def sync(self, packets_sent: int, packets_delivered: int) -> None:
+        """Copy the network's exact native totals into the slots."""
+        self.slots[self.h_sent] = float(packets_sent)
+        self.slots[self.h_delivered] = float(packets_delivered)
+
 
 class CacheProbe:
-    """A session cache's ``_obs`` hook: hit/miss/delete/invalid."""
+    """A session cache's ``_obs`` hook: hit/miss/delete/invalid.
 
-    __slots__ = ("hits", "misses", "deletes", "invalid")
+    The cache inlines all four outcomes as slot increments against
+    ``slots`` / ``h_hit`` / ``h_miss`` / ``h_delete`` / ``h_invalid``;
+    this object only owns the handles and the read-side counters.
+    """
+
+    __slots__ = ("slots", "h_hit", "h_miss", "h_delete", "h_invalid",
+                 "hits", "misses", "deletes", "invalid")
 
     def __init__(self, registry: MetricsRegistry, node: int) -> None:
         label = {"node": node}
@@ -143,18 +237,11 @@ class CacheProbe:
         self.misses = counter("miss")
         self.deletes = counter("delete")
         self.invalid = counter("invalid")
-
-    def on_cache_hit(self) -> None:
-        self.hits.inc()
-
-    def on_cache_miss(self) -> None:
-        self.misses.inc()
-
-    def on_cache_delete(self) -> None:
-        self.deletes.inc()
-
-    def on_cache_invalid(self) -> None:
-        self.invalid.inc()
+        self.slots = registry.slots
+        self.h_hit = self.hits.handle
+        self.h_miss = self.misses.handle
+        self.h_delete = self.deletes.handle
+        self.h_invalid = self.invalid.handle
 
     @property
     def hit_rate(self) -> float:
@@ -163,10 +250,18 @@ class CacheProbe:
 
 
 class ClashProbe:
-    """A clash handler's ``_obs`` hook: per-phase protocol counters."""
+    """A clash handler's ``_obs`` hook: per-phase protocol counters.
 
-    __slots__ = ("clashes", "defences", "retreats", "proxies",
-                 "suppressed")
+    In the saturated steady regime a tight address space makes clash
+    checks fire per received announcement — as hot as the cache path —
+    so the handler inlines all five outcomes as slot increments
+    against ``slots`` / ``h_clash`` / ``h_defence`` / ``h_retreat`` /
+    ``h_proxy`` / ``h_suppressed``.
+    """
+
+    __slots__ = ("slots", "h_clash", "h_defence", "h_retreat",
+                 "h_proxy", "h_suppressed", "clashes", "defences",
+                 "retreats", "proxies", "suppressed")
 
     def __init__(self, registry: MetricsRegistry, node: int,
                  allocator_name: str) -> None:
@@ -196,21 +291,12 @@ class ClashProbe:
             "clash_suppressed_total",
             "phase-3 defences suppressed by an earlier response",
         )
-
-    def on_clash(self) -> None:
-        self.clashes.inc()
-
-    def on_defence(self) -> None:
-        self.defences.inc()
-
-    def on_retreat(self) -> None:
-        self.retreats.inc()
-
-    def on_proxy_defence(self) -> None:
-        self.proxies.inc()
-
-    def on_suppressed(self) -> None:
-        self.suppressed.inc()
+        self.slots = registry.slots
+        self.h_clash = self.clashes.handle
+        self.h_defence = self.defences.handle
+        self.h_retreat = self.retreats.handle
+        self.h_proxy = self.proxies.handle
+        self.h_suppressed = self.suppressed.handle
 
 
 class ObsContext:
@@ -222,13 +308,28 @@ class ObsContext:
             :func:`time.perf_counter`.  Wall time is measurement
             output only — it never feeds back into the simulation.
         span_capacity: structured span-tree retention bound.
+        sample_rate: mean events per materialised observation on the
+            hot paths (spans, latency histograms).  ``1`` samples
+            everything; the default keeps full telemetry inside the
+            <5% steady-state overhead budget.
+        seed: seeds the deterministic samplers.  Pass the scenario
+            seed so two runs of one experiment sample the identical
+            event subset.
+        export_capacity: ring-buffer exporter capacity; overflowing
+            it drops oldest-first with accounting (OBS403 advisory).
     """
 
     def __init__(self, scenario: str = "",
                  wall: Optional[Callable[[], float]] = None,
-                 span_capacity: int = 10_000) -> None:
+                 span_capacity: int = 10_000,
+                 sample_rate: int = DEFAULT_SAMPLE_RATE,
+                 seed: int = 0,
+                 export_capacity: int = DEFAULT_EXPORT_CAPACITY) -> None:
         self.scenario = scenario
         self.registry = MetricsRegistry()
+        self.sample_rate = int(sample_rate)
+        self.seed = int(seed)
+        self.exporter = RingExporter(export_capacity)
         self._wall = wall if wall is not None else time.perf_counter
         self._span_capacity = span_capacity
         self.tracer: Optional[Tracer] = None
@@ -243,6 +344,11 @@ class ObsContext:
         self._finish_issues: List[ObsIssue] = []
         self._finished = False
 
+    def _sampler(self, concern: str) -> DeterministicSampler:
+        """One independent gap stream per instrumentation concern."""
+        return DeterministicSampler(self.sample_rate, seed=self.seed,
+                                    stream=f"obs/sampler/{concern}")
+
     # ------------------------------------------------------------------
     # Attachment
     # ------------------------------------------------------------------
@@ -251,8 +357,13 @@ class ObsContext:
         self._scheduler = scheduler
         self.tracer = Tracer(scheduler)
         self.spans = SpanTracker(self.tracer,
-                                 max_retained=self._span_capacity)
-        self.scheduler_probe = SchedulerProbe(self.registry, self._wall)
+                                 max_retained=self._span_capacity,
+                                 sampler=self._sampler("spans"),
+                                 exporter=self.exporter)
+        self.scheduler_probe = SchedulerProbe(
+            self.registry, scheduler, self._wall,
+            self._sampler("scheduler")
+        )
         scheduler._obs = self.scheduler_probe
         self._wall_start = self._wall()
         return scheduler
@@ -261,8 +372,9 @@ class ObsContext:
         """Count a network model's traffic; returns it."""
         if self._scheduler is None:
             self.attach_scheduler(network.scheduler)
-        self.network_probe = NetworkProbe(self.registry,
-                                          network.scheduler)
+        self.network_probe = NetworkProbe(
+            self.registry, network.scheduler, self._sampler("network")
+        )
         network._obs = self.network_probe
         self._networks.append(network)
         return network
@@ -285,7 +397,15 @@ class ObsContext:
         return directory
 
     def watch_allocator(self, allocator, node: Optional[int] = None):
-        """Wrap ``allocator.allocate`` with latency + span probes."""
+        """Wrap ``allocator.allocate`` with latency + span probes.
+
+        In directory mode (spans armed) the span/latency work rides
+        the span sampling: an allocate inside a recorded parent span
+        records as its child; a standalone allocate is a root subject
+        to the countdown.  In allocator-only mode (no scheduler, no
+        spans) every call is timed — that mode exists for latency
+        microbenchmarks, where sampling would only lose data.
+        """
         if getattr(allocator, "_obs_watched", False):
             return allocator
         labels = {"allocator": allocator.name,
@@ -301,24 +421,41 @@ class ObsContext:
         latency = self.registry.histogram(
             "alloc_latency_seconds", LATENCY_BUCKETS,
             labels={"allocator": allocator.name},
-            help_text="wall-clock latency of one allocate() call",
+            help_text="wall-clock latency of one allocate() call "
+                      "(sampled 1-in-N in directory mode)",
             unit="seconds",
         )
         inner = allocator.allocate
         spans = self.spans
         wall = self._wall
+        slots = self.registry.slots
+        h_alloc = allocations.handle
+        h_forced = forced.handle
 
         def allocate(ttl, visible):
-            begin = wall()
-            if spans is not None:
+            slots[h_alloc] += 1.0
+            if spans is None:
+                begin = wall()
+                result = inner(ttl, visible)
+                latency.observe(wall() - begin)
+            elif spans.in_recorded_span:
+                begin = wall()
                 with spans.span("allocate", node=node):
                     result = inner(ttl, visible)
+                latency.observe(wall() - begin)
             else:
-                result = inner(ttl, visible)
-            latency.observe(wall() - begin)
-            allocations.inc()
+                spans.countdown -= 1
+                if spans.countdown <= 0:
+                    spans.countdown = spans.next_gap()
+                    begin = wall()
+                    with spans.span("allocate", node=node):
+                        result = inner(ttl, visible)
+                    latency.observe(wall() - begin)
+                else:
+                    spans.started += 1
+                    result = inner(ttl, visible)
             if result.forced:
-                forced.inc()
+                slots[h_forced] += 1.0
             return result
 
         allocator.allocate = allocate
@@ -330,18 +467,24 @@ class ObsContext:
 
         Follows :func:`repro.sim.trace.trace_directory`: the packet
         handler swap re-registers the network listener in place, so
-        delivery order is unchanged.  The spans nest through the
-        tracker's stack — ``defend``/``retreat``/``proxy-defend`` fire
-        inside ``listen``, ``allocate`` inside ``announce``.
+        delivery order is unchanged.  ``listen`` and ``announce`` are
+        the *root* sites: they own the span-sampling countdown, and
+        on the skip path do only a slot increment and a ``started``
+        bump.  ``defend``/``retreat``/``proxy-defend`` (and
+        ``allocate`` via the wrapper) are *child* sites: they record
+        exactly when a recorded parent is open, so every sampled root
+        keeps its full subtree and nesting invariants survive any
+        sampling rate.
         """
         spans = self.spans
         assert spans is not None  # attach_scheduler ran first
         node = directory.node
-        rx = self.registry.counter(
+        slots = self.registry.slots
+        h_rx = self.registry.counter_handle(
             "sap_announcements_rx_total", labels={"node": node},
             help_text="SAP packets accepted by the directory",
         )
-        created = self.registry.counter(
+        h_created = self.registry.counter_handle(
             "sap_sessions_created_total", labels={"node": node},
             help_text="sessions created at this directory",
         )
@@ -349,8 +492,14 @@ class ObsContext:
         original_on_packet = directory._on_packet
 
         def obs_on_packet(receiver, packet):
-            rx.inc()
-            with spans.span("listen", node=node):
+            slots[h_rx] += 1.0
+            spans.countdown -= 1
+            if spans.countdown <= 0:
+                spans.countdown = spans.next_gap()
+                with spans.span("listen", node=node):
+                    original_on_packet(receiver, packet)
+            else:
+                spans.started += 1
                 original_on_packet(receiver, packet)
 
         directory._on_packet = obs_on_packet
@@ -360,16 +509,25 @@ class ObsContext:
         original_create = directory.create_session
 
         def obs_create_session(*args, **kwargs):
-            created.inc()
-            with spans.span("announce", node=node):
-                return original_create(*args, **kwargs)
+            slots[h_created] += 1.0
+            spans.countdown -= 1
+            if spans.countdown <= 0:
+                spans.countdown = spans.next_gap()
+                with spans.span("announce", node=node):
+                    return original_create(*args, **kwargs)
+            spans.started += 1
+            return original_create(*args, **kwargs)
 
         directory.create_session = obs_create_session
 
         original_defend = directory.defend
 
         def obs_defend(own):
-            with spans.span("defend", node=node):
+            if spans.in_recorded_span:
+                with spans.span("defend", node=node):
+                    original_defend(own)
+            else:
+                spans.started += 1
                 original_defend(own)
 
         directory.defend = obs_defend
@@ -377,7 +535,11 @@ class ObsContext:
         original_retreat = directory.retreat
 
         def obs_retreat(own):
-            with spans.span("retreat", node=node):
+            if spans.in_recorded_span:
+                with spans.span("retreat", node=node):
+                    original_retreat(own)
+            else:
+                spans.started += 1
                 original_retreat(own)
 
         directory.retreat = obs_retreat
@@ -385,7 +547,11 @@ class ObsContext:
         original_proxy = directory.proxy_defend
 
         def obs_proxy_defend(entry):
-            with spans.span("proxy-defend", node=node):
+            if spans.in_recorded_span:
+                with spans.span("proxy-defend", node=node):
+                    original_proxy(entry)
+            else:
+                spans.started += 1
                 original_proxy(entry)
 
         directory.proxy_defend = obs_proxy_defend
@@ -397,7 +563,9 @@ class ObsContext:
         """Snapshot end-of-run gauges and close out span checking.
 
         Idempotent; scenario runners call it once after
-        ``scheduler.run`` returns.
+        ``scheduler.run`` returns.  Also pushes the final registry
+        snapshot into the exporter ring and accounts for any records
+        the ring had to drop (OBS403 advisory).
         """
         if self._finished:
             return
@@ -405,6 +573,11 @@ class ObsContext:
         if self._scheduler is not None:
             self._finish_scheduler()
         if self._networks:
+            if self.network_probe is not None:
+                self.network_probe.sync(
+                    sum(n.packets_sent for n in self._networks),
+                    sum(n.packets_delivered for n in self._networks),
+                )
             lost = self.registry.counter(
                 "net_packets_lost_total",
                 help_text="sends dropped by the loss model",
@@ -415,10 +588,24 @@ class ObsContext:
             self._finish_issues.extend(
                 self.spans.check_closed(self.scenario)
             )
+        self.exporter.push_snapshot(self.registry,
+                                    label=self.scenario or "final")
+        if self.exporter.dropped > 0:
+            stats = self.exporter.stats()
+            self._finish_issues.append(ObsIssue(
+                code="OBS403", rule="exporter-ring-saturated",
+                message=(
+                    f"ring exporter dropped {stats['dropped']} of "
+                    f"{stats['pushed']} record(s) at capacity "
+                    f"{stats['capacity']}; drain mid-run or raise "
+                    f"export_capacity"
+                ),
+            ))
 
     def _finish_scheduler(self) -> None:
         probe = self.scheduler_probe
         assert probe is not None and self._wall_start is not None
+        probe.sync()
         elapsed = max(self._wall() - self._wall_start, 1e-9)
         wall_gauge: Gauge = self.registry.gauge(
             "sim_wall_seconds",
@@ -450,7 +637,16 @@ class ObsContext:
 
     @property
     def clean(self) -> bool:
-        return not self.issues
+        """No *hard* issues.  Advisory codes (OBS403/OBS404) describe
+        degraded telemetry, not a broken run, so they never flip this.
+        """
+        return not [issue for issue in self.issues
+                    if issue.code not in OBS_ADVISORY_CODES]
+
+    @property
+    def advisories(self) -> List[ObsIssue]:
+        return [issue for issue in self.issues
+                if issue.code in OBS_ADVISORY_CODES]
 
     @property
     def events_per_wall_second(self) -> float:
@@ -486,11 +682,13 @@ class ObsContext:
         issues = self.issues
         return {
             "scenario": self.scenario,
+            "sample_rate": self.sample_rate,
             "scheduler": scheduler_block,
             "cache_hit_rate": self.cache_hit_rate(),
             "metrics": self.registry.as_dict(),
             "spans": (self.spans.to_dict()
                       if self.spans is not None else {}),
+            "exporter": self.exporter.stats(),
             "findings": {
                 "count": len(issues),
                 "findings": [

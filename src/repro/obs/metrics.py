@@ -7,10 +7,23 @@ with two types is a scrape error — so re-registering a name with a
 conflicting type or label-key set records an **OBS401** issue instead
 of silently forking the family (the first registration wins).
 
-Everything here is allocation-light on the record path: ``Counter.inc``
-is one float add, ``Histogram.observe`` one bisect plus two adds.  The
-registry is only consulted at *registration* time; probes hold direct
-references to the child metrics they update.
+Counters and gauges are *slot-backed*: every child owns one float slot
+in its registry's shared handle table (:attr:`MetricsRegistry.slots`),
+and its integer :attr:`~Counter.handle` indexes that slot.  Hot-path
+probes resolve ``(slots, handle)`` pairs once at attach time and then
+record with a single list increment — no dict lookup, no method call,
+no ``(name, labels)`` tuple hashing per event.  The metric objects
+remain the read/exposition surface (``value`` reads the slot), so
+reports and Prometheus rendering are unchanged.
+
+The handle table has a configured capacity; registration past it keeps
+working (the table grows) but records an **OBS404** advisory, because
+attach-time registration leaking into a hot loop is exactly the bug
+the handle design exists to prevent.
+
+``Histogram.observe`` stays one :func:`bisect.bisect_left` over the
+fixed bucket bounds plus two adds — O(log buckets), never a linear
+scan (pinned by ``tests/test_obs_metrics.py``).
 """
 
 from __future__ import annotations
@@ -24,6 +37,11 @@ LabelValue = Union[str, int]
 Labels = Mapping[str, LabelValue]
 #: Canonical child key: label items sorted by key.
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default handle-table capacity.  Attach-time registration of every
+#: probe in the repo uses well under a hundred slots; crossing this
+#: bound means something registers metrics per event.
+DEFAULT_HANDLE_CAPACITY = 4096
 
 #: Wall-clock callback-latency buckets (seconds): sub-microsecond
 #: through 100 ms, roughly log-spaced, 1-2.5-5 per decade.
@@ -61,53 +79,75 @@ def _format_value(value: float) -> Union[int, float]:
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total, backed by one table slot.
 
-    __slots__ = ("name", "labels", "_value")
+    ``slots[handle]`` is deliberately shared with the owning registry's
+    handle table so probes can increment it without going through this
+    object; a bare ``Counter(name)`` owns a private one-slot table.
+    """
 
-    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+    __slots__ = ("name", "labels", "slots", "handle")
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 slots: Optional[List[float]] = None,
+                 handle: int = 0) -> None:
         self.name = name
         self.labels = labels
-        self._value = 0.0
+        if slots is None:
+            self.slots: List[float] = [0.0]
+            self.handle = 0
+        else:
+            self.slots = slots
+            self.handle = handle
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease "
                              f"(inc {amount})")
-        self._value += amount
+        self.slots[self.handle] += amount
 
     @property
     def value(self) -> float:
-        return self._value
+        return self.slots[self.handle]
 
 
 class Gauge:
-    """A value that can go up and down (heap depth, rates)."""
+    """A value that can go up and down (heap depth, rates).
 
-    __slots__ = ("name", "labels", "_value")
+    Slot-backed exactly like :class:`Counter`.
+    """
 
-    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+    __slots__ = ("name", "labels", "slots", "handle")
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 slots: Optional[List[float]] = None,
+                 handle: int = 0) -> None:
         self.name = name
         self.labels = labels
-        self._value = 0.0
+        if slots is None:
+            self.slots: List[float] = [0.0]
+            self.handle = 0
+        else:
+            self.slots = slots
+            self.handle = handle
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        self.slots[self.handle] = float(value)
 
     def set_max(self, value: float) -> None:
         """Keep the running maximum (high-water marks)."""
-        if value > self._value:
-            self._value = float(value)
+        if value > self.slots[self.handle]:
+            self.slots[self.handle] = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
+        self.slots[self.handle] += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
+        self.slots[self.handle] -= amount
 
     @property
     def value(self) -> float:
-        return self._value
+        return self.slots[self.handle]
 
 
 class Histogram:
@@ -116,7 +156,8 @@ class Histogram:
     Bucket semantics match Prometheus: ``counts[i]`` holds
     observations with ``value <= bounds[i]``; the implicit final
     bucket is ``+Inf``.  Counts are stored non-cumulative and summed
-    at exposition time.
+    at exposition time.  Bucket selection is a binary search over the
+    fixed bounds (:func:`bisect.bisect_left`), not a linear scan.
     """
 
     __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
@@ -202,32 +243,88 @@ class MetricsRegistry:
     Registration (``counter()`` / ``gauge()`` / ``histogram()``) is
     idempotent per ``(name, labels)`` and returns the live metric
     object, so hot-path probes register once and then update direct
-    references.  Conflicting re-registrations record OBS401 issues on
+    references — or, cheaper still, capture :attr:`slots` plus the
+    metric's integer handle (:meth:`counter_handle` /
+    :meth:`gauge_handle`) and record with one list increment.
+    Conflicting re-registrations record OBS401 issues on
     :attr:`issues` and return a detached metric that keeps the caller
     working without corrupting the family.
+
+    Args:
+        handle_capacity: advisory bound on the handle table; growth
+            past it records one OBS404 issue (the table still grows,
+            so callers keep working).
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 handle_capacity: int = DEFAULT_HANDLE_CAPACITY) -> None:
+        if handle_capacity < 1:
+            raise ValueError(
+                f"handle_capacity must be positive: {handle_capacity}"
+            )
         self._families: Dict[str, _Family] = {}
         self.issues: List[ObsIssue] = []
+        #: The live handle table.  Shared, on purpose, with every
+        #: slot-backed metric and every attached probe; index it with
+        #: the handles the registration methods hand out.
+        self.slots: List[float] = []
+        self._handle_capacity = handle_capacity
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def counter(self, name: str, labels: Optional[Labels] = None,
                 help_text: str = "", unit: str = "") -> Counter:
-        return self._register("counter", name, labels, help_text, unit)
+        metric = self._register("counter", name, labels, help_text,
+                                unit)
+        assert isinstance(metric, Counter)
+        return metric
 
     def gauge(self, name: str, labels: Optional[Labels] = None,
               help_text: str = "", unit: str = "") -> Gauge:
-        return self._register("gauge", name, labels, help_text, unit)
+        metric = self._register("gauge", name, labels, help_text, unit)
+        assert isinstance(metric, Gauge)
+        return metric
 
     def histogram(self, name: str,
                   bounds: Iterable[float] = LATENCY_BUCKETS,
                   labels: Optional[Labels] = None,
                   help_text: str = "", unit: str = "") -> Histogram:
-        return self._register("histogram", name, labels, help_text,
-                              unit, bounds=tuple(bounds))
+        metric = self._register("histogram", name, labels, help_text,
+                                unit, bounds=tuple(bounds))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def counter_handle(self, name: str,
+                       labels: Optional[Labels] = None,
+                       help_text: str = "", unit: str = "") -> int:
+        """Register a counter; return its slot index into :attr:`slots`.
+
+        The hot-path idiom: resolve once at attach time, then
+        ``slots[handle] += 1.0`` per event.
+        """
+        return self.counter(name, labels, help_text, unit).handle
+
+    def gauge_handle(self, name: str, labels: Optional[Labels] = None,
+                     help_text: str = "", unit: str = "") -> int:
+        """Register a gauge; return its slot index into :attr:`slots`."""
+        return self.gauge(name, labels, help_text, unit).handle
+
+    def _new_slot(self) -> int:
+        """Allocate one handle-table slot (OBS404 past capacity)."""
+        slots = self.slots
+        if len(slots) == self._handle_capacity:
+            self.issues.append(ObsIssue(
+                code="OBS404", rule="handle-table-overflow",
+                message=(
+                    f"handle table exceeded its configured capacity "
+                    f"of {self._handle_capacity} slot(s); metric "
+                    f"registration is running per event instead of "
+                    f"per attach"
+                ),
+            ))
+        slots.append(0.0)
+        return len(slots) - 1
 
     def _register(self, kind: str, name: str, labels: Optional[Labels],
                   help_text: str, unit: str,
@@ -252,20 +349,20 @@ class MetricsRegistry:
                     code="OBS401", rule="metric-name-collision",
                     message=f"metric {name!r}: {conflict}",
                 ))
-                return self._detached(kind, name, child_key, bounds)
+                return self._make(kind, name, child_key, bounds)
         metric = family.children.get(child_key)
         if metric is None:
-            metric = self._detached(kind, name, child_key, bounds)
+            metric = self._make(kind, name, child_key, bounds)
             family.children[child_key] = metric
         return metric
 
-    @staticmethod
-    def _detached(kind: str, name: str, child_key: LabelKey,
-                  bounds: Optional[Tuple[float, ...]]) -> Metric:
+    def _make(self, kind: str, name: str, child_key: LabelKey,
+              bounds: Optional[Tuple[float, ...]]) -> Metric:
         if kind == "counter":
-            return Counter(name, child_key)
+            return Counter(name, child_key, self.slots,
+                           self._new_slot())
         if kind == "gauge":
-            return Gauge(name, child_key)
+            return Gauge(name, child_key, self.slots, self._new_slot())
         return Histogram(name, bounds or LATENCY_BUCKETS, child_key)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,175 @@
+"""Fixed-capacity ring-buffer exporter with explicit drop accounting.
+
+The exporter is the out-of-band half of the telemetry pipeline: hot
+paths append small records (span completions, registry snapshots) to
+a preallocated ring, and a reader drains them to JSON or Prometheus
+text *between* simulation runs — never from inside the event loop.
+
+The ring never blocks and never allocates after construction: at
+capacity it overwrites the oldest record and counts the loss in
+:attr:`dropped`.  Saturation is a telemetry-quality problem, not a
+correctness problem, so it surfaces as the **OBS403** advisory (via
+``ObsContext.finish``) rather than failing the scenario — the
+simulation's own output is unaffected by how much of its telemetry
+survived.  The accounting identity ``pushed == retained + drained +
+dropped`` always holds and is pinned by ``tests/test_obs_ring.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    _label_str,
+    canonical_labels,
+)
+
+#: Default ring capacity: holds every sampled span of a steady run
+#: (~280 at the default 1-in-64 rate) with generous headroom.
+DEFAULT_EXPORT_CAPACITY = 1024
+
+
+class RingExporter:
+    """Overwrite-oldest ring of telemetry records.
+
+    Records are plain dicts with a ``"kind"`` key (``"span"`` or
+    ``"snapshot"``); the ring itself is payload-agnostic.
+    """
+
+    __slots__ = ("capacity", "_ring", "_head", "_size", "pushed",
+                 "dropped", "drained")
+
+    def __init__(self, capacity: int = DEFAULT_EXPORT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1: {capacity}")
+        self.capacity = int(capacity)
+        self._ring: List[Optional[dict]] = [None] * self.capacity
+        self._head = 0  # index of the oldest retained record
+        self._size = 0
+        self.pushed = 0   # total records ever offered
+        self.dropped = 0  # records overwritten before being drained
+        self.drained = 0  # records handed to a reader
+
+    # ------------------------------------------------------------------
+    # Writer side (hot-ish: called per sampled span, not per event)
+    # ------------------------------------------------------------------
+    def push(self, record: dict) -> None:
+        """Append a record, overwriting the oldest at capacity."""
+        self.pushed += 1
+        if self._size == self.capacity:
+            # Overwrite the oldest: head advances, size stays full.
+            self._ring[self._head] = record
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+        else:
+            tail = (self._head + self._size) % self.capacity
+            self._ring[tail] = record
+            self._size += 1
+
+    def push_snapshot(self, registry: MetricsRegistry,
+                      label: str = "") -> None:
+        """Capture the registry's current state as one ring record."""
+        self.push({
+            "kind": "snapshot",
+            "label": label,
+            "metrics": registry.as_dict(),
+        })
+
+    # ------------------------------------------------------------------
+    # Reader side (out-of-band)
+    # ------------------------------------------------------------------
+    def drain(self) -> List[dict]:
+        """Remove and return all retained records, oldest first."""
+        out: List[dict] = []
+        head, size, ring = self._head, self._size, self._ring
+        for offset in range(size):
+            index = (head + offset) % self.capacity
+            record = ring[index]
+            assert record is not None
+            out.append(record)
+            ring[index] = None
+        self._head = 0
+        self._size = 0
+        self.drained += len(out)
+        return out
+
+    def peek(self) -> List[dict]:
+        """All retained records, oldest first, without consuming."""
+        return [
+            self._ring[(self._head + offset) % self.capacity]  # type: ignore[misc]
+            for offset in range(self._size)
+        ]
+
+    @property
+    def retained(self) -> int:
+        return self._size
+
+    @property
+    def saturated(self) -> bool:
+        """True once any record has been lost to overwrite."""
+        return self.dropped > 0
+
+    def stats(self) -> Dict[str, int]:
+        """Drop-accounting block for reports.
+
+        Invariant: ``pushed == retained + drained + dropped``.
+        """
+        return {
+            "capacity": self.capacity,
+            "pushed": self.pushed,
+            "retained": self._size,
+            "drained": self.drained,
+            "dropped": self.dropped,
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def drain_json(self) -> str:
+        """Drain to one JSON document: records plus accounting."""
+        records = self.drain()
+        return json.dumps(
+            {"records": records, "exporter": self.stats()},
+            indent=2, sort_keys=True,
+        )
+
+    def drain_prometheus(self) -> str:
+        """Drain, rendering snapshot records to exposition text.
+
+        Span records have no Prometheus shape and are skipped here
+        (drain to JSON for those); each snapshot renders with its
+        ``label`` stamped on as a ``snapshot`` label, followed by the
+        exporter's own accounting series.
+        """
+        records = self.drain()
+        lines: List[str] = []
+        for record in records:
+            if record.get("kind") != "snapshot":
+                continue
+            snapshot_labels = canonical_labels(
+                {"snapshot": record.get("label", "")}
+            )
+            for name, family in sorted(record["metrics"].items()):
+                lines.append(f"# TYPE {name} {family['type']}")
+                for sample in family["samples"]:
+                    labels = dict(sample["labels"])
+                    key = snapshot_labels + canonical_labels(labels)
+                    if family["type"] == "histogram":
+                        lines.append(
+                            f"{name}_sum{_label_str(key)} "
+                            f"{sample['sum']!r}"
+                        )
+                        lines.append(
+                            f"{name}_count{_label_str(key)} "
+                            f"{sample['count']}"
+                        )
+                    else:
+                        lines.append(
+                            f"{name}{_label_str(key)} "
+                            f"{sample['value']}"
+                        )
+        for stat, value in self.stats().items():
+            lines.append(f"obs_exporter_{stat} {value}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,64 @@
+"""Deterministic 1-in-N samplers for the hot observation paths.
+
+Full tracing of every event at steady state is what made observed mode
+cost 74% throughput; counting every event but *materialising* (span
+records, wall-clock timing, histograms) only a sampled subset brings
+the cost under the 5% budget.  Two properties matter:
+
+* **Deterministic.**  The sampler draws from a stream derived from the
+  scenario seed via :func:`repro.sim.rng.derived_stream`, never from
+  OS entropy and never from a simulation stream — so two runs of the
+  same seed sample the *identical* event subset (pinned by
+  ``tests/test_obs_sampling.py``) and attaching the sampler cannot
+  perturb the simulation's own random sequences (the determinism
+  trace stays byte-identical).
+
+* **Unbiased gaps.**  A fixed stride of N aliases against any
+  workload periodicity (e.g. every N-th event always being the same
+  announce timer).  Instead each gap is drawn uniformly from
+  ``[1, 2N-1]``, giving mean N with no phase lock.
+
+The countdown idiom keeps the per-event cost to one decrement and one
+compare at the call site; :meth:`next_gap` (an RNG draw) runs only on
+the 1-in-N sampled path.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import derived_stream
+
+#: Default sampling rate for ObsContext: one event in 64 is
+#: materialised.  At the steady scenario's ~18k events this still
+#: yields ~280 samples per run — plenty for latency histograms —
+#: while keeping the observed path inside the <5% overhead gate.
+DEFAULT_SAMPLE_RATE = 64
+
+
+class DeterministicSampler:
+    """Seed-derived 1-in-``rate`` sampler with randomised gaps.
+
+    Args:
+        rate: mean events per sample; ``1`` samples everything
+            (useful for unit tests that assert exact counts).
+        seed: scenario seed the gap stream is derived from.
+        stream: derived-stream name; concerns that must not share a
+            gap sequence (spans vs. scheduler latency vs. delivery)
+            pass distinct names.
+    """
+
+    __slots__ = ("rate", "_rng")
+
+    def __init__(self, rate: int, seed: int = 0,
+                 stream: str = "obs/sampler") -> None:
+        if rate < 1:
+            raise ValueError(f"sample rate must be >= 1: {rate}")
+        self.rate = int(rate)
+        self._rng = derived_stream(stream, seed=seed)
+
+    def next_gap(self) -> int:
+        """Events until the next sample (inclusive), mean ``rate``."""
+        if self.rate == 1:
+            return 1
+        # Uniform on [1, 2*rate - 1]: mean exactly `rate`, never 0,
+        # no fixed stride to alias against periodic workloads.
+        return 1 + int(self._rng.integers(0, 2 * self.rate - 1))

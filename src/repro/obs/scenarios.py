@@ -100,10 +100,11 @@ def _run_clash(seed: int) -> ObsScenarioResult:
     return ObsScenarioResult("clash", context, summary)
 
 
-def _run_steady(seed: int, num_sites: int = 8, space_size: int = 16,
-                sessions_per_site: int = 6,
-                horizon: float = 600.0) -> ObsScenarioResult:
-    """Churn harness: AIPR-1 under a tight space with expiring load.
+def build_steady(seed: int, context: Optional[ObsContext] = None,
+                 num_sites: int = 8, space_size: int = 16,
+                 sessions_per_site: int = 6, horizon: float = 600.0):
+    """Construct the steady churn harness; run it with
+    ``scheduler.run(until=horizon)``.
 
     Every created session has a finite lifetime, so over the horizon
     the directories continuously withdraw and re-allocate — the fig. 12
@@ -112,6 +113,13 @@ def _run_steady(seed: int, num_sites: int = 8, space_size: int = 16,
     load at once.  A partition that heals midway makes both sides
     allocate from the same tight space while split, so the clash
     protocol's per-allocator counters accumulate too.
+
+    ``context=None`` builds the identical harness uninstrumented —
+    observers observe and never steer, so the bare and observed builds
+    execute the same event sequence; the overhead benchmark times one
+    against the other (and asserts the event counts agree).
+
+    Returns ``(scheduler, directories)``.
     """
     from repro.core.address_space import MulticastAddressSpace
     from repro.core.adaptive import AdaptiveIprmaAllocator
@@ -122,8 +130,9 @@ def _run_steady(seed: int, num_sites: int = 8, space_size: int = 16,
     from repro.sim.rng import RandomStreams
 
     streams = RandomStreams(seed)
-    context = ObsContext(scenario="steady")
-    scheduler = context.attach_scheduler(EventScheduler())
+    scheduler = EventScheduler()
+    if context is not None:
+        context.attach_scheduler(scheduler)
 
     def receiver_map(source: int, ttl: int):
         # Full mesh with deterministic, asymmetric per-pair delays.
@@ -132,7 +141,8 @@ def _run_steady(seed: int, num_sites: int = 8, space_size: int = 16,
 
     network = NetworkModel(scheduler, receiver_map, streams=streams,
                            loss_rate=0.01, jitter=0.01)
-    context.attach_network(network)
+    if context is not None:
+        context.attach_network(network)
     space = MulticastAddressSpace.abstract(space_size)
 
     directories: List[SessionDirectory] = []
@@ -146,7 +156,8 @@ def _run_steady(seed: int, num_sites: int = 8, space_size: int = 16,
             strategy_factory=lambda: FixedIntervalStrategy(20.0),
             rng=streams.get(f"dir.{node}"),
         )
-        context.watch_directory(directory)
+        if context is not None:
+            context.watch_directory(directory)
         directories.append(directory)
 
     workload = streams.get("obs.workload")
@@ -179,7 +190,14 @@ def _run_steady(seed: int, num_sites: int = 8, space_size: int = 16,
     scheduler.schedule_at(  # simlint: disable=discarded-handle
         horizon * 0.45, network.heal
     )
+    return scheduler, directories
 
+
+def _run_steady(seed: int, horizon: float = 600.0) -> ObsScenarioResult:
+    """The steady churn harness under full (sampled) instrumentation."""
+    context = ObsContext(scenario="steady", seed=seed)
+    scheduler, directories = build_steady(seed, context,
+                                          horizon=horizon)
     scheduler.run(until=horizon, max_events=2_000_000)
     context.finish()
     moves = sum(d.address_changes for d in directories)

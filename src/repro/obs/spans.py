@@ -15,6 +15,22 @@ structured tree for the JSON report.
 
 Span ids are sequential integers and all timestamps are simulated
 time, so span output is deterministic for a given seed.
+
+**Sampling.**  Materialising a span (tracer records, tree nodes,
+exporter pushes) is far too expensive to do per protocol event at
+steady state, so the tracker carries a deterministic 1-in-N
+:class:`~repro.obs.sampling.DeterministicSampler` and a public
+:attr:`~SpanTracker.countdown`.  The *wiring sites* (the closures
+``ObsContext`` installs) own the sampling decision: a root site
+decrements ``countdown`` and, on zero, resets it via
+:meth:`~SpanTracker.next_gap` and opens a real span; otherwise it
+bumps :attr:`~SpanTracker.started` and moves on.  Child sites record
+iff the parent stack is non-empty — i.e. exactly when their root was
+sampled — which preserves the nesting invariant (every recorded child
+sits inside a recorded parent; no orphaned children) at any rate.
+Calling :meth:`~SpanTracker.begin` directly always records: the
+direct API is for tests and low-frequency phases where sampling would
+only lose information.
 """
 
 from __future__ import annotations
@@ -24,6 +40,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs.report import ObsIssue
+from repro.obs.ring import RingExporter
+from repro.obs.sampling import DeterministicSampler
 from repro.sim.trace import Tracer
 
 #: Trace category used for span begin/end records.
@@ -103,23 +121,52 @@ class SpanTracker:
             *records* still flow to the tracer past the bound (that
             buffer has its own capacity policy); only the tree stops
             growing.
+        sampler: gap source for site-level sampling; ``None`` means
+            every site decision samples (rate 1).
+        exporter: optional ring that receives one record per span
+            close, for out-of-band draining.
+
+    Counters: :attr:`started` counts every span the wiring sites saw,
+    sampled or not (sites bump it directly on the skip path);
+    :attr:`recorded` counts the spans actually materialised.
     """
 
+    __slots__ = ("tracer", "max_retained", "sampler", "exporter",
+                 "_ids", "_stack", "_roots", "started", "recorded",
+                 "finished", "dropped", "mismatched", "countdown")
+
     def __init__(self, tracer: Tracer,
-                 max_retained: int = DEFAULT_MAX_RETAINED) -> None:
+                 max_retained: int = DEFAULT_MAX_RETAINED,
+                 sampler: Optional[DeterministicSampler] = None,
+                 exporter: Optional[RingExporter] = None) -> None:
         if max_retained <= 0:
             raise ValueError(
                 f"max_retained must be positive: {max_retained}"
             )
         self.tracer = tracer
         self.max_retained = max_retained
+        self.sampler = sampler
+        self.exporter = exporter
         self._ids = itertools.count(1)
         self._stack: List[Span] = []
         self._roots: List[Span] = []
         self.started = 0
+        self.recorded = 0
         self.finished = 0
         self.dropped = 0
         self.mismatched = 0
+        #: Root-site sampling countdown: sites decrement it per span
+        #: opportunity and open a real span when it reaches zero.
+        self.countdown = 1 if sampler is None else sampler.next_gap()
+
+    def next_gap(self) -> int:
+        """Reset value for :attr:`countdown` after a sampled root."""
+        return 1 if self.sampler is None else self.sampler.next_gap()
+
+    @property
+    def in_recorded_span(self) -> bool:
+        """True while a materialised span is open (child-site gate)."""
+        return bool(self._stack)
 
     # ------------------------------------------------------------------
     # Recording
@@ -142,7 +189,8 @@ class SpanTracker:
             start=self.tracer.scheduler.now,
         )
         self.started += 1
-        if self.started <= self.max_retained:
+        self.recorded += 1
+        if self.recorded <= self.max_retained:
             if parent is None:
                 self._roots.append(span)
             else:
@@ -176,6 +224,18 @@ class SpanTracker:
             SPAN_CATEGORY, f"end {span.name}", node=span.node,
             span=span.span_id, duration=round(span.duration or 0.0, 9),
         )
+        if self.exporter is not None:
+            self.exporter.push({
+                "kind": "span",
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "category": span.category,
+                "node": span.node,
+                "start": span.start,
+                "end": span.end,
+                "duration": span.duration,
+            })
 
     # ------------------------------------------------------------------
     # Queries
@@ -221,6 +281,9 @@ class SpanTracker:
         roots = self._roots[:max_roots]
         return {
             "started": self.started,
+            "recorded": self.recorded,
+            "sample_rate": (1 if self.sampler is None
+                            else self.sampler.rate),
             "finished": self.finished,
             "dropped": self.dropped,
             "mismatched": self.mismatched,

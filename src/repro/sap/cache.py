@@ -77,26 +77,30 @@ class SessionCache:
         timeout.  Returns the affected entry (None for deletions and
         unparseable announcements).
         """
+        # Observation outcomes are inlined slot increments against the
+        # probe's shared handle table — observe() runs once per
+        # delivered announcement, the hottest SAP path.
+        obs = self._obs
         if message.msg_type is SapMessageType.DELETE:
             self._entries.pop(message.key(), None)
-            if self._obs is not None:
-                self._obs.on_cache_delete()
+            if obs is not None:
+                obs.slots[obs.h_delete] += 1.0
             return None
         entry = self._entries.get(message.key())
         if entry is not None:
             entry.last_heard = now
             entry.times_heard += 1
-            if self._obs is not None:
-                self._obs.on_cache_hit()
+            if obs is not None:
+                obs.slots[obs.h_hit] += 1.0
             return entry
         try:
             description = SessionDescription.parse(message.payload)
         except ValueError:
-            if self._obs is not None:
-                self._obs.on_cache_invalid()
+            if obs is not None:
+                obs.slots[obs.h_invalid] += 1.0
             return None
-        if self._obs is not None:
-            self._obs.on_cache_miss()
+        if obs is not None:
+            obs.slots[obs.h_miss] += 1.0
         self._supersede(message.origin, description)
         entry = CacheEntry(
             message=message,

@@ -124,8 +124,9 @@ class ClashHandler:
             if own_key == entry.message.key():
                 continue
             self.clashes_seen += 1
-            if self._obs is not None:
-                self._obs.on_clash()
+            obs = self._obs
+            if obs is not None:
+                obs.slots[obs.h_clash] += 1.0
             age = now - own.first_announced
             other_age = now - entry.first_heard
             if self._is_established(age):
@@ -144,8 +145,8 @@ class ClashHandler:
                 # Phase 2: we are the newcomer (or lost the tie-break);
                 # change address.
                 self.retreats += 1
-                if self._obs is not None:
-                    self._obs.on_retreat()
+                if obs is not None:
+                    obs.slots[obs.h_retreat] += 1.0
                 self.directory.retreat(own)
 
     def _defend(self, own, entry: CacheEntry, now: float) -> None:
@@ -154,8 +155,9 @@ class ClashHandler:
         if last is not None and now - last < self.policy.defend_interval:
             return
         self._last_defence[key] = now
-        if self._obs is not None:
-            self._obs.on_defence()
+        obs = self._obs
+        if obs is not None:
+            obs.slots[obs.h_defence] += 1.0
         self.directory.defend(own)
 
     def _check_third_party(self, entry: CacheEntry) -> None:
@@ -169,8 +171,9 @@ class ClashHandler:
             if self.directory.owns(old.message.key()):
                 continue  # phases 1/2 already handled it
             self.clashes_seen += 1
-            if self._obs is not None:
-                self._obs.on_clash()
+            obs = self._obs
+            if obs is not None:
+                obs.slots[obs.h_clash] += 1.0
             self._schedule_defence(old, entry)
 
     def _schedule_defence(self, old: CacheEntry, new: CacheEntry) -> None:
@@ -201,12 +204,14 @@ class ClashHandler:
         if old.last_heard > pending.old_last_heard:
             # Someone (originator or another third party) already
             # re-announced the old session: we are suppressed.
-            if self._obs is not None:
-                self._obs.on_suppressed()
+            obs = self._obs
+            if obs is not None:
+                obs.slots[obs.h_suppressed] += 1.0
             return
         self.defences_sent += 1
-        if self._obs is not None:
-            self._obs.on_proxy_defence()
+        obs = self._obs
+        if obs is not None:
+            obs.slots[obs.h_proxy] += 1.0
         self.directory.proxy_defend(old)
 
     def cancel_all(self) -> int:

@@ -8,7 +8,6 @@ are fully deterministic for a given seed.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
@@ -59,7 +58,7 @@ class EventScheduler:
     def __init__(self, start: SimTime = 0.0) -> None:
         self.clock = SimClock(start)
         self._heap: List[Tuple[float, int, EventHandle]] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._events_run = 0
         #: Optional shadow-state observer (see :mod:`repro.sanitize`).
         #: None in normal operation, so the only cost when sanitizers
@@ -79,6 +78,14 @@ class EventScheduler:
     def events_run(self) -> int:
         """Number of callbacks executed so far."""
         return self._events_run
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever pushed onto the heap (including fired,
+        cancelled and still-pending ones).  The observability layer
+        reads this native total instead of counting schedules itself.
+        """
+        return self._seq
 
     @property
     def pending_count(self) -> int:
@@ -111,10 +118,14 @@ class EventScheduler:
             raise ValueError(
                 f"cannot schedule at {when} before current time {self.now}"
             )
-        handle = EventHandle(when, next(self._seq), callback)
-        heapq.heappush(self._heap, (when, handle.seq, handle))
-        if self._obs is not None:
-            self._obs.on_schedule(when, len(self._heap))
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(when, seq, callback)
+        heapq.heappush(self._heap, (when, seq, handle))
+        # No observability hook here: the probe syncs its scheduled
+        # counter from the native ``events_scheduled`` total at finish
+        # and samples heap depth on the 1-in-N step path, so schedules
+        # cost nothing extra while observed.
         return handle
 
     def step(self) -> bool:
@@ -127,10 +138,21 @@ class EventScheduler:
             if self._monitor is not None:
                 self._monitor.on_fire(handle)
             callback, handle.callback = handle.callback, None
-            if self._obs is None:
+            obs = self._obs
+            if obs is None:
                 callback()
             else:
-                self._obs.observe_event(callback, len(self._heap))
+                # Per-event cost is one countdown decrement: the probe
+                # advances its event counter in whole sampling gaps
+                # and wall-clock timing runs only 1-in-N.
+                obs.countdown -= 1
+                if obs.countdown > 0:
+                    callback()
+                else:
+                    # len + 1 counts the event just popped, so the
+                    # probe's heap-depth high-water mark is sampled at
+                    # the same 1-in-N rate as callback timing.
+                    obs.observe_event(callback, len(self._heap) + 1)
             self._events_run += 1
             return True
         return False

@@ -194,8 +194,14 @@ class NetworkModel:
                 self.packets_delivered += 1
                 if self._monitor is not None:
                     self._monitor.on_deliver(receiver, packet)
-                if self._obs is not None:
-                    self._obs.on_deliver(receiver, packet)
+                obs = self._obs
+                if obs is not None:
+                    # Per-delivery cost is one countdown decrement —
+                    # totals sync from packets_delivered at finish and
+                    # the sim-latency histogram samples 1-in-N.
+                    obs.countdown -= 1
+                    if obs.countdown <= 0:
+                        obs.sample_delivery(packet)
                 for callback in list(callbacks):
                     callback(receiver, packet)
 

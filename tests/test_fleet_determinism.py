@@ -34,6 +34,45 @@ class TestSerialVsParallel:
         parallel = run_sweep(spec, jobs=4).aggregate_json()
         assert serial == parallel
 
+    def test_metrics_attached_stays_byte_identical(self):
+        # The handle-based telemetry writes into the registry's slot
+        # table from the sink and the executor's gauge callbacks;
+        # none of it may leak into the aggregate.  Count-type metrics
+        # (work done) must also agree across worker counts — only
+        # scheduling shape (queue/busy high-water, durations) may
+        # differ.
+        from repro.obs.metrics import MetricsRegistry
+
+        spec = build_sweep("demo", seed=11)
+        serial_registry = MetricsRegistry()
+        parallel_registry = MetricsRegistry()
+        serial = run_sweep(spec, jobs=1, registry=serial_registry)
+        parallel = run_sweep(spec, jobs=3, registry=parallel_registry)
+        assert serial.aggregate_json() == parallel.aggregate_json()
+
+        def counts(registry):
+            return {
+                name: registry.get(name, labels).value
+                for name, labels in (
+                    ("fleet_shards_completed_total",
+                     {"sweep": spec.sweep_id}),
+                    ("fleet_attempts_total",
+                     {"sweep": spec.sweep_id, "status": "ok"}),
+                    ("fleet_shards_failed_total",
+                     {"sweep": spec.sweep_id}),
+                )
+            }
+
+        assert counts(serial_registry) == counts(parallel_registry)
+        assert serial_registry.get(
+            "fleet_shards_completed_total", {"sweep": spec.sweep_id}
+        ).value == len(spec.shards)
+        # The parallel run's busy high-water went through the slot
+        # path; with 3 workers and real shards it must exceed one.
+        busy = parallel_registry.get("fleet_workers_busy",
+                                     {"sweep": spec.sweep_id})
+        assert busy.value >= 1.0
+
     def test_attempt_number_does_not_move_the_stream(self):
         # The RNG is re-derived from (sweep, shard, seed) on every
         # attempt, so a payload computed on attempt 5 equals the

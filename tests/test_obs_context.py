@@ -51,8 +51,13 @@ def make_rig(context):
 
 @pytest.fixture()
 def observed_run():
-    """One small observed run: a session announced for 20 seconds."""
-    context = ObsContext(scenario="unit", wall=FakeWall())
+    """One small observed run: a session announced for 20 seconds.
+
+    ``sample_rate=1`` turns sampling off so the per-event assertions
+    below (histogram counts equal to counter values) stay exact.
+    """
+    context = ObsContext(scenario="unit", wall=FakeWall(),
+                         sample_rate=1)
     scheduler, network, directories = make_rig(context)
     directories[0].create_session("obs-test", ttl=127)
     scheduler.run(until=20.0)
@@ -62,13 +67,14 @@ def observed_run():
 
 class TestSchedulerProbe:
     def test_counts_and_times_every_event(self):
-        context = ObsContext(wall=FakeWall(step=0.001))
+        context = ObsContext(wall=FakeWall(step=0.001), sample_rate=1)
         scheduler = context.attach_scheduler(EventScheduler())
         for index in range(3):
             scheduler.schedule_at(  # simlint: disable=discarded-handle
                 float(index), lambda: None
             )
         scheduler.run()
+        context.finish()  # read barrier: syncs the native totals
         probe = context.scheduler_probe
         assert probe.events.value == 3
         assert probe.scheduled.value == 3

@@ -55,6 +55,35 @@ class TestPrimitives:
         with pytest.raises(ValueError):
             histogram.quantile(1.5)
 
+    def test_histogram_bucket_selection_is_bisect(self):
+        # Pin the O(log buckets) contract: observe() places values
+        # with one bisect_left, and that placement agrees with the
+        # obvious linear reference scan everywhere — including exact
+        # boundaries, below-all and above-all values — on the shared
+        # bucket constants the hot probes use.
+        import inspect
+
+        assert "bisect_left" in inspect.getsource(Histogram.observe)
+
+        def linear_bucket(bounds, value):
+            for index, bound in enumerate(bounds):
+                if value <= bound:
+                    return index
+            return len(bounds)
+
+        for bounds in (LATENCY_BUCKETS, COUNT_BUCKETS, (1.0, 2.0, 4.0)):
+            probes = [bounds[0] / 2.0, bounds[-1] * 2.0]
+            for bound in bounds:
+                probes.extend((bound * 0.999, bound, bound * 1.001))
+            for value in probes:
+                histogram = Histogram("h", bounds)
+                histogram.observe(value)
+                expected = linear_bucket(bounds, value)
+                assert histogram.counts[expected] == 1, (
+                    bounds, value
+                )
+                assert histogram.count == 1
+
     def test_histogram_rejects_bad_bounds(self):
         with pytest.raises(ValueError, match="strictly increasing"):
             Histogram("h", (1.0, 1.0, 2.0))

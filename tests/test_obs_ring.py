@@ -1,0 +1,143 @@
+"""Ring-buffer exporter: overwrite-oldest with exact drop accounting.
+
+The invariant pinned here backs the OBS403 advisory: every record
+ever pushed is retained, drained, or counted dropped —
+``pushed == retained + drained + dropped`` at every point in the
+ring's life, saturated or not.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.context import ObsContext
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.ring import RingExporter
+
+
+def check_accounting(ring):
+    stats = ring.stats()
+    assert stats["pushed"] == (stats["retained"] + stats["drained"]
+                               + stats["dropped"])
+    return stats
+
+
+class TestPushAndDrain:
+    def test_fifo_below_capacity(self):
+        ring = RingExporter(capacity=8)
+        for index in range(5):
+            ring.push({"kind": "span", "index": index})
+        assert ring.retained == 5
+        assert not ring.saturated
+        assert [r["index"] for r in ring.peek()] == [0, 1, 2, 3, 4]
+        drained = ring.drain()
+        assert [r["index"] for r in drained] == [0, 1, 2, 3, 4]
+        assert ring.retained == 0
+        stats = check_accounting(ring)
+        assert stats == {"capacity": 8, "pushed": 5, "retained": 0,
+                         "drained": 5, "dropped": 0}
+
+    def test_drain_empties_and_is_repeatable(self):
+        ring = RingExporter(capacity=4)
+        ring.push({"kind": "span"})
+        assert len(ring.drain()) == 1
+        assert ring.drain() == []
+        check_accounting(ring)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingExporter(capacity=0)
+
+
+class TestSaturation:
+    def test_overwrites_oldest_and_counts_drops(self):
+        ring = RingExporter(capacity=4)
+        for index in range(11):
+            ring.push({"kind": "span", "index": index})
+        assert ring.saturated
+        assert ring.retained == 4
+        assert ring.dropped == 7
+        # The survivors are exactly the newest `capacity` records,
+        # still oldest-first.
+        assert [r["index"] for r in ring.peek()] == [7, 8, 9, 10]
+        stats = check_accounting(ring)
+        assert stats["pushed"] == 11
+
+    def test_accounting_holds_at_every_step(self):
+        ring = RingExporter(capacity=3)
+        for index in range(20):
+            ring.push({"kind": "span", "index": index})
+            check_accounting(ring)
+            if index % 7 == 6:
+                ring.drain()
+                check_accounting(ring)
+
+    def test_drain_after_saturation_resumes_cleanly(self):
+        ring = RingExporter(capacity=2)
+        for index in range(5):
+            ring.push({"kind": "span", "index": index})
+        assert [r["index"] for r in ring.drain()] == [3, 4]
+        ring.push({"kind": "span", "index": 99})
+        assert [r["index"] for r in ring.peek()] == [99]
+        stats = check_accounting(ring)
+        assert stats["dropped"] == 3
+        assert stats["drained"] == 2
+
+
+class TestRendering:
+    def test_drain_json_round_trips(self):
+        ring = RingExporter(capacity=4)
+        for index in range(6):
+            ring.push({"kind": "span", "index": index})
+        document = json.loads(ring.drain_json())
+        assert [r["index"] for r in document["records"]] == [2, 3, 4, 5]
+        assert document["exporter"]["dropped"] == 2
+        assert ring.retained == 0
+
+    def test_snapshot_renders_to_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total").inc(3)
+        ring = RingExporter(capacity=4)
+        ring.push_snapshot(registry, label="mid-run")
+        ring.push({"kind": "span", "name": "ignored"})
+        text = ring.drain_prometheus()
+        assert 'demo_total{snapshot="mid-run"} 3' in text
+        assert "obs_exporter_pushed 2" in text
+        assert "obs_exporter_drained 2" in text
+        assert "ignored" not in text
+
+
+class TestContextIntegration:
+    def test_finish_raises_obs403_advisory_on_drops(self):
+        # Saturate a tiny ring through the real span pipeline: the
+        # context must report the loss as an *advisory* (clean stays
+        # True — degraded telemetry, not a broken run).
+        context = ObsContext(scenario="sat", sample_rate=1,
+                             export_capacity=2)
+        from repro.sim.events import EventScheduler
+
+        scheduler = context.attach_scheduler(EventScheduler())
+        for index in range(6):
+            with context.spans.span(f"s{index}"):
+                pass
+        context.finish()
+        stats = context.exporter.stats()
+        assert stats["dropped"] > 0
+        check_accounting(context.exporter)
+        codes = [issue.code for issue in context.issues]
+        assert "OBS403" in codes
+        assert context.clean
+        assert any(issue.code == "OBS403"
+                   for issue in context.advisories)
+
+    def test_unsaturated_finish_has_no_advisory(self):
+        context = ObsContext(scenario="ok", sample_rate=1)
+        from repro.sim.events import EventScheduler
+
+        context.attach_scheduler(EventScheduler())
+        with context.spans.span("only"):
+            pass
+        context.finish()
+        assert context.exporter.dropped == 0
+        assert not context.advisories
+        assert context.clean
