@@ -58,6 +58,14 @@ echo "== repro.alias (escape/aliasing proofs & SoA ledger) =="
 # SoA-blocked verdicts roll up into alias-ledger.json.
 python -m repro.alias src
 
+echo "== repro.scenario (bounded smoke fuzz, SCN9xx invariants) =="
+# 25 sampled workloads through the full sanitizer + monitor stack;
+# found violations are the campaign's product (exit 0), only an
+# SCN912 replay mismatch — broken determinism machinery — fails.
+# Memoized in .repro-scenario-cache.json, so a warm gate re-checks
+# in seconds.
+python -m repro.scenario fuzz --runs 25 --seed 0x19980902
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests

@@ -18,6 +18,7 @@ Exposes the library's main workflows without writing Python:
     python -m repro flow src --hotpaths-out flow-hotpaths.json
     python -m repro units src --strict
     python -m repro alias src --ledger-out alias-ledger.json
+    python -m repro scenario fuzz --runs 100 --seed 0x19980902
 
 Every simulation is deterministic for a given ``--seed``; the ``lint``
 subcommand statically enforces the invariants that make that true, and
@@ -56,6 +57,11 @@ from repro.topology.hopcount import hop_count_distribution, usage_table
 from repro.topology.mapfile import load_map, save_map
 from repro.topology.mbone import MboneParams, generate_mbone
 from repro.topology.stats import format_summary, summarize
+
+def _seed_value(text: str) -> int:
+    """Seed argument: decimal or prefixed (0x/0o/0b) literal."""
+    return int(text, 0)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -267,6 +273,32 @@ def build_parser() -> argparse.ArgumentParser:
     alias.add_argument("--no-cache", action="store_true",
                        help="bypass the whole-tree alias cache")
     alias.add_argument("--list-rules", action="store_true")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative workload/adversary scenarios and the "
+             "deterministic fuzzing loop (python -m repro.scenario)",
+    )
+    scenario.add_argument("verb", nargs="?",
+                          choices=("run", "replay", "fuzz"),
+                          default="fuzz")
+    scenario.add_argument("--format",
+                          choices=("text", "json", "github"),
+                          default="text")
+    scenario.add_argument("--spec", metavar="FILE")
+    scenario.add_argument("--artifact", metavar="FILE")
+    scenario.add_argument("--seed", type=_seed_value, default=None,
+                          help="campaign/run seed (decimal or 0x hex)")
+    scenario.add_argument("--runs", type=int, default=None)
+    scenario.add_argument("--max-events", type=int, default=None)
+    scenario.add_argument("--jobs", type=int, default=1)
+    scenario.add_argument("--corpus-out", metavar="DIR")
+    scenario.add_argument("--no-shrink", action="store_true")
+    scenario.add_argument("--trace", action="store_true")
+    scenario.add_argument("--out", help="also write the report here")
+    scenario.add_argument("--no-cache", action="store_true",
+                          help="bypass the scenario run cache")
+    scenario.add_argument("--list-rules", action="store_true")
 
     analyze = sub.add_parser("analyze", help="closed-form models")
     analyze_sub = analyze.add_subparsers(dest="model", required=True)
@@ -584,6 +616,37 @@ def cmd_alias(args) -> int:
     return alias_main(argv)
 
 
+def cmd_scenario(args) -> int:
+    from repro.scenario.cli import main as scenario_main
+
+    argv: List[str] = [args.verb, "--format", args.format]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    if args.runs is not None:
+        argv += ["--runs", str(args.runs)]
+    if args.max_events is not None:
+        argv += ["--max-events", str(args.max_events)]
+    if args.spec:
+        argv += ["--spec", args.spec]
+    if args.artifact:
+        argv += ["--artifact", args.artifact]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.corpus_out:
+        argv += ["--corpus-out", args.corpus_out]
+    if args.no_shrink:
+        argv.append("--no-shrink")
+    if args.trace:
+        argv.append("--trace")
+    if args.out:
+        argv += ["--out", args.out]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return scenario_main(argv)
+
+
 def cmd_analyze(args) -> int:
     if args.model == "birthday":
         p = clash_probability(args.space, args.allocations)
@@ -685,6 +748,7 @@ COMMANDS = {
     "flow": cmd_flow,
     "units": cmd_units,
     "alias": cmd_alias,
+    "scenario": cmd_scenario,
 }
 
 

@@ -33,6 +33,7 @@ import numpy as np
 from repro.experiments.allocation_run import fig5_cell_job
 from repro.experiments.sap_in_the_loop import sap_loop_cell_job
 from repro.experiments.steady_state import steady_cell_job
+from repro.scenario.fuzz import fuzz_cell
 
 JobFn = Callable[[Dict[str, Any], np.random.Generator, int],
                  Dict[str, Any]]
@@ -82,6 +83,7 @@ def job_names() -> Tuple[str, ...]:
 register("fig5-cell")(fig5_cell_job)
 register("steady-cell")(steady_cell_job)
 register("saploop-cell")(sap_loop_cell_job)
+register("scenario-fuzz-cell")(fuzz_cell)
 
 
 # ---------------------------------------------------------------------

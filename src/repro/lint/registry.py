@@ -1,19 +1,20 @@
-"""One registry for every check the repo's eight analysis tools run.
+"""One registry for every check the repo's nine analysis tools run.
 
 The static linter (SIM1xx), the runtime sanitizer (SAN2xx), the
 model-check spec cross-checker (MC301–MC304), the model-check runtime
 invariants (MC31x), the observability self-checks (OBS4xx), the
 fleet execution diagnostics (FLT5xx), the whole-program flow
 analyses (FLOW6xx), the unit & value-range abstract interpreter
-(UNIT7xx) and the escape/aliasing analysis (ALIAS8xx) each grew
-their own code space; this module is the single
+(UNIT7xx), the escape/aliasing analysis (ALIAS8xx) and the scenario
+engine's workload invariants (SCN9xx) each grew their own code
+space; this module is the single
 place that enumerates all of them, so
 
 * ``--list-rules`` prints the same registry from ``repro.lint``,
   ``repro.sanitize``, ``repro.modelcheck``, ``repro.obs``,
-  ``repro.fleet``, ``repro.flow``, ``repro.units`` and
-  ``repro.alias`` alike;
-* the eight CLIs share one exit-code contract
+  ``repro.fleet``, ``repro.flow``, ``repro.units``, ``repro.alias``
+  and ``repro.scenario`` alike;
+* the nine CLIs share one exit-code contract
   (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_USAGE`)
   and one reporting surface (:func:`add_report_arguments`);
 * the static rule set the engine runs is assembled here (SIM rules
@@ -40,7 +41,8 @@ from repro.lint.rules import ALL_RULES, Rule
 
 #: Shared CLI exit-code contract for repro.lint / repro.sanitize /
 #: repro.modelcheck / repro.obs / repro.fleet / repro.flow /
-#: repro.units / repro.alias: clean, findings reported, usage error.
+#: repro.units / repro.alias / repro.scenario: clean, findings
+#: reported, usage error.
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
@@ -54,6 +56,7 @@ CACHE_FILES = {
     "flow": ".repro-flow-cache.json",
     "units": ".repro-units-cache.json",
     "alias": ".repro-alias-cache.json",
+    "scenario": ".repro-scenario-cache.json",
 }
 
 #: Runtime model-check invariants (emitted by the explorer harness,
@@ -133,6 +136,7 @@ class RegistryEntry:
     name: str
     kind: str  # "static" | "runtime"
     tool: str  # lint|sanitize|modelcheck|obs|fleet|flow|units|alias
+               # |scenario
     description: str
     scope: Optional[frozenset] = None
     advisory: bool = False
@@ -144,7 +148,7 @@ def add_report_arguments(
         default: str = "text") -> None:
     """The reporting flags every tool CLI shares.
 
-    Each of the eight CLIs used to wire ``--format``/``--list-rules``
+    Each of the nine CLIs used to wire ``--format``/``--list-rules``
     by hand, slightly different ways; this is the one place the
     contract lives now.  Tools with an extra format (obs adds
     ``prom``) pass their own ``formats``.
@@ -190,10 +194,15 @@ def get_static_rules(select: Optional[List[str]] = None,
 
 
 def all_entries() -> Tuple[RegistryEntry, ...]:
-    """Every check across the eight tools, in code order."""
+    """Every check across the nine tools, in code order."""
     from repro.alias.rules import ALIAS_RULES
     from repro.flow.rules import FLOW_RULES
     from repro.sanitize.report import VIOLATION_CODES
+    from repro.scenario.rules import (
+        SCENARIO_ADVISORY_CODES,
+        SCENARIO_RULE_DESCRIPTIONS,
+        SCENARIO_RUNTIME_CODES,
+    )
     from repro.units.rules import UNIT_RULES
 
     entries = [
@@ -240,11 +249,17 @@ def all_entries() -> Tuple[RegistryEntry, ...]:
             code=code, name=name, kind="static", tool="alias",
             description=description, advisory=advisory,
         ))
+    for code, name in SCENARIO_RUNTIME_CODES.items():
+        entries.append(RegistryEntry(
+            code=code, name=name, kind="runtime", tool="scenario",
+            description=SCENARIO_RULE_DESCRIPTIONS.get(code, ""),
+            advisory=code in SCENARIO_ADVISORY_CODES,
+        ))
     return tuple(sorted(entries, key=lambda entry: entry.code))
 
 
 def render_registry() -> str:
-    """``--list-rules`` text, shared by all eight CLIs."""
+    """``--list-rules`` text, shared by all nine CLIs."""
     lines = []
     for entry in all_entries():
         if entry.kind == "static":

@@ -28,7 +28,7 @@ RawFinding = Tuple[int, int, str]
 #: ``repro.fleet.wallclock`` and feed scheduling only).
 SIM_PACKAGES = frozenset(
     {"sim", "core", "sap", "experiments", "routing", "topology",
-     "sanitize", "modelcheck", "fleet"}
+     "sanitize", "modelcheck", "fleet", "scenario"}
 )
 
 #: Legacy module-global numpy RNG entry points (shared hidden state).

@@ -168,7 +168,11 @@ SPEC_MACHINES: Dict[str, MachineSpec] = {
                 name="retreat",
                 state="newcomer",
                 event="clash handler phase-2 callback",
-                allowed=_fs("allocate", "send"),
+                # "defend" is the scenario-persona override branch: an
+                # always-defends adversary holds its claim where the
+                # protocol says a newcomer must yield.  The honest
+                # path must still allocate and re-announce.
+                allowed=_fs("allocate", "send", "defend"),
                 required=_fs("allocate", "send"),
             ),
             HandlerSpec(

@@ -1,0 +1,74 @@
+"""Address-demand shapes over the scoped space.
+
+The workload controls *where* demand lands: which sites create
+sessions (the site-weight vector) and at what scope (the TTL draw).
+Three shapes:
+
+* ``uniform`` — every site equally likely;
+* ``hotspot`` — a fixed fraction of sites carries most of the mass
+  (the flash-crowd / popular-campus shape);
+* ``multifractal`` — a multiplicative binomial cascade over the site
+  population, the arXiv 2504.01374 observation that real address
+  demand is multifractally skewed, mapped onto the scoped space:
+  at every level a biased coin sends mass left or right, so the
+  weight vector is rough at every scale rather than smoothly skewed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenario.spec import DemandSpec
+
+
+def site_weights(spec: DemandSpec, num_sites: int,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Per-site arrival probabilities, summing to 1.
+
+    The cascade draws from ``rng`` (one orientation bit per node of
+    the binary cascade tree), so the skew pattern itself is part of
+    the scenario and replays with it.
+    """
+    if spec.shape == "uniform":
+        return np.full(num_sites, 1.0 / num_sites)
+    if spec.shape == "hotspot":
+        hot = max(1, int(round(spec.hotspot_fraction * num_sites)))
+        hot = min(hot, num_sites)
+        weights = np.full(
+            num_sites, (1.0 - spec.hotspot_weight) / max(1, num_sites - hot)
+        )
+        weights[:hot] = spec.hotspot_weight / hot
+        if hot == num_sites:
+            weights[:] = 1.0 / num_sites
+        return weights / weights.sum()
+    # Multifractal cascade: build over the next power of two, then
+    # fold the tail back onto the real sites.
+    levels = spec.cascade_depth
+    cells = 1 << levels
+    weights = np.ones(1)
+    for __ in range(levels):
+        orientation = rng.random(weights.shape[0]) < 0.5
+        left = np.where(orientation, spec.cascade_bias,
+                        1.0 - spec.cascade_bias)
+        expanded = np.empty(weights.shape[0] * 2)
+        expanded[0::2] = weights * left
+        expanded[1::2] = weights * (1.0 - left)
+        weights = expanded
+    folded = np.zeros(num_sites)
+    for cell in range(cells):
+        folded[cell % num_sites] += weights[cell]
+    return folded / folded.sum()
+
+
+def sample_site(spec: DemandSpec, weights: np.ndarray,
+                rng: np.random.Generator) -> int:
+    """The site the next session is created at."""
+    del spec
+    return int(rng.choice(weights.shape[0], p=weights))
+
+
+def sample_ttl(spec: DemandSpec, rng: np.random.Generator) -> int:
+    """The scope TTL the next session requests."""
+    weights = np.asarray(spec.ttl_weights, dtype=float)
+    weights = weights / weights.sum()
+    return int(rng.choice(np.asarray(spec.ttls), p=weights))

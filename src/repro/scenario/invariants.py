@@ -1,0 +1,183 @@
+"""SCN901–905 — scenario-level runtime invariants.
+
+The SAN2xx sanitizers shadow the *kernel* (allocations, scopes,
+clocks, caches); a :class:`ScenarioMonitor` checks the *protocol
+outcome* of a whole workload: did the clash repair complete after the
+partitions healed, did the flash crowd starve anyone, did an adversary
+poison honest caches.  Violations are
+:class:`~repro.sanitize.report.Violation` values so one report model
+serves both layers.
+
+The monitor observes and never steers: attaching one does not change
+the run's event sequence, so traces stay byte-identical with or
+without it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.sanitize.report import Violation
+from repro.sap.messages import SapMessage, SapMessageType
+from repro.sap.sdp import SessionDescription
+from repro.scenario.rules import SCENARIO_RUNTIME_CODES
+from repro.scenario.spec import ScenarioSpec
+
+
+class ScenarioMonitor:
+    """Checks SCN901–905 over one synthetic scenario run.
+
+    Args:
+        spec: the scenario being run (thresholds and persona map).
+
+    Usage: construct, :meth:`watch` after the directories exist (the
+    TTL probe must run *after* each directory's own packet handler so
+    it sees post-acceptance cache state), then :meth:`finish` once the
+    scheduler stops.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.violations: List[Violation] = []
+        self.persona_of: Dict[int, str] = {
+            assignment.node: assignment.persona
+            for assignment in spec.personas
+        }
+        self._directories: list = []
+        self._ttl_flagged: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def record(self, code: str, message: str, time: float) -> None:
+        """Append one SCN violation (codes checked against the band)."""
+        self.violations.append(Violation(
+            code=code, rule=SCENARIO_RUNTIME_CODES[code],
+            message=message, time=time,
+        ))
+
+    # ------------------------------------------------------------------
+    # Delivery-time probe (SCN903)
+    # ------------------------------------------------------------------
+    def watch(self, directories, network) -> None:
+        """Register the TTL-liar acceptance probe at honest sites."""
+        self._directories = list(directories)
+        liars = {node for node, persona in self.persona_of.items()
+                 if persona == "ttl-liar"}
+        if not liars:
+            return
+        for directory in self._directories:
+            if directory.node in self.persona_of:
+                continue
+            network.listen(directory.node,
+                           self._make_ttl_probe(directory, liars))
+
+    def _make_ttl_probe(self, directory, liars: Set[int]):
+        def probe(receiver: int, packet) -> None:
+            if packet.source not in liars:
+                return
+            try:
+                message = SapMessage.decode(packet.payload)
+            except ValueError:
+                return
+            if message.msg_type is not SapMessageType.ANNOUNCE:
+                return
+            try:
+                description = SessionDescription.parse(message.payload)
+            except ValueError:
+                return
+            if packet.ttl <= description.ttl:
+                return
+            if directory.cache.lookup(*message.key()) is None:
+                return
+            flag = (receiver, packet.source)
+            if flag in self._ttl_flagged:
+                return
+            self._ttl_flagged.add(flag)
+            self.record(
+                "SCN903",
+                f"site {receiver} cached node {packet.source}'s claim "
+                f"announced at ttl={packet.ttl} while its SDP scopes "
+                f"it to ttl={description.ttl}",
+                time=directory.scheduler.now,
+            )
+        return probe
+
+    # ------------------------------------------------------------------
+    # End-of-run checks (SCN901/902/904/905)
+    # ------------------------------------------------------------------
+    def finish(self, now: float) -> List[Violation]:
+        """Run the end-of-run checks; returns all SCN violations."""
+        self._check_residual_claims(now)
+        self._check_starvation(now)
+        self._check_ghost_entries(now)
+        return self.violations
+
+    def _check_residual_claims(self, now: float) -> None:
+        """SCN901 (honest, post-partition) / SCN904 (adversarial)."""
+        owners: Dict[int, List[int]] = {}
+        for directory in self._directories:
+            for own in directory.own_sessions():
+                owners.setdefault(own.session.address,
+                                  []).append(directory.node)
+        for address in sorted(owners):
+            nodes = sorted(set(owners[address]))
+            if len(nodes) < 2:
+                continue
+            misbehaving = [node for node in nodes
+                           if node in self.persona_of]
+            label = ",".join(str(node) for node in nodes)
+            if misbehaving:
+                personas = ",".join(self.persona_of[node]
+                                    for node in misbehaving)
+                self.record(
+                    "SCN904",
+                    f"address {address} still claimed by sites "
+                    f"{label} at end of run ({personas} involved)",
+                    time=now,
+                )
+            elif self.spec.topology.partition_storms > 0:
+                self.record(
+                    "SCN901",
+                    f"address {address} still claimed by honest "
+                    f"sites {label} after every partition healed",
+                    time=now,
+                )
+
+    def _check_starvation(self, now: float) -> None:
+        """SCN902: flash-crowd moves past the starvation threshold."""
+        if self.spec.arrival.process != "flash-crowd":
+            return
+        for directory in self._directories:
+            if directory.node in self.persona_of:
+                continue
+            if directory.address_changes >= self.spec.starvation_moves:
+                self.record(
+                    "SCN902",
+                    f"site {directory.node} moved addresses "
+                    f"{directory.address_changes} times under the "
+                    f"flash crowd (threshold "
+                    f"{self.spec.starvation_moves})",
+                    time=now,
+                )
+
+    def _check_ghost_entries(self, now: float) -> None:
+        """SCN905: stale claims still pinning space at end of run."""
+        timeout = self.spec.cache_timeout
+        for directory in self._directories:
+            if directory.node in self.persona_of:
+                continue
+            ghosts: Dict[int, int] = {}
+            for entry in directory.cache.entries():
+                if now - entry.last_heard > timeout:
+                    origin = entry.message.origin
+                    ghosts[origin] = ghosts.get(origin, 0) + 1
+            for origin in sorted(ghosts):
+                self.record(
+                    "SCN905",
+                    f"site {directory.node} still caches "
+                    f"{ghosts[origin]} entr"
+                    f"{'y' if ghosts[origin] == 1 else 'ies'} from "
+                    f"node {origin} unheard for over {timeout:g}s",
+                    time=now,
+                )

@@ -1,0 +1,114 @@
+"""Misbehaving-allocator personas (the adversary model).
+
+The paper's claims assume every site runs the announce/listen
+protocol faithfully.  A persona is a small policy object a
+:class:`~repro.sap.directory.SessionDirectory` consults through the
+same ``is not None`` hook convention the sanitizer and profiler use —
+zero cost when absent, and the honest code path is byte-identical
+with no persona attached.
+
+Four adversaries, each attacking a different protocol assumption:
+
+* ``never-listens`` — drops every received packet, so it allocates
+  blind against an empty visible set (the §2.1 "informed" premise
+  broken outright).
+* ``deaf-after-claim`` — listens honestly until its first session is
+  established, then goes deaf: it can still *announce* (and so keeps
+  its claim pinned) but never hears a clash, so it can neither
+  retreat nor defend intelligently.
+* ``always-defends`` — never retreats: even a just-announced session
+  is defended as if established, breaking the §3 newcomer-yields
+  tie-break and leaving persistent double claims.
+* ``ttl-liar`` — announces every packet at TTL 255 while its SDP
+  still claims the session's real (smaller) scope, so remote caches
+  accept a claim whose delivery scope contradicts its declared scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+
+class Persona:
+    """Honest behaviour; subclasses override specific decisions."""
+
+    #: Registry key; subclasses must set it.
+    name = "honest"
+
+    def drops_packet(self, directory, packet) -> bool:
+        """True to ignore a received packet entirely."""
+        del directory, packet
+        return False
+
+    def overrides_retreat(self, directory, own) -> bool:
+        """True to defend (phase 1) where the protocol says retreat."""
+        del directory, own
+        return False
+
+    def announce_ttl(self, directory, ttl: int) -> int:
+        """The TTL actually stamped on an outgoing packet."""
+        del directory
+        return ttl
+
+
+class NeverListens(Persona):
+    name = "never-listens"
+
+    def drops_packet(self, directory, packet) -> bool:
+        del directory, packet
+        return True
+
+
+class DeafAfterClaim(Persona):
+    name = "deaf-after-claim"
+
+    def drops_packet(self, directory, packet) -> bool:
+        del packet
+        return len(directory.own_sessions()) > 0
+
+
+class AlwaysDefends(Persona):
+    name = "always-defends"
+
+    def overrides_retreat(self, directory, own) -> bool:
+        del directory, own
+        return True
+
+
+class TtlLiar(Persona):
+    name = "ttl-liar"
+
+    #: The inflated scope every packet is sent with.
+    LIE_TTL = 255
+
+    def announce_ttl(self, directory, ttl: int) -> int:
+        del directory
+        return self.LIE_TTL
+
+
+_PERSONA_CLASSES: Tuple[Type[Persona], ...] = (
+    NeverListens, DeafAfterClaim, AlwaysDefends, TtlLiar,
+)
+
+#: name -> class, for spec validation and engine construction.
+PERSONAS: Dict[str, Type[Persona]] = {
+    cls.name: cls for cls in _PERSONA_CLASSES
+}
+
+PERSONA_NAMES: Tuple[str, ...] = tuple(sorted(PERSONAS))
+
+
+def make_persona(name: str) -> Persona:
+    """Instantiate the persona registered under ``name``.
+
+    Raises:
+        ValueError: for an unknown persona name.
+    """
+    try:
+        cls = PERSONAS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown persona {name!r}; known: "
+            f"{', '.join(PERSONA_NAMES)}"
+        ) from None
+    return cls()

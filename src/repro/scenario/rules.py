@@ -1,0 +1,51 @@
+"""SCN9xx — scenario-level runtime invariants.
+
+The SAN2xx sanitizers check the *kernel* (allocations, scopes, clocks,
+caches); the SCN9xx rules check the *scenario*: protocol-level
+promises that only make sense over a whole workload.  Band SCN901–914
+on the shared registry; SCN901–905 are invariants the engine checks
+over a run, SCN911–912 are diagnostics about the fuzzing machinery
+itself.
+"""
+
+from __future__ import annotations
+
+#: code -> rule name, mirroring sanitize's VIOLATION_CODES shape.
+SCENARIO_RUNTIME_CODES = {
+    "SCN901": "partition-heal-double-claim",
+    "SCN902": "flash-crowd-starvation",
+    "SCN903": "ttl-liar-acceptance",
+    "SCN904": "misbehaver-residual-clash",
+    "SCN905": "churned-ghost-entry",
+    "SCN911": "run-event-budget-exhausted",
+    "SCN912": "replay-mismatch",
+}
+
+#: Degraded-run diagnostics: the scenario's protocol verdict is still
+#: trustworthy, so these never fail a run on their own.
+SCENARIO_ADVISORY_CODES = frozenset({"SCN911"})
+
+SCENARIO_RULE_DESCRIPTIONS = {
+    "SCN901": "two honest sites still claiming one address after a "
+              "partition healed (the paper's §3 repair never "
+              "completed)",
+    "SCN902": "a directory forced to move addresses more than the "
+              "spec's starvation threshold under a flash crowd "
+              "(allocation livelock instead of a grant)",
+    "SCN903": "an honest cache accepted an announcement whose "
+              "arrival TTL exceeds the scope its SDP claims (a TTL "
+              "liar's claim taken at face value)",
+    "SCN904": "a live address still claimed by two overlapping "
+              "sessions at end of run with a misbehaving persona "
+              "involved (the clash protocol could not repair around "
+              "the adversary)",
+    "SCN905": "a cache entry older than the announcement timeout "
+              "still present at end of run (a churned-away node's "
+              "stale claim pinning address space)",
+    "SCN911": "a run stopped at its event budget before reaching "
+              "the horizon (scenario truncated; raise --max-events "
+              "to see it through)",
+    "SCN912": "re-running a minimized counterexample from its "
+              "emitted (spec, seed) artifact did not reproduce the "
+              "original violation (the determinism contract broke)",
+}

@@ -1,0 +1,196 @@
+"""Delta-debugging shrinker for violating scenario specs.
+
+Given a spec that trips a rule, find a *smaller* spec that still
+trips it, where size is the number of :func:`active_fields` — dotted
+paths differing from the neutral baseline ``ScenarioSpec()``.
+
+Two reduction phases, both deterministic and bounded by a run budget:
+
+1. **Event-prefix shrink** — repeatedly halve the horizon while the
+   violation survives.  The whole workload is derived from the spec,
+   so a shorter horizon is literally a prefix of the event sequence.
+2. **Field delta-debug** — for each active field try (a) resetting it
+   to its baseline value, (b) for numbers, the midpoint toward
+   baseline, (c) for the persona tuple, dropping one assignment at a
+   time.  Greedy to fixed point: any accepted reduction restarts the
+   sweep over the (now smaller) active set.
+
+Every candidate is judged by actually running it: it must reproduce
+at least one of the target codes.  Candidates that fail validation
+are simply rejected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional
+
+from repro.scenario.engine import DEFAULT_MAX_EVENTS, run_spec
+from repro.scenario.spec import (
+    ScenarioSpec,
+    active_fields,
+    baseline_spec,
+)
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized spec and how much work finding it took."""
+
+    spec: ScenarioSpec
+    codes: List[str]
+    runs_used: int
+    active: List[str]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "digest": self.spec.digest(),
+            "codes": self.codes,
+            "runs_used": self.runs_used,
+            "active_fields": self.active,
+        }
+
+
+def get_path(spec: ScenarioSpec, path: str) -> Any:
+    """The value at a dotted field path."""
+    value: Any = spec
+    for part in path.split("."):
+        value = getattr(value, part)
+    return value
+
+
+def set_path(spec: ScenarioSpec, path: str, value: Any) -> ScenarioSpec:
+    """A copy of ``spec`` with the dotted field path replaced."""
+    parts = path.split(".")
+
+    def rebuild(obj: Any, remaining: List[str]) -> Any:
+        if len(remaining) == 1:
+            return dataclasses.replace(obj, **{remaining[0]: value})
+        child = rebuild(getattr(obj, remaining[0]), remaining[1:])
+        return dataclasses.replace(obj, **{remaining[0]: child})
+
+    return rebuild(spec, parts)
+
+
+def _candidates(spec: ScenarioSpec, path: str) -> List[Any]:
+    """Reduction candidates for one field, most aggressive first."""
+    base_value = get_path(baseline_spec(), path)
+    current = get_path(spec, path)
+    out: List[Any] = [base_value]
+    if isinstance(current, tuple) and len(current) > 1:
+        out.extend(
+            current[:index] + current[index + 1:]
+            for index in range(len(current))
+        )
+    elif (isinstance(current, (int, float))
+          and not isinstance(current, bool)
+          and isinstance(base_value, (int, float))):
+        midpoint = (current + base_value) / 2.0
+        if isinstance(current, int) and isinstance(base_value, int):
+            midpoint = int(round(midpoint))
+        if midpoint not in (current, base_value):
+            out.append(midpoint)
+    return out
+
+
+class Shrinker:
+    """Stateful delta-debugger; one instance per counterexample.
+
+    Args:
+        seed: the seed the violation was found with (replays use it).
+        target_codes: reproduce = any of these codes fires again.
+        max_events: per-run event budget, same as the original run.
+        budget: total candidate runs allowed.
+        runner: optional ``(spec, seed, max_events) -> list[str]``
+            returning a run's codes; injected by the fuzzer to share
+            its run cache.  Defaults to a fresh :func:`run_spec`.
+    """
+
+    def __init__(self, seed: int, target_codes: FrozenSet[str],
+                 max_events: int = DEFAULT_MAX_EVENTS,
+                 budget: int = 64, runner=None) -> None:
+        self.seed = seed
+        self.target_codes = frozenset(target_codes)
+        self.max_events = max_events
+        self.budget = budget
+        self.runs_used = 0
+        self._runner = runner if runner is not None else self._run_codes
+
+    def _run_codes(self, spec: ScenarioSpec, seed: int,
+                   max_events: int) -> List[str]:
+        return run_spec(spec, seed, max_events=max_events).codes()
+
+    def reproduces(self, candidate: ScenarioSpec) -> bool:
+        """Run one candidate; True if a target code fires."""
+        try:
+            candidate.validate()
+        except ValueError:
+            return False
+        self.runs_used += 1
+        codes = self._runner(candidate, self.seed, self.max_events)
+        return bool(self.target_codes & set(codes))
+
+    def shrink(self, spec: ScenarioSpec) -> ShrinkResult:
+        """Minimize ``spec``; always returns a reproducing spec."""
+        current = self._shrink_horizon(spec)
+        current = self._shrink_fields(current)
+        codes = sorted(
+            self.target_codes
+            & set(self._runner(current, self.seed, self.max_events))
+        )
+        return ShrinkResult(
+            spec=current, codes=codes, runs_used=self.runs_used,
+            active=active_fields(current),
+        )
+
+    def _shrink_horizon(self, spec: ScenarioSpec) -> ScenarioSpec:
+        current = spec
+        while (self.runs_used < self.budget
+               and current.horizon / 2.0 >= 60.0):
+            candidate = set_path(current, "horizon",
+                                 current.horizon / 2.0)
+            if not self.reproduces(candidate):
+                break
+            current = candidate
+        return current
+
+    def _shrink_fields(self, spec: ScenarioSpec) -> ScenarioSpec:
+        current = spec
+        progress = True
+        while progress and self.runs_used < self.budget:
+            progress = False
+            # One full pass over the active set, keeping accepted
+            # reductions as we go (restarting per success would burn
+            # the budget re-testing fields already found essential).
+            for path in active_fields(current):
+                if self.runs_used >= self.budget:
+                    break
+                reduced = self._reduce_field(current, path)
+                if reduced is not None:
+                    current = reduced
+                    progress = True
+        return current
+
+    def _reduce_field(self, spec: ScenarioSpec,
+                      path: str) -> Optional[ScenarioSpec]:
+        for value in _candidates(spec, path):
+            if self.runs_used >= self.budget:
+                return None
+            candidate = set_path(spec, path, value)
+            if candidate == spec:
+                continue
+            if self.reproduces(candidate):
+                return candidate
+        return None
+
+
+def shrink_spec(spec: ScenarioSpec, seed: int, target_codes,
+                max_events: int = DEFAULT_MAX_EVENTS,
+                budget: int = 64, runner=None) -> ShrinkResult:
+    """Convenience wrapper: one-shot :class:`Shrinker` use."""
+    shrinker = Shrinker(seed, frozenset(target_codes),
+                        max_events=max_events, budget=budget,
+                        runner=runner)
+    return shrinker.shrink(spec)

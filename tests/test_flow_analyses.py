@@ -87,6 +87,42 @@ def test_distinct_stream_keys_are_clean():
     assert "FLOW602" not in codes(report)
 
 
+def test_scenario_fuzz_key_reused_cross_site_fires_flow602():
+    # The scenario namespace is part of the repo-wide key space: a
+    # second site minting the same ``scenario/fuzz/...`` key is the
+    # exact collision FLOW602 exists to catch.
+    report = analyze_job(
+        "def site_a():\n"
+        "    return derived_stream('scenario/fuzz/run-0').random()\n",
+        extra_sources=[(
+            "src/repro/scenario/mut.py",
+            "from repro.sim.rng import derived_stream\n"
+            "def site_b():\n"
+            "    return derived_stream('scenario/fuzz/run-0')"
+            ".random()\n",
+        )],
+    )
+    assert "FLOW602" in codes(report)
+
+
+def test_real_scenario_sources_do_not_collide_with_harnesses():
+    # Digest-keyed engine streams and the ``scenario/fuzz/run-<i>``
+    # generator keys must stay disjoint from the lint/obs workload
+    # namespaces they share a process with.
+    from pathlib import Path
+
+    paths = (
+        "src/repro/scenario/engine.py",
+        "src/repro/scenario/fuzz.py",
+        "src/repro/lint/determinism.py",
+        "src/repro/obs/scenarios.py",
+    )
+    report = analyze_sources(
+        [(path, Path(path).read_text()) for path in paths]
+    )
+    assert "FLOW602" not in codes(report)
+
+
 # --- FLOW603: tainted stream key ------------------------------------
 
 def test_wallclock_in_stream_key_fires_flow603():

@@ -31,7 +31,7 @@ class TestRegistry:
             assert entry.kind in ("static", "runtime")
             assert entry.tool in ("lint", "sanitize", "modelcheck",
                                   "obs", "fleet", "flow", "units",
-                                  "alias")
+                                  "alias", "scenario")
 
     def test_static_rules_include_mc_spec_rules(self):
         names = {rule.name for rule in registry.static_rules()}

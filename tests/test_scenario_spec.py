@@ -1,0 +1,123 @@
+"""ScenarioSpec contract: round trip, digest, validation, sampling."""
+
+import dataclasses
+
+import pytest
+
+from repro.scenario.generator import sample_spec
+from repro.scenario.spec import (
+    ArrivalSpec,
+    DemandSpec,
+    PersonaAssignment,
+    ScenarioSpec,
+    TopologySpec,
+    active_fields,
+    baseline_spec,
+)
+from repro.sim.rng import derived_stream
+
+SEED = 0x19980902
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = ScenarioSpec(
+            name="rt",
+            arrival=ArrivalSpec(process="diurnal", rate=0.1),
+            demand=DemandSpec(shape="hotspot"),
+            topology=TopologySpec(num_sites=9, churn_events=3),
+            personas=(PersonaAssignment(2, "ttl-liar"),),
+        )
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_digest_covers_every_field(self):
+        spec = ScenarioSpec(name="a")
+        assert spec.digest() != dataclasses.replace(
+            spec, name="b").digest()
+        assert spec.digest() != dataclasses.replace(
+            spec, space_size=spec.space_size + 1).digest()
+
+    def test_stream_prefix_namespaces_on_the_digest(self):
+        spec = ScenarioSpec(name="ns")
+        assert spec.stream_prefix() == f"scenario/{spec.digest()}"
+
+    def test_unknown_field_is_rejected(self):
+        payload = ScenarioSpec(name="x").to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            ScenarioSpec.from_dict(payload)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScenarioSpec(name="x", kind="wild").validate()
+
+    def test_persona_node_must_exist(self):
+        spec = ScenarioSpec(
+            name="x",
+            topology=TopologySpec(num_sites=4),
+            personas=(PersonaAssignment(9, "ttl-liar"),),
+        )
+        with pytest.raises(ValueError, match="outside"):
+            spec.validate()
+
+    def test_duplicate_persona_node_rejected(self):
+        spec = ScenarioSpec(
+            name="x",
+            personas=(PersonaAssignment(1, "ttl-liar"),
+                      PersonaAssignment(1, "never-listens")),
+        )
+        with pytest.raises(ValueError, match="two personas"):
+            spec.validate()
+
+    def test_bad_arrival_process_rejected(self):
+        spec = ScenarioSpec(name="x",
+                            arrival=ArrivalSpec(process="bursty"))
+        with pytest.raises(ValueError, match="arrival process"):
+            spec.validate()
+
+
+class TestActiveFields:
+    def test_baseline_has_no_active_fields(self):
+        assert active_fields(baseline_spec()) == []
+
+    def test_name_is_excluded_from_the_complexity_measure(self):
+        spec = ScenarioSpec(name="anything-at-all")
+        assert active_fields(spec) == []
+
+    def test_nested_diffs_surface_as_dotted_paths(self):
+        spec = ScenarioSpec(
+            name="x",
+            topology=TopologySpec(partition_storms=3),
+            cache_timeout=60.0,
+        )
+        assert active_fields(spec) == ["cache_timeout",
+                                       "topology.partition_storms"]
+
+
+class TestGenerator:
+    def test_sampled_specs_validate(self):
+        for index in range(20):
+            rng = derived_stream(f"scenario/fuzz/run-{index}", SEED)
+            sample_spec(rng, name=f"fuzz-{index}").validate()
+
+    def test_sampling_is_deterministic_in_the_stream(self):
+        first = sample_spec(
+            derived_stream("scenario/fuzz/run-0", SEED), name="f")
+        second = sample_spec(
+            derived_stream("scenario/fuzz/run-0", SEED), name="f")
+        assert first == second
+        assert first.digest() == second.digest()
+
+    def test_different_runs_sample_different_specs(self):
+        digests = {
+            sample_spec(
+                derived_stream(f"scenario/fuzz/run-{i}", SEED),
+                name="f",
+            ).digest()
+            for i in range(8)
+        }
+        assert len(digests) > 1

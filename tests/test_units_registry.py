@@ -1,6 +1,6 @@
 """Cross-tool registry invariants, grown with each new tool.
 
-Eight tools now share one rule registry; these tests make the code
+Nine tools now share one rule registry; these tests make the code
 bands structural (no future rule can silently collide), make every
 CLI list every rule, and pin the cache-filename single-source so tool
 defaults and ``.gitignore`` cannot drift.
@@ -16,7 +16,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: tool -> (band regex, example rule). The bands are the public
 #: contract: SIM1xx lint, SAN2xx sanitize, MC3xx modelcheck,
 #: OBS4xx obs, FLT5xx fleet, FLOW6xx flow, UNIT7xx units,
-#: ALIAS8xx alias.
+#: ALIAS8xx alias, SCN9xx scenario.
 BANDS = {
     "lint": re.compile(r"^SIM1\d\d$"),
     "sanitize": re.compile(r"^SAN2\d\d$"),
@@ -26,6 +26,7 @@ BANDS = {
     "flow": re.compile(r"^FLOW6\d\d$"),
     "units": re.compile(r"^UNIT7\d\d$"),
     "alias": re.compile(r"^ALIAS8\d\d$"),
+    "scenario": re.compile(r"^SCN9\d\d$"),
 }
 
 
@@ -75,6 +76,19 @@ class TestBands:
             assert entry.kind == "static"
             assert entry.description
 
+    def test_scenario_rules_are_present_and_split_correctly(self):
+        scenario = [entry for entry in registry.all_entries()
+                    if entry.tool == "scenario"]
+        codes = {entry.code for entry in scenario}
+        assert codes == {"SCN901", "SCN902", "SCN903", "SCN904",
+                         "SCN905", "SCN911", "SCN912"}
+        advisory = {entry.code for entry in scenario
+                    if entry.advisory}
+        assert advisory == {"SCN911"}
+        for entry in scenario:
+            assert entry.kind == "runtime"
+            assert entry.description
+
     def test_unit_rules_are_present_and_split_correctly(self):
         units = [entry for entry in registry.all_entries()
                  if entry.tool == "units"]
@@ -90,7 +104,7 @@ class TestBands:
 
 
 class TestEveryCliListsEveryRule:
-    def test_eight_clis_print_the_identical_registry(self, capsys):
+    def test_nine_clis_print_the_identical_registry(self, capsys):
         from repro.alias.cli import main as alias_main
         from repro.fleet.cli import main as fleet_main
         from repro.flow.cli import main as flow_main
@@ -98,11 +112,13 @@ class TestEveryCliListsEveryRule:
         from repro.modelcheck.cli import main as mc_main
         from repro.obs.cli import main as obs_main
         from repro.sanitize.cli import main as san_main
+        from repro.scenario.cli import main as scenario_main
         from repro.units.cli import main as units_main
 
         outputs = set()
         for main in (lint_main, san_main, mc_main, obs_main,
-                     fleet_main, flow_main, units_main, alias_main):
+                     fleet_main, flow_main, units_main, alias_main,
+                     scenario_main):
             assert main(["--list-rules"]) == 0
             outputs.add(capsys.readouterr().out)
         assert len(outputs) == 1
@@ -119,12 +135,16 @@ class TestCacheFilenameRegistry:
         from repro.alias.cache import DEFAULT_CACHE_FILE as alias_file
         from repro.flow.cache import DEFAULT_CACHE_FILE as flow_file
         from repro.lint.cache import DEFAULT_CACHE_FILE as lint_file
+        from repro.scenario.cache import (
+            DEFAULT_CACHE_FILE as scenario_file,
+        )
         from repro.units.cache import DEFAULT_CACHE_FILE as units_file
 
         assert lint_file == registry.CACHE_FILES["lint"]
         assert flow_file == registry.CACHE_FILES["flow"]
         assert units_file == registry.CACHE_FILES["units"]
         assert alias_file == registry.CACHE_FILES["alias"]
+        assert scenario_file == registry.CACHE_FILES["scenario"]
 
     def test_gitignore_lists_every_cache_file(self):
         ignored = (REPO_ROOT / ".gitignore").read_text().splitlines()
